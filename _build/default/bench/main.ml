@@ -1,0 +1,233 @@
+(* Benchmark and experiment driver: regenerates every table and figure of
+   the paper's evaluation plus the ablations, and runs Bechamel
+   micro-benchmarks of the host implementation.
+
+     dune exec bench/main.exe            -- everything
+     dune exec bench/main.exe -- fig1    -- one experiment
+     targets: table1 table2 table3 table4 table5 table6 table7 table8 table9
+              fig1 fig2 fig3 fig4 ablation hostmap jbbhost queue micro
+
+   Figures print simulated-cycle speedups normalised to the 1-CPU
+   lock-based run, with violation counts underneath (see EXPERIMENTS.md for
+   the paper-vs-measured comparison). *)
+
+let ppf = Fmt.stdout
+
+module Stm = Tcc_stm.Stm
+
+let table1 () =
+  Harness.Commute_spec.render_map_table ppf ();
+  Fmt.pf ppf "read-only operations always commute: %b@."
+    (Harness.Commute_spec.reads_commute ())
+
+let table2 () = Harness.Locktables.render_table2 ppf ()
+
+let table3 () =
+  (* Dump a TransactionalMap's state inventory while a transaction holds
+     locks and buffered writes — the live version of Table 3. *)
+  let module M = Txcoll.Host.Map (Txcoll.Host.Int_hashed) in
+  let m = M.create () in
+  ignore (M.put m 1 10);
+  ignore (M.put m 2 20);
+  Fmt.pf ppf "@.Table 3 — TransactionalMap state (live, mid-transaction)@.";
+  (try
+     Stm.atomic (fun () ->
+         ignore (M.find m 1);
+         ignore (M.size m);
+         ignore (M.put m 3 30);
+         ignore (M.remove m 2);
+         M.dump_state Fmt.stdout m;
+         Stm.self_abort ())
+   with Stm.Aborted -> ());
+  Fmt.pf ppf "after abort:@.";
+  M.dump_state Fmt.stdout m
+
+let table4 () =
+  Fmt.pf ppf
+    "@.Table 4 — the SortedMap-specific rows (firstKey/lastKey/subMap) are@.";
+  Fmt.pf ppf "checked in the same brute-force sweep as Table 1 (see table1).@."
+
+let table6 () =
+  let module SM = Txcoll.Host.Sorted_map (Txcoll.Host.Int_ordered) in
+  let m = SM.create () in
+  List.iter (fun k -> ignore (SM.put m k k)) [ 10; 20; 30 ];
+  Fmt.pf ppf "@.Table 6 — TransactionalSortedMap state (live, mid-transaction)@.";
+  (try
+     Stm.atomic (fun () ->
+         ignore (SM.first_key m);
+         ignore
+           (SM.fold_range (fun _ _ a -> a) m () ~lo:(Some 15) ~hi:(Some 25));
+         ignore (SM.put m 25 25);
+         SM.dump_state Fmt.stdout m;
+         Stm.self_abort ())
+   with Stm.Aborted -> ());
+  Fmt.pf ppf "after abort:@.";
+  SM.dump_state Fmt.stdout m
+
+let table9 () =
+  let module Q = Txcoll.Host.Queue in
+  let q = Q.create () in
+  Q.put q 1;
+  Q.put q 2;
+  Fmt.pf ppf "@.Table 9 — TransactionalQueue state (live, mid-transaction)@.";
+  (try
+     Stm.atomic (fun () ->
+         ignore (Q.take q);
+         Q.put q 3;
+         Q.put q 4;
+         Q.dump_state Fmt.stdout q;
+         Stm.self_abort ())
+   with Stm.Aborted -> ());
+  Fmt.pf ppf "after abort (taken element restored, additions dropped):@.";
+  Q.dump_state Fmt.stdout q
+
+let table5 () = Harness.Locktables.render_table5 ppf ()
+
+let table7 () =
+  Fmt.pf ppf "@.Table 7 — Channel conflict conditions (brute force)@.";
+  List.iter
+    (fun (pair, ok) ->
+      Fmt.pf ppf "  %-24s condition %s@." pair
+        (if ok then "verified" else "MISMATCH"))
+    (Harness.Commute_spec.qcheck_all ())
+
+let table8 () = Harness.Locktables.render_table8 ppf ()
+
+let fig1 () = Harness.Figures.render ppf (Harness.Figures.figure1 ())
+let fig2 () = Harness.Figures.render ppf (Harness.Figures.figure2 ())
+let fig3 () = Harness.Figures.render ppf (Harness.Figures.figure3 ())
+let fig4 () =
+  Harness.Figures.render ppf (Jbb.Sim_jbb.figure4 ());
+  (* Sanity check of the premise (§6.3): with standard SPECjbb2000 (one
+     warehouse per thread) even the naive Baseline is embarrassingly
+     parallel — the single warehouse, not transactions, is the stress. *)
+  let cycles warehouses n =
+    (Jbb.Sim_jbb.run ~warehouses ~variant:`Atomos_baseline ~n_cpus:n ())
+      .Sim.Machine.cycles
+  in
+  let speedup w = float_of_int (cycles w 1) /. float_of_int (cycles w 8) in
+  Fmt.pf ppf
+    "@.premise check — Atomos Baseline speedup at 8 CPUs: single warehouse      %.2f, one warehouse per CPU %.2f@."
+    (speedup `Single) (speedup `Per_cpu)
+
+let ablation () =
+  Harness.Ablations.(render ppf "isEmpty lock encoding (§5.1)" (isempty ()));
+  Harness.Ablations.(render ppf "blind put (§5.1 Extensions)" (blind_put ()));
+  Harness.Ablations.(render ppf "contention backoff" (backoff ()));
+  Harness.Ablations.(
+    render ppf "redo vs undo logging, host STM (cycles = elapsed µs; violations = retried attempts)"
+      (redo_vs_undo ()))
+
+let hostmap () = Harness.Host_validation.(render ppf (run ()))
+let queue () = Harness.Queue_bench.(render ppf (sweep ()))
+let jbbhost () = Jbb.Host_jbb.(render ppf (compare_variants ()))
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the host implementation: per-operation
+   costs of the STM and the wrappers.                                  *)
+
+module Tvar = Tcc_stm.Tvar
+module IM = Txcoll.Host.Map (Txcoll.Host.Int_hashed)
+
+let micro () =
+  let open Bechamel in
+  let tv = Tvar.make 0 in
+  let plain = Hashtbl.create 64 in
+  let mutex = Mutex.create () in
+  let tmap = IM.create () in
+  for i = 0 to 63 do
+    Hashtbl.replace plain i i;
+    ignore (IM.put tmap i i)
+  done;
+  let tests =
+    [
+      Test.make ~name:"atomic-empty" (Staged.stage (fun () -> Stm.atomic ignore));
+      Test.make ~name:"tvar-incr-in-atomic"
+        (Staged.stage (fun () ->
+             Stm.atomic (fun () -> Tvar.set tv (Tvar.get tv + 1))));
+      Test.make ~name:"open-nested-incr"
+        (Staged.stage (fun () ->
+             Stm.atomic (fun () ->
+                 Stm.open_nested (fun () -> Tvar.set tv (Tvar.get tv + 1)))));
+      Test.make ~name:"mutex-hashtbl-find"
+        (Staged.stage (fun () ->
+             Mutex.protect mutex (fun () -> ignore (Hashtbl.find_opt plain 7))));
+      Test.make ~name:"txmap-find-auto-commit"
+        (Staged.stage (fun () -> ignore (IM.find tmap 7)));
+      Test.make ~name:"txmap-find-in-txn"
+        (Staged.stage (fun () ->
+             Stm.atomic (fun () -> ignore (IM.find tmap 7))));
+      Test.make ~name:"txmap-put-get-txn"
+        (Staged.stage (fun () ->
+             Stm.atomic (fun () ->
+                 ignore (IM.put tmap 7 1);
+                 ignore (IM.find tmap 7))));
+    ]
+  in
+  let test = Test.make_grouped ~name:"micro" ~fmt:"%s %s" tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances test in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let results = Analyze.merge ols instances results in
+  Fmt.pf ppf "@.Micro-benchmarks (host STM, ns/op via OLS on monotonic clock)@.";
+  Hashtbl.iter
+    (fun _witness tbl ->
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some (t :: _) -> Fmt.pf ppf "  %-32s %10.1f ns/op@." name t
+          | _ -> Fmt.pf ppf "  %-32s (no estimate)@." name)
+        tbl)
+    results
+
+(* ------------------------------------------------------------------ *)
+
+let targets : (string * (unit -> unit)) list =
+  [
+    ("table1", table1);
+    ("table2", table2);
+    ("table3", table3);
+    ("table4", table4);
+    ("table5", table5);
+    ("table6", table6);
+    ("table7", table7);
+    ("table8", table8);
+    ("table9", table9);
+    ("fig1", fig1);
+    ("fig2", fig2);
+    ("fig3", fig3);
+    ("fig4", fig4);
+    ("ablation", ablation);
+    ("hostmap", hostmap);
+    ("jbbhost", jbbhost);
+    ("queue", queue);
+    ("micro", micro);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [] ->
+      List.iter
+        (fun (name, f) ->
+          Fmt.pf ppf "@.===== %s =====@." name;
+          f ())
+        targets
+  | names ->
+      List.iter
+        (fun n ->
+          match List.assoc_opt n targets with
+          | Some f -> f ()
+          | None ->
+              Fmt.pf ppf "unknown target %s; available: %s@." n
+                (String.concat " " (List.map fst targets));
+              exit 1)
+        names

@@ -1,0 +1,1 @@
+examples/bank_audit.ml: Atomic Domain List Option Printf Random Tcc_stm Txcoll

@@ -1,0 +1,1 @@
+examples/delaunay_refine.ml: Atomic Domain List Printf Random Tcc_stm Txcoll

@@ -1,0 +1,1 @@
+examples/delaunay_refine.mli:

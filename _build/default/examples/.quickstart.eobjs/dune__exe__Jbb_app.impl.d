@@ -1,0 +1,1 @@
+examples/jbb_app.ml: Array Jbb Printf Sys

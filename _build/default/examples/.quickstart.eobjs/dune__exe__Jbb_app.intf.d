@@ -1,0 +1,1 @@
+examples/jbb_app.mli:

@@ -1,0 +1,1 @@
+examples/order_book.ml: Atomic Domain List Printf Random String Tcc_stm Txcoll

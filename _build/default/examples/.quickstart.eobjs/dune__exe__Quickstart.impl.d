@@ -1,0 +1,1 @@
+examples/quickstart.ml: Domain Hashtbl Option Printf Tcc_stm Txcoll

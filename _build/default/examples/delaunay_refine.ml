@@ -1,0 +1,56 @@
+(* Work-queue refinement in the style of Delaunay mesh generation (the
+   paper's §3.3 motivation for TransactionalQueue).
+
+   Workers take an interval from the queue inside a transaction; "bad"
+   intervals are refined by splitting and the halves are put back.  Puts are
+   deferred to commit, so work created by a transaction that later aborts is
+   never exposed; takes are immediate but compensated, so aborted work
+   returns to the queue.  Random aborts are injected to demonstrate both.
+
+   Run with: dune exec examples/delaunay_refine.exe *)
+
+module Stm = Tcc_stm.Stm
+module Q = Txcoll.Host.Queue
+
+let needs_refinement (lo, hi) = hi - lo > 1
+
+let () =
+  let queue = Q.create () in
+  Q.put queue (0, 256);
+  let refined = Atomic.make 0 in
+  let injected_aborts = Atomic.make 0 in
+  let worker seed () =
+    let rng = Random.State.make [| seed |] in
+    let idle = ref 0 in
+    while !idle < 1000 do
+      let progressed =
+        try
+          Stm.atomic (fun () ->
+              match Q.take queue with
+              | None -> false
+              | Some ((lo, hi) as piece) ->
+                  if needs_refinement piece then begin
+                    let mid = (lo + hi) / 2 in
+                    Q.put queue (lo, mid);
+                    Q.put queue (mid, hi);
+                    (* Inject aborts: the two halves must not leak, and the
+                       taken piece must return to the queue. *)
+                    if Random.State.int rng 10 = 0 then begin
+                      Atomic.incr injected_aborts;
+                      Stm.self_abort ()
+                    end
+                  end
+                  else Atomic.incr refined;
+                  true)
+        with Stm.Aborted -> true
+      in
+      if progressed then idle := 0 else incr idle
+    done
+  in
+  let ds = [ Domain.spawn (worker 1); Domain.spawn (worker 2) ] in
+  List.iter Domain.join ds;
+  Printf.printf "unit intervals refined: %d (expected 256)\n" (Atomic.get refined);
+  Printf.printf "injected aborts: %d\n" (Atomic.get injected_aborts);
+  Printf.printf "queue drained: %b\n" (Q.poll queue = None);
+  assert (Atomic.get refined = 256);
+  print_endline "delaunay_refine: OK"

@@ -1,0 +1,117 @@
+(* A price-ordered order book on TransactionalSortedMap: makers insert and
+   cancel orders while a matcher repeatedly pairs the best bid with the best
+   ask — a compound operation over both endpoints that must be atomic.
+
+   Shows: endpoint operations (first/last), range views, the ordered cursor,
+   and blind puts for a last-trade ticker that all transactions stamp
+   without ordering (the paper's "LastModified" pattern).
+
+   Run with: dune exec examples/order_book.exe *)
+
+module Stm = Tcc_stm.Stm
+module Book = Txcoll.Host.Sorted_map (Txcoll.Host.Int_ordered)
+module Ticker = Txcoll.Host.Map (Txcoll.Host.String_hashed)
+
+(* Bids are keyed by negative price so the best bid is [first_key] of the
+   bid book and the best ask is [first_key] of the ask book. *)
+
+let () =
+  let bids = Book.create () in
+  let asks = Book.create () in
+  let ticker = Ticker.create () in
+  let matched = Atomic.make 0 in
+  let stop = Atomic.make false in
+
+  let maker seed () =
+    let rng = Random.State.make [| seed |] in
+    for i = 1 to 2000 do
+      let price = 100 + Random.State.int rng 50 in
+      let qty = 1 + Random.State.int rng 10 in
+      Stm.atomic (fun () ->
+          if Random.State.bool rng then
+            ignore (Book.put bids (-price) ((i * 100) + qty))
+          else ignore (Book.put asks price ((i * 100) + qty));
+          (* Every maker stamps the ticker blindly: no ordering needed. *)
+          Ticker.put_blind ticker "last-activity" i)
+    done;
+    Atomic.set stop true
+  in
+
+  let matcher () =
+    while not (Atomic.get stop) do
+      let traded =
+        Stm.atomic (fun () ->
+            match (Book.first_key bids, Book.first_key asks) with
+            | Some nbid, Some ask when -nbid >= ask ->
+                (* Crossed: execute atomically against both books. *)
+                ignore (Book.remove bids nbid);
+                ignore (Book.remove asks ask);
+                Ticker.put_blind ticker "last-trade" ask;
+                true
+            | _ -> false)
+      in
+      if traded then Atomic.incr matched
+    done
+  in
+
+  let ds = [ Domain.spawn (maker 7); Domain.spawn matcher ] in
+  List.iter Domain.join ds;
+
+  (* Reporting: a consistent snapshot of the top of each book via the
+     ordered cursor, plus range statistics through views. *)
+  Stm.atomic (fun () ->
+      let top_asks =
+        let c = Book.cursor asks in
+        let rec take n acc =
+          if n = 0 then List.rev acc
+          else
+            match Book.cursor_next c with
+            | Some (p, _) -> take (n - 1) (p :: acc)
+            | None -> List.rev acc
+        in
+        take 3 []
+      in
+      let cheap_asks =
+        Book.View.size (Book.head_map asks ~hi:120)
+      in
+      Printf.printf "matched trades: %d\n" (Atomic.get matched);
+      Printf.printf "best asks: %s\n"
+        (String.concat ", " (List.map string_of_int top_asks));
+      Printf.printf "asks under 120: %d\n" cheap_asks;
+      Printf.printf "resting bids: %d, resting asks: %d\n" (Book.size bids)
+        (Book.size asks));
+
+  (* Invariant: the books never cross after the matcher drains. *)
+  let crossed =
+    Stm.atomic (fun () ->
+        match (Book.first_key bids, Book.first_key asks) with
+        | Some nbid, Some ask -> -nbid >= ask
+        | _ -> false)
+  in
+  (* The matcher may have stopped while a final crossing remained; drain it. *)
+  let rec drain () =
+    let traded =
+      Stm.atomic (fun () ->
+          match (Book.first_key bids, Book.first_key asks) with
+          | Some nbid, Some ask when -nbid >= ask ->
+              ignore (Book.remove bids nbid);
+              ignore (Book.remove asks ask);
+              true
+          | _ -> false)
+    in
+    if traded then begin
+      Atomic.incr matched;
+      drain ()
+    end
+  in
+  if crossed then drain ();
+  let final_crossed =
+    Stm.atomic (fun () ->
+        match (Book.first_key bids, Book.first_key asks) with
+        | Some nbid, Some ask -> -nbid >= ask
+        | _ -> false)
+  in
+  assert (not final_crossed);
+  Printf.printf "final matched: %d, books uncrossed: %b\n" (Atomic.get matched)
+    (not final_crossed);
+  print_endline "order_book: OK"

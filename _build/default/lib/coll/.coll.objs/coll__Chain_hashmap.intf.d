@@ -1,0 +1,1 @@
+lib/coll/chain_hashmap.mli:

@@ -1,0 +1,1 @@
+lib/coll/fifo_deque.mli:

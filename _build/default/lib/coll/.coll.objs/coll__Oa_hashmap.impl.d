@@ -1,0 +1,1 @@
+lib/coll/oa_hashmap.ml: Array Hashtbl Option

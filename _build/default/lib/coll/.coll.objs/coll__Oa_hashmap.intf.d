@@ -1,0 +1,1 @@
+lib/coll/oa_hashmap.mli:

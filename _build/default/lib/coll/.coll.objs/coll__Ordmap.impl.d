@@ -1,0 +1,1 @@
+lib/coll/ordmap.ml: List Option

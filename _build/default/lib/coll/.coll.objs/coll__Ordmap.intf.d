@@ -1,0 +1,1 @@
+lib/coll/ordmap.mli:

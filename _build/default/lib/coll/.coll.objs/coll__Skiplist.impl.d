@@ -1,0 +1,1 @@
+lib/coll/skiplist.ml: Array List Obj Option Random

@@ -1,0 +1,25 @@
+(** A separate-chaining hash map with a single [size] field and power-of-two
+    growth — deliberately shaped like [java.util.HashMap], whose size-field
+    and bucket collisions are the paper's canonical source of unnecessary
+    memory-level conflicts.  Not thread-safe: the transactional wrapper
+    serialises access to it. *)
+
+type ('k, 'v) t
+
+val create :
+  ?initial_capacity:int ->
+  ?hash:('k -> int) ->
+  ?equal:('k -> 'k -> bool) ->
+  unit ->
+  ('k, 'v) t
+
+val size : ('k, 'v) t -> int
+val is_empty : ('k, 'v) t -> bool
+val find : ('k, 'v) t -> 'k -> 'v option
+val mem : ('k, 'v) t -> 'k -> bool
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+val remove : ('k, 'v) t -> 'k -> unit
+val iter : ('k -> 'v -> unit) -> ('k, 'v) t -> unit
+val fold : ('k -> 'v -> 'acc -> 'acc) -> ('k, 'v) t -> 'acc -> 'acc
+val to_list : ('k, 'v) t -> ('k * 'v) list
+val clear : ('k, 'v) t -> unit

@@ -1,0 +1,17 @@
+(** A growable ring-buffer FIFO with [push_front], used as the underlying
+    queue wrapped by the transactional work queue.  [push_front] lets the
+    abort compensation return dequeued-but-unprocessed work to the front, as
+    the Delaunay-style work queue requires.  Not thread-safe. *)
+
+type 'v t
+
+val create : ?initial_capacity:int -> unit -> 'v t
+val length : 'v t -> int
+val is_empty : 'v t -> bool
+val enqueue : 'v t -> 'v -> unit
+val dequeue : 'v t -> 'v option
+val peek : 'v t -> 'v option
+val push_front : 'v t -> 'v -> unit
+val iter : ('v -> unit) -> 'v t -> unit
+val to_list : 'v t -> 'v list
+val clear : 'v t -> unit

@@ -1,0 +1,91 @@
+(* An open-addressing (linear probing, tombstone) hash map — a second
+   "existing implementation" for the Map wrapper.  Its internal behaviour
+   differs sharply from chaining (probe sequences, tombstones, rehashing),
+   which is invisible through the transactional wrapper. *)
+
+type ('k, 'v) slot = Empty | Tombstone | Bind of 'k * 'v
+
+type ('k, 'v) t = {
+  hash : 'k -> int;
+  equal : 'k -> 'k -> bool;
+  mutable slots : ('k, 'v) slot array;
+  mutable size : int;
+  mutable used : int; (* bindings + tombstones *)
+}
+
+let create ?(initial_capacity = 16) ?(hash = Hashtbl.hash) ?(equal = ( = )) () =
+  let cap = max 4 initial_capacity in
+  { hash; equal; slots = Array.make cap Empty; size = 0; used = 0 }
+
+let size t = t.size
+let is_empty t = t.size = 0
+
+let index t k = t.hash k land max_int mod Array.length t.slots
+
+(* Returns the slot index of [k] if bound, else the first insertable slot
+   on its probe path. *)
+let probe t k =
+  let n = Array.length t.slots in
+  let rec go i insert_at steps =
+    if steps > n then (`Insert_at (Option.get insert_at) : _)
+    else
+      match t.slots.(i) with
+      | Empty -> (
+          match insert_at with
+          | Some j -> `Insert_at j
+          | None -> `Insert_at i)
+      | Tombstone ->
+          let insert_at = if insert_at = None then Some i else insert_at in
+          go ((i + 1) mod n) insert_at (steps + 1)
+      | Bind (k', _) ->
+          if t.equal k k' then `Found i
+          else go ((i + 1) mod n) insert_at (steps + 1)
+  in
+  go (index t k) None 0
+
+let find t k =
+  match probe t k with
+  | `Found i -> ( match t.slots.(i) with Bind (_, v) -> Some v | _ -> None)
+  | `Insert_at _ -> None
+
+let mem t k = Option.is_some (find t k)
+
+let rec add t k v =
+  if 2 * (t.used + 1) > Array.length t.slots then rehash t;
+  match probe t k with
+  | `Found i -> t.slots.(i) <- Bind (k, v)
+  | `Insert_at i ->
+      (match t.slots.(i) with
+      | Empty -> t.used <- t.used + 1
+      | Tombstone | Bind _ -> ());
+      t.slots.(i) <- Bind (k, v);
+      t.size <- t.size + 1
+
+and rehash t =
+  let old = t.slots in
+  t.slots <- Array.make (2 * Array.length old) Empty;
+  t.size <- 0;
+  t.used <- 0;
+  Array.iter (function Bind (k, v) -> add t k v | Empty | Tombstone -> ()) old
+
+let remove t k =
+  match probe t k with
+  | `Found i ->
+      t.slots.(i) <- Tombstone;
+      t.size <- t.size - 1
+  | `Insert_at _ -> ()
+
+let iter f t =
+  Array.iter (function Bind (k, v) -> f k v | Empty | Tombstone -> ()) t.slots
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun k v -> acc := f k v !acc) t;
+  !acc
+
+let to_list t = fold (fun k v acc -> (k, v) :: acc) t []
+
+let clear t =
+  Array.fill t.slots 0 (Array.length t.slots) Empty;
+  t.size <- 0;
+  t.used <- 0

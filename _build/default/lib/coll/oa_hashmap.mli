@@ -1,0 +1,23 @@
+(** An open-addressing hash map (linear probing with tombstones) — an
+    alternative underlying implementation for the TransactionalMap wrapper.
+    Not thread-safe. *)
+
+type ('k, 'v) t
+
+val create :
+  ?initial_capacity:int ->
+  ?hash:('k -> int) ->
+  ?equal:('k -> 'k -> bool) ->
+  unit ->
+  ('k, 'v) t
+
+val size : ('k, 'v) t -> int
+val is_empty : ('k, 'v) t -> bool
+val find : ('k, 'v) t -> 'k -> 'v option
+val mem : ('k, 'v) t -> 'k -> bool
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+val remove : ('k, 'v) t -> 'k -> unit
+val iter : ('k -> 'v -> unit) -> ('k, 'v) t -> unit
+val fold : ('k -> 'v -> 'acc -> 'acc) -> ('k, 'v) t -> 'acc -> 'acc
+val to_list : ('k, 'v) t -> ('k * 'v) list
+val clear : ('k, 'v) t -> unit

@@ -1,0 +1,27 @@
+(** A skip-list sorted map with a runtime comparator — an alternative
+    underlying implementation for the TransactionalSortedMap wrapper,
+    demonstrating that semantic concurrency control needs no knowledge of
+    data-structure internals (the paper's ConcurrentSkipListMap reference).
+    Deterministic levels; not thread-safe. *)
+
+type ('k, 'v) t
+
+val create : compare:('k -> 'k -> int) -> unit -> ('k, 'v) t
+val compare_key : ('k, 'v) t -> 'k -> 'k -> int
+val size : ('k, 'v) t -> int
+val is_empty : ('k, 'v) t -> bool
+val find : ('k, 'v) t -> 'k -> 'v option
+val mem : ('k, 'v) t -> 'k -> bool
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+val remove : ('k, 'v) t -> 'k -> unit
+val min_binding : ('k, 'v) t -> ('k * 'v) option
+val max_binding : ('k, 'v) t -> ('k * 'v) option
+val iter : ('k -> 'v -> unit) -> ('k, 'v) t -> unit
+
+val iter_range :
+  ('k -> 'v -> unit) -> ('k, 'v) t -> lo:'k option -> hi:'k option -> unit
+
+val fold : ('k -> 'v -> 'acc -> 'acc) -> ('k, 'v) t -> 'acc -> 'acc
+val to_list : ('k, 'v) t -> ('k * 'v) list
+val clear : ('k, 'v) t -> unit
+val check_invariants : ('k, 'v) t -> unit

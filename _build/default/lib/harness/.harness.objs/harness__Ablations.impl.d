@@ -1,0 +1,1 @@
+lib/harness/ablations.ml: Array Atomic Domain Fmt List Option Random Sim Tcc_stm Txcoll Unix Workloads

@@ -1,0 +1,1 @@
+lib/harness/commute_spec.ml: Fmt Int List Map Option Printf

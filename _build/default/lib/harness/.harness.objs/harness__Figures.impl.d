@@ -1,0 +1,1 @@
+lib/harness/figures.ml: Fmt List Sim String Workloads

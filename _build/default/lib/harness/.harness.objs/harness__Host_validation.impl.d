@@ -1,0 +1,1 @@
+lib/harness/host_validation.ml: Atomic Domain Fmt List Random Stm_ds Sys Tcc_stm Txcoll Unix

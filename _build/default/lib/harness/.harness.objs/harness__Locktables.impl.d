@@ -1,0 +1,1 @@
+lib/harness/locktables.ml: Fmt List String Tcc_stm Txcoll

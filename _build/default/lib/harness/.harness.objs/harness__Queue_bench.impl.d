@@ -1,0 +1,1 @@
+lib/harness/queue_bench.ml: Array Atomic Fmt List Sim Sim_ds Txcoll

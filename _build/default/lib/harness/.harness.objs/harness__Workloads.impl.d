@@ -1,0 +1,1 @@
+lib/harness/workloads.ml: Array Int List Option Random Sim Sim_ds Txcoll

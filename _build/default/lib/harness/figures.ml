@@ -1,0 +1,129 @@
+(* Speedup sweeps and rendering for the paper's figures.  Speedups are
+   normalised to the single-processor lock-based ("Java") run of the same
+   benchmark, as in §6 ("The single-processor Java version is used as the
+   baseline for calculating speedup"). *)
+
+type series = { label : string; points : (int * float) list }
+
+type figure = {
+  title : string;
+  cpus : int list;
+  series : series list;
+  stats : (string * (int * Sim.Machine.stats) list) list;
+}
+
+let default_cpus = [ 1; 2; 4; 8; 16; 32 ]
+
+(* [sweep runs]: [runs] maps variant label to (n_cpus -> stats). *)
+let sweep ~title ?(cpus = default_cpus) ~baseline runs =
+  let all =
+    List.map (fun (label, f) -> (label, List.map (fun p -> (p, f p)) cpus)) runs
+  in
+  let base_cycles =
+    match List.assoc_opt baseline all with
+    | Some ((_, s) :: _) -> float_of_int s.Sim.Machine.cycles
+    | _ -> invalid_arg "sweep: baseline series missing"
+  in
+  let series =
+    List.map
+      (fun (label, pts) ->
+        {
+          label;
+          points =
+            List.map
+              (fun (p, s) -> (p, base_cycles /. float_of_int s.Sim.Machine.cycles))
+              pts;
+        })
+      all
+  in
+  { title; cpus; series; stats = all }
+
+let render ppf fig =
+  Fmt.pf ppf "@.%s — speedup vs 1-CPU %s baseline@." fig.title
+    (match fig.series with s :: _ -> s.label | [] -> "");
+  Fmt.pf ppf "%-26s" "CPUs";
+  List.iter (fun p -> Fmt.pf ppf "%8d" p) fig.cpus;
+  Fmt.pf ppf "@.";
+  List.iter
+    (fun s ->
+      Fmt.pf ppf "%-26s" s.label;
+      List.iter (fun (_, v) -> Fmt.pf ppf "%8.2f" v) s.points;
+      Fmt.pf ppf "@.")
+    fig.series;
+  (* Violation counts explain the shapes. *)
+  Fmt.pf ppf "%-26s@." "violations:";
+  List.iter
+    (fun (label, pts) ->
+      Fmt.pf ppf "%-26s" ("  " ^ label);
+      List.iter
+        (fun (_, s) -> Fmt.pf ppf "%8d" s.Sim.Machine.total_violations)
+        pts;
+      Fmt.pf ppf "@.")
+    fig.stats
+
+(* CSV rendering for external plotting: one row per CPU count, one column
+   per series (speedup), then one violations column per series. *)
+let render_csv ppf fig =
+  Fmt.pf ppf "cpus%s%s@."
+    (String.concat ""
+       (List.map (fun s -> "," ^ String.map (function ',' -> ';' | c -> c) s.label) fig.series))
+    (String.concat ""
+       (List.map (fun (l, _) -> ",violations:" ^ l) fig.stats));
+  List.iter
+    (fun p ->
+      Fmt.pf ppf "%d" p;
+      List.iter
+        (fun s ->
+          match List.assoc_opt p s.points with
+          | Some v -> Fmt.pf ppf ",%.4f" v
+          | None -> Fmt.pf ppf ",")
+        fig.series;
+      List.iter
+        (fun (_, pts) ->
+          match List.assoc_opt p pts with
+          | Some st -> Fmt.pf ppf ",%d" st.Sim.Machine.total_violations
+          | None -> Fmt.pf ppf ",")
+        fig.stats;
+      Fmt.pf ppf "@.")
+    fig.cpus
+
+let value_at fig ~label ~cpus =
+  match List.find_opt (fun s -> s.label = label) fig.series with
+  | None -> None
+  | Some s -> List.assoc_opt cpus s.points
+
+(* ------------------------------------------------------------------ *)
+(* The three micro-benchmark figures                                   *)
+
+let figure1 ?(p = Workloads.default_params) ?cpus () =
+  sweep ~title:"Figure 1: TestMap" ?cpus ~baseline:"Java HashMap"
+    [
+      ("Java HashMap", fun n -> Workloads.run_testmap ~p ~variant:`Java_lock ~n_cpus:n ());
+      ( "Atomos HashMap",
+        fun n -> Workloads.run_testmap ~p ~variant:`Atomos_naive ~n_cpus:n () );
+      ( "Atomos TransactionalMap",
+        fun n -> Workloads.run_testmap ~p ~variant:`Atomos_txcoll ~n_cpus:n () );
+    ]
+
+let figure2 ?(p = Workloads.default_params) ?cpus () =
+  sweep ~title:"Figure 2: TestSortedMap" ?cpus ~baseline:"Java TreeMap"
+    [
+      ( "Java TreeMap",
+        fun n -> Workloads.run_testsortedmap ~p ~variant:`Java_lock ~n_cpus:n () );
+      ( "Atomos TreeMap",
+        fun n -> Workloads.run_testsortedmap ~p ~variant:`Atomos_naive ~n_cpus:n () );
+      ( "Atomos TransactionalSortedMap",
+        fun n -> Workloads.run_testsortedmap ~p ~variant:`Atomos_txcoll ~n_cpus:n ()
+      );
+    ]
+
+let figure3 ?(p = Workloads.default_params) ?cpus () =
+  sweep ~title:"Figure 3: TestCompound" ?cpus ~baseline:"Java HashMap"
+    [
+      ( "Java HashMap",
+        fun n -> Workloads.run_testcompound ~p ~variant:`Java_lock ~n_cpus:n () );
+      ( "Atomos HashMap",
+        fun n -> Workloads.run_testcompound ~p ~variant:`Atomos_naive ~n_cpus:n () );
+      ( "Atomos TransactionalMap",
+        fun n -> Workloads.run_testcompound ~p ~variant:`Atomos_txcoll ~n_cpus:n () );
+    ]

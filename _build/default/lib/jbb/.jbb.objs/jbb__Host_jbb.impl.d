@@ -1,0 +1,1 @@
+lib/jbb/host_jbb.ml: Array Atomic Coll Domain Fmt Int List Model Mutex Option Random Stm_ds Sys Tcc_stm Txcoll Unix

@@ -1,0 +1,1 @@
+lib/jbb/model.ml: List Random Sim

@@ -1,0 +1,1 @@
+lib/jbb/sim_jbb.ml: Array Atomic Harness Model Printf Random Sim Sim_ds Sys

@@ -1,0 +1,46 @@
+(* Parameters of the high-contention SPECjbb2000 variant (paper §6.3): a
+   single warehouse serves all threads, so the district's order-ID
+   generator, the global counters and the three shared tables
+   (historyTable, orderTable, newOrderTable) are touched by every thread.
+
+   The operation mix follows SPECjbb2000's TPC-C-style weights. *)
+
+type op_kind = New_order | Payment | Order_status | Delivery | Stock_level
+
+let op_mix = [ (43, New_order); (43, Payment); (4, Order_status); (5, Delivery); (5, Stock_level) ]
+
+let pick_op rng =
+  let total = List.fold_left (fun a (w, _) -> a + w) 0 op_mix in
+  let r = Random.State.int rng total in
+  let rec go acc = function
+    | [] -> assert false
+    | (w, k) :: rest -> if r < acc + w then k else go (acc + w) rest
+  in
+  go 0 op_mix
+
+type params = {
+  total_tasks : int;
+  n_items : int;
+  n_customers : int;
+  base_work : int; (* computation cycles per operation *)
+  item_work : int; (* extra cycles per order line *)
+  cfg : Sim.Config.t;
+}
+
+let default_params =
+  {
+    total_tasks = 768;
+    n_items = 4096;
+    n_customers = 512;
+    base_work = 1500;
+    item_work = 120;
+    cfg = Sim.Config.default;
+  }
+
+let per_cpu total n_cpus cpu =
+  (total / n_cpus) + if cpu < total mod n_cpus then 1 else 0
+
+(* Encode an order record in one word: customer id and line count. *)
+let encode_order ~customer ~lines = (customer * 100) + lines
+let order_lines order = order mod 100
+let order_customer order = order / 100

@@ -1,0 +1,426 @@
+(* The high-contention (single-warehouse) SPECjbb2000 variant on the
+   simulated CMP — Figure 4.
+
+   Four parallelisations (paper §6.3):
+   - [`Java]: each shared field/structure protected by its own short
+     lock-based critical region, as in the original benchmark;
+   - [`Atomos_baseline]: each of the five TPC-C operations is one long
+     transaction (the novice parallelisation), all structures plain;
+   - [`Atomos_open]: global counters and the order-ID generator accessed in
+     open-nested transactions, removing them as conflict sources;
+   - [`Atomos_txcoll]: additionally wraps historyTable, orderTable and
+     newOrderTable in transactional collection classes. *)
+
+module Machine = Sim.Machine
+module Ops = Sim.Ops
+module Tcc = Sim.Tcc
+module Acc = Sim_ds.Acc
+module H = Sim_ds.Sim_hashmap
+module A = Sim_ds.Sim_avlmap
+module SL = Sim_ds.Spinlock
+module SimTxMap = Harness.Workloads.SimTxMap
+module SimTxSorted = Harness.Workloads.SimTxSorted
+open Model
+
+type variant = [ `Java | `Atomos_baseline | `Atomos_open | `Atomos_txcoll ]
+
+let variant_name = function
+  | `Java -> "Java"
+  | `Atomos_baseline -> "Atomos Baseline"
+  | `Atomos_open -> "Atomos Open"
+  | `Atomos_txcoll -> "Atomos Transactional"
+
+(* Variant-independent shared words. *)
+type words = {
+  items : int; (* base of read-only price array *)
+  stock : int; (* base of per-item quantity array *)
+  customers : int; (* base of per-customer balance array *)
+  next_order_id : int;
+  ytd : int;
+  order_count : int;
+  next_history_id : int;
+}
+
+(* The operations use this abstract interface; each variant instantiates it
+   with its own synchronisation. *)
+type api = {
+  in_op : (unit -> unit) -> unit; (* transaction / no-op wrapper *)
+  uid_next : unit -> int;
+  uid_peek : unit -> int;
+  hid_next : unit -> int; (* history-ID generator *)
+  counter_add : int -> int -> unit; (* addr, delta *)
+  stock_dec : int -> unit; (* item *)
+  balance_add : int -> int -> unit; (* customer, delta *)
+  balance_get : int -> int;
+  order_put : int -> int -> unit;
+  order_get : int -> int option;
+  order_last : unit -> int option;
+  order_range_count : int -> int -> int;
+  neworder_put : int -> int -> unit;
+  neworder_first : unit -> int option;
+  neworder_remove : int -> unit;
+  history_put : int -> int -> unit;
+  audit : new_orders:int -> payments:int -> bool;
+      (* Post-run consistency: committed table contents and counters agree
+         with the number of committed operations. *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* The five TPC-C-style operations, written once against [api].        *)
+
+let new_order (p : params) (w : words) (api : api) rng =
+  let lines = 5 + Random.State.int rng 6 in
+  let customer = Random.State.int rng p.n_customers in
+  api.in_op (fun () ->
+      Ops.work p.base_work;
+      let uid = api.uid_next () in
+      for _ = 1 to lines do
+        let item = Random.State.int rng p.n_items in
+        ignore (Ops.load (w.items + item));
+        api.stock_dec item;
+        Ops.work p.item_work
+      done;
+      api.order_put uid (encode_order ~customer ~lines);
+      api.neworder_put uid customer;
+      api.counter_add w.order_count 1)
+
+let payment (p : params) (w : words) (api : api) rng =
+  let customer = Random.State.int rng p.n_customers in
+  let amount = 1 + Random.State.int rng 50 in
+  api.in_op (fun () ->
+      Ops.work p.base_work;
+      api.counter_add w.ytd amount;
+      api.balance_add customer (-amount);
+      let hid = api.hid_next () in
+      api.history_put hid amount)
+
+let order_status (p : params) (_w : words) (api : api) rng =
+  let customer = Random.State.int rng p.n_customers in
+  api.in_op (fun () ->
+      Ops.work (p.base_work / 2);
+      ignore (api.balance_get customer);
+      match api.order_last () with
+      | None -> ()
+      | Some uid -> (
+          match api.order_get uid with
+          | None -> ()
+          | Some o -> Ops.work (10 * order_lines o)))
+
+let delivery (p : params) (_w : words) (api : api) _rng =
+  api.in_op (fun () ->
+      Ops.work p.base_work;
+      match api.neworder_first () with
+      | None -> ()
+      | Some uid -> (
+          api.neworder_remove uid;
+          match api.order_get uid with
+          | None -> ()
+          | Some o -> api.balance_add (order_customer o) 1))
+
+let stock_level (p : params) (w : words) (api : api) rng =
+  api.in_op (fun () ->
+      Ops.work (p.base_work / 2);
+      let hi = api.uid_peek () in
+      let recent = api.order_range_count (max 1 (hi - 20)) hi in
+      Ops.work (5 * recent);
+      for _ = 1 to 5 do
+        let item = Random.State.int rng p.n_items in
+        ignore (Ops.load (w.stock + item))
+      done)
+
+let run_op p w api rng = function
+  | New_order -> new_order p w api rng
+  | Payment -> payment p w api rng
+  | Order_status -> order_status p w api rng
+  | Delivery -> delivery p w api rng
+  | Stock_level -> stock_level p w api rng
+
+(* ------------------------------------------------------------------ *)
+(* Variant instantiations                                              *)
+
+let alloc_words (p : params) m =
+  let a = Acc.host m in
+  let words =
+    {
+      items = a.Acc.al p.n_items;
+      stock = a.Acc.al p.n_items;
+      customers = a.Acc.al p.n_customers;
+      next_order_id = a.Acc.al 1;
+      ytd = a.Acc.al 1;
+      order_count = a.Acc.al 1;
+      next_history_id = a.Acc.al 1;
+    }
+  in
+  for i = 0 to p.n_items - 1 do
+    a.Acc.st (words.items + i) (100 + (i mod 900));
+    a.Acc.st (words.stock + i) 1000
+  done;
+  a.Acc.st words.next_order_id 1;
+  words
+
+(* Pre-load the order tables so range scans and deliveries have work from
+   the start. *)
+let preload_orders (p : params) put_order put_neworder set_next =
+  let rng = Random.State.make [| 99 |] in
+  for uid = 1 to 64 do
+    let customer = Random.State.int rng p.n_customers in
+    put_order uid (encode_order ~customer ~lines:6);
+    if uid mod 2 = 0 then put_neworder uid customer
+  done;
+  set_next 65
+
+let striped base n addr = base + (addr mod n)
+
+let make_java (p : params) m (w : words) =
+  let a = Acc.host m in
+  let order = A.create a () in
+  let neworder = A.create a () in
+  let history = H.create a ~buckets:1024 in
+  preload_orders p (A.put a order) (A.put a neworder) (fun n ->
+      a.Acc.st w.next_order_id n);
+  let district_lock = SL.create a () in
+  let order_lock = SL.create a () in
+  let neworder_lock = SL.create a () in
+  let history_lock = SL.create a () in
+  let n_stripes = 16 in
+  let stock_locks = Array.init n_stripes (fun _ -> SL.create a ()) in
+  let cust_locks = Array.init n_stripes (fun _ -> SL.create a ()) in
+  let s = Acc.sim in
+  {
+    in_op = (fun f -> f ());
+    uid_next =
+      (fun () ->
+        SL.with_lock district_lock (fun () ->
+            let v = Ops.load w.next_order_id in
+            Ops.store w.next_order_id (v + 1);
+            v));
+    uid_peek =
+      (fun () -> SL.with_lock district_lock (fun () -> Ops.load w.next_order_id));
+    hid_next =
+      (fun () ->
+        SL.with_lock history_lock (fun () ->
+            let v = Ops.load w.next_history_id in
+            Ops.store w.next_history_id (v + 1);
+            v));
+    counter_add =
+      (fun addr d ->
+        SL.with_lock district_lock (fun () -> Ops.store addr (Ops.load addr + d)));
+    stock_dec =
+      (fun item ->
+        SL.with_lock stock_locks.(striped 0 n_stripes item) (fun () ->
+            Ops.store (w.stock + item) (Ops.load (w.stock + item) - 1)));
+    balance_add =
+      (fun c d ->
+        SL.with_lock cust_locks.(striped 0 n_stripes c) (fun () ->
+            Ops.store (w.customers + c) (Ops.load (w.customers + c) + d)));
+    balance_get =
+      (fun c ->
+        SL.with_lock cust_locks.(striped 0 n_stripes c) (fun () ->
+            Ops.load (w.customers + c)));
+    order_put = (fun k v -> SL.with_lock order_lock (fun () -> A.put s order k v));
+    order_get = (fun k -> SL.with_lock order_lock (fun () -> A.find s order k));
+    order_last = (fun () -> SL.with_lock order_lock (fun () -> A.max_key s order));
+    order_range_count =
+      (fun lo hi ->
+        SL.with_lock order_lock (fun () ->
+            let n = ref 0 in
+            A.iter_range s order ~lo ~hi (fun _ _ -> incr n);
+            !n));
+    neworder_put =
+      (fun k v -> SL.with_lock neworder_lock (fun () -> A.put s neworder k v));
+    neworder_first =
+      (fun () -> SL.with_lock neworder_lock (fun () -> A.min_key s neworder));
+    neworder_remove =
+      (fun k -> SL.with_lock neworder_lock (fun () -> A.remove s neworder k));
+    history_put =
+      (fun k v -> SL.with_lock history_lock (fun () -> H.put s history k v));
+    audit =
+      (fun ~new_orders ~payments ->
+        A.size a order = 64 + new_orders
+        && H.size a history = payments
+        && a.Acc.ld w.order_count = new_orders);
+  }
+
+let make_atomos (p : params) m (w : words) ~open_counters =
+  let a = Acc.host m in
+  let order = A.create a () in
+  let neworder = A.create a () in
+  let history = H.create a ~buckets:1024 in
+  preload_orders p (A.put a order) (A.put a neworder) (fun n ->
+      a.Acc.st w.next_order_id n);
+  let s = Acc.sim in
+  let wrap_word f = if open_counters then Tcc.open_nested f else f () in
+  (* Open-nested counters must compensate on parent abort to preserve the
+     exact count (the ID generators instead tolerate gaps: uniqueness is
+     their semantics). *)
+  let counter_add addr d =
+    if open_counters then
+      Tcc.open_nested (fun () ->
+          Ops.store addr (Ops.load addr + d);
+          (* The compensation must itself be atomic: it runs outside any
+             transaction and races with other CPUs' open-nested updates. *)
+          Tcc.on_abort (fun () ->
+              Tcc.atomic (fun () -> Ops.store addr (Ops.load addr - d))))
+    else Ops.store addr (Ops.load addr + d)
+  in
+  {
+    in_op = (fun f -> Tcc.atomic f);
+    uid_next =
+      (fun () ->
+        wrap_word (fun () ->
+            let v = Ops.load w.next_order_id in
+            Ops.store w.next_order_id (v + 1);
+            v));
+    uid_peek = (fun () -> wrap_word (fun () -> Ops.load w.next_order_id));
+    hid_next =
+      (fun () ->
+        wrap_word (fun () ->
+            let v = Ops.load w.next_history_id in
+            Ops.store w.next_history_id (v + 1);
+            v));
+    counter_add;
+    stock_dec =
+      (fun item -> Ops.store (w.stock + item) (Ops.load (w.stock + item) - 1));
+    balance_add =
+      (fun c d -> Ops.store (w.customers + c) (Ops.load (w.customers + c) + d));
+    balance_get = (fun c -> Ops.load (w.customers + c));
+    order_put = (fun k v -> A.put s order k v);
+    order_get = (fun k -> A.find s order k);
+    order_last = (fun () -> A.max_key s order);
+    order_range_count =
+      (fun lo hi ->
+        let n = ref 0 in
+        A.iter_range s order ~lo ~hi (fun _ _ -> incr n);
+        !n);
+    neworder_put = (fun k v -> A.put s neworder k v);
+    neworder_first = (fun () -> A.min_key s neworder);
+    neworder_remove = (fun k -> A.remove s neworder k);
+    history_put = (fun k v -> H.put s history k v);
+    audit =
+      (fun ~new_orders ~payments ->
+        if Sys.getenv_opt "JBB_DEBUG" <> None then
+          Printf.eprintf "DBG order=%d(want %d) hist=%d(want %d) cnt=%d\n%!"
+            (A.size a order) (64 + new_orders) (H.size a history) payments
+            (a.Acc.ld w.order_count);
+        A.size a order = 64 + new_orders
+        && H.size a history = payments
+        && a.Acc.ld w.order_count = new_orders);
+  }
+
+let make_txcoll (p : params) m (w : words) =
+  let a = Acc.host m in
+  let order = SimTxSorted.create () in
+  let neworder = SimTxSorted.create () in
+  let history = SimTxMap.create () in
+  preload_orders p
+    (fun k v -> ignore (SimTxSorted.put order k v))
+    (fun k v -> ignore (SimTxSorted.put neworder k v))
+    (fun n -> a.Acc.st w.next_order_id n);
+  {
+    in_op = (fun f -> Tcc.atomic f);
+    uid_next =
+      (fun () ->
+        Tcc.open_nested (fun () ->
+            let v = Ops.load w.next_order_id in
+            Ops.store w.next_order_id (v + 1);
+            v));
+    uid_peek = (fun () -> Tcc.open_nested (fun () -> Ops.load w.next_order_id));
+    hid_next =
+      (fun () ->
+        Tcc.open_nested (fun () ->
+            let v = Ops.load w.next_history_id in
+            Ops.store w.next_history_id (v + 1);
+            v));
+    counter_add =
+      (fun addr d ->
+        Tcc.open_nested (fun () ->
+            Ops.store addr (Ops.load addr + d);
+            Tcc.on_abort (fun () ->
+                Tcc.atomic (fun () -> Ops.store addr (Ops.load addr - d)))));
+    stock_dec =
+      (fun item -> Ops.store (w.stock + item) (Ops.load (w.stock + item) - 1));
+    balance_add =
+      (fun c d -> Ops.store (w.customers + c) (Ops.load (w.customers + c) + d));
+    balance_get = (fun c -> Ops.load (w.customers + c));
+    order_put = (fun k v -> ignore (SimTxSorted.put order k v));
+    order_get = (fun k -> SimTxSorted.find order k);
+    order_last = (fun () -> SimTxSorted.last_key order);
+    order_range_count =
+      (fun lo hi ->
+        SimTxSorted.fold_range (fun _ _ n -> n + 1) order 0 ~lo:(Some lo)
+          ~hi:(Some hi));
+    neworder_put = (fun k v -> ignore (SimTxSorted.put neworder k v));
+    neworder_first = (fun () -> SimTxSorted.first_key neworder);
+    neworder_remove = (fun k -> ignore (SimTxSorted.remove neworder k));
+    history_put = (fun k v -> ignore (SimTxMap.put history k v));
+    audit =
+      (fun ~new_orders ~payments ->
+        SimTxSorted.size order = 64 + new_orders
+        && SimTxMap.size history = payments
+        && a.Acc.ld w.order_count = new_orders);
+  }
+
+(* ------------------------------------------------------------------ *)
+
+(* [warehouses]: [`Single] is the paper's high-contention configuration
+   (every thread shares one warehouse); [`Per_cpu] is standard SPECjbb2000,
+   one warehouse per thread with a 1% chance of an inter-warehouse request —
+   the configuration the paper notes is embarrassingly parallel. *)
+let run_with_audit ?(p = default_params) ?(warehouses = `Single) ~variant
+    ~n_cpus () =
+  let m = Machine.create ~cfg:p.cfg ~n_cpus () in
+  let n_wh = match warehouses with `Single -> 1 | `Per_cpu -> n_cpus in
+  let make w =
+    match variant with
+    | `Java -> make_java p m w
+    | `Atomos_baseline -> make_atomos p m w ~open_counters:false
+    | `Atomos_open -> make_atomos p m w ~open_counters:true
+    | `Atomos_txcoll -> make_txcoll p m w
+  in
+  let words = Array.init n_wh (fun _ -> alloc_words p m) in
+  let apis = Array.map make words in
+  let new_orders = Array.init n_wh (fun _ -> Atomic.make 0) in
+  let payments = Array.init n_wh (fun _ -> Atomic.make 0) in
+  let body cpu () =
+    let rng = Random.State.make [| 0x7BB; cpu |] in
+    for _ = 1 to per_cpu p.total_tasks n_cpus cpu do
+      let wh =
+        if n_wh = 1 then 0
+        else if Random.State.int rng 100 = 0 then Random.State.int rng n_wh
+        else cpu
+      in
+      let kind = pick_op rng in
+      run_op p words.(wh) apis.(wh) rng kind;
+      (* run_op returns once the operation's transaction has committed. *)
+      match kind with
+      | New_order -> Atomic.incr new_orders.(wh)
+      | Payment -> Atomic.incr payments.(wh)
+      | Order_status | Delivery | Stock_level -> ()
+    done
+  in
+  let stats = Machine.run m (Array.init n_cpus (fun c -> body c)) in
+  let consistent = ref true in
+  Array.iteri
+    (fun i api ->
+      if
+        not
+          (api.audit
+             ~new_orders:(Atomic.get new_orders.(i))
+             ~payments:(Atomic.get payments.(i)))
+      then consistent := false)
+    apis;
+  (stats, !consistent)
+
+let run ?p ?warehouses ~variant ~n_cpus () =
+  fst (run_with_audit ?p ?warehouses ~variant ~n_cpus ())
+
+let figure4 ?(p = default_params) ?cpus () =
+  Harness.Figures.sweep ~title:"Figure 4: SPECjbb2000 (single warehouse)" ?cpus
+    ~baseline:"Java"
+    [
+      ("Java", fun n -> run ~p ~variant:`Java ~n_cpus:n ());
+      ("Atomos Baseline", fun n -> run ~p ~variant:`Atomos_baseline ~n_cpus:n ());
+      ("Atomos Open", fun n -> run ~p ~variant:`Atomos_open ~n_cpus:n ());
+      ( "Atomos Transactional",
+        fun n -> run ~p ~variant:`Atomos_txcoll ~n_cpus:n () );
+    ]

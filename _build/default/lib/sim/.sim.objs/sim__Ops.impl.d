@@ -1,0 +1,1 @@
+lib/sim/ops.ml: Effect Obj

@@ -1,0 +1,1 @@
+lib/sim/tcc.ml: Array Atomic Config Effect Hashtbl List Machine Ops Tm_intf

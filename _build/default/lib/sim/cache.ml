@@ -1,0 +1,64 @@
+(* Set-associative L1 cache model with MESI states and LRU replacement.
+   Caches model timing and coherence only — data always lives in the
+   machine's simulated memory. *)
+
+type line_state = M | E | S | I
+
+type way = { mutable tag : int; mutable st : line_state; mutable lru : int }
+
+type t = { cfg : Config.t; sets : way array array; mutable tick : int }
+
+let create (cfg : Config.t) =
+  {
+    cfg;
+    sets =
+      Array.init cfg.l1_sets (fun _ ->
+          Array.init cfg.l1_ways (fun _ -> { tag = -1; st = I; lru = 0 }));
+    tick = 0;
+  }
+
+let set_of t line = (line land max_int) mod t.cfg.l1_sets
+
+let find t line =
+  let ways = t.sets.(set_of t line) in
+  let rec scan i =
+    if i >= Array.length ways then None
+    else if ways.(i).tag = line && ways.(i).st <> I then Some ways.(i)
+    else scan (i + 1)
+  in
+  scan 0
+
+let touch t way =
+  t.tick <- t.tick + 1;
+  way.lru <- t.tick
+
+let state t line = match find t line with None -> I | Some w -> w.st
+
+let set_state t line st =
+  match find t line with
+  | Some w -> if st = I then w.st <- I else w.st <- st
+  | None -> ()
+
+let invalidate t line = set_state t line I
+
+(* Insert [line] with [st]; returns the evicted (line, state) when a valid
+   way had to be displaced (the machine charges a writeback for M lines). *)
+let insert t line st =
+  let ways = t.sets.(set_of t line) in
+  let victim = ref ways.(0) in
+  (try
+     Array.iter
+       (fun w ->
+         if w.st = I then begin
+           victim := w;
+           raise Exit
+         end
+         else if w.lru < !victim.lru then victim := w)
+       ways
+   with Exit -> ());
+  let w = !victim in
+  let evicted = if w.st = I then None else Some (w.tag, w.st) in
+  w.tag <- line;
+  w.st <- st;
+  touch t w;
+  evicted

@@ -1,0 +1,33 @@
+(* Timing parameters of the simulated chip multiprocessor, patterned after
+   the paper's evaluation platform (§6.1): CPI 1.0 for non-memory
+   instructions, modelled L1 / shared L2 / bus with all contention and
+   queuing accounted. *)
+
+type t = {
+  line_words : int; (* words per cache line *)
+  l1_sets : int;
+  l1_ways : int;
+  l1_hit : int; (* cycles *)
+  l2_hit : int;
+  mem_latency : int;
+  bus_per_line : int; (* bus occupancy cycles per line transferred *)
+  commit_base : int; (* fixed commit arbitration cost *)
+  critical_base : int; (* base cost of an open-nested critical section *)
+  backoff_base : int; (* violation backoff: base * 2^min(retries, cap) *)
+  backoff_cap : int;
+}
+
+let default =
+  {
+    line_words = 8;
+    l1_sets = 128;
+    l1_ways = 4;
+    l1_hit = 1;
+    l2_hit = 12;
+    mem_latency = 80;
+    bus_per_line = 4;
+    commit_base = 10;
+    critical_base = 20;
+    backoff_base = 20;
+    backoff_cap = 6;
+  }

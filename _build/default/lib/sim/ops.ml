@@ -1,0 +1,36 @@
+(* The instruction set of simulated threads.  A workload is an OCaml
+   function that performs these effects; the machine's scheduler interprets
+   them, charging cycles according to the cache/bus/coherence model and
+   delivering transaction violations at effect boundaries. *)
+
+type addr = int
+
+type _ Effect.t +=
+  | Load : addr -> int Effect.t
+  | Store : (addr * int) -> unit Effect.t
+  | Cas : (addr * int * int) -> bool Effect.t
+  | Alloc : int -> addr Effect.t (* allocate n words of simulated memory *)
+  | Work : int -> unit Effect.t (* n cycles of pure computation *)
+  | My_cpu : int Effect.t
+  | Critical : (addr * int * (unit -> Obj.t)) -> Obj.t Effect.t
+      (* [Critical (region_line, cost, f)]: run host closure [f] as one
+         atomic machine step — the timing/atomicity model of an open-nested
+         transaction on a collection's shared metadata. *)
+  | Token_acquire : unit Effect.t (* TCC commit-token arbitration *)
+  | Token_release : unit Effect.t
+  | Commit_broadcast : unit Effect.t (* publish top-level write set *)
+  | Open_broadcast : unit Effect.t (* publish innermost (open) write set *)
+
+exception Rollback of int
+(* Raised at a suspension point when the transaction nested at the given
+   depth (0 = top level) must roll back. *)
+
+let load a = Effect.perform (Load a)
+let store a v = Effect.perform (Store (a, v))
+let cas a ~expect ~repl = Effect.perform (Cas (a, expect, repl))
+let alloc n = Effect.perform (Alloc n)
+let work n = if n > 0 then Effect.perform (Work n)
+let my_cpu () = Effect.perform My_cpu
+
+let critical region ~cost f =
+  Obj.obj (Effect.perform (Critical (region, cost, fun () -> Obj.repr (f ()))))

@@ -1,0 +1,235 @@
+(* Coroutine-side API of the simulated TCC hardware transactional memory:
+   the transactional semantics of paper §4 — closed- and open-nested
+   transactions, commit/abort handlers and program-directed abort — on top
+   of the machine's lazy-versioning transactional execution.
+
+   Commit sequence of a top-level transaction (two-phase, paper §4):
+   acquire the commit token (global commit arbitration; once held the
+   transaction cannot be violated), run commit handlers, broadcast the write
+   set (applying it to memory and violating conflicting readers), release
+   the token. *)
+
+open Ops
+
+exception Aborted
+(* Program-directed self-abort, re-raised to the caller of [atomic]. *)
+
+exception Explicit_exn
+
+let cpu_state () =
+  let m = Machine.the_machine () in
+  m.Machine.cpus.(m.Machine.running)
+
+let state () =
+  let c = cpu_state () in
+  c.Machine.txn
+
+(* Collections may be created, pre-populated and inspected while no
+   simulation is running; TM operations degrade to host-side immediacy. *)
+let machine_running () = !Machine.current <> None
+
+let in_txn () = machine_running () && (state ()).Machine.frames <> []
+
+let backoff_cycles (cfg : Config.t) retries =
+  cfg.backoff_base * (1 lsl min retries cfg.backoff_cap)
+
+let push_frame kind =
+  let st = state () in
+  let depth = List.length st.Machine.frames in
+  let f = Machine.fresh_frame depth kind in
+  st.Machine.frames <- f :: st.Machine.frames;
+  f
+
+let pop_frame () =
+  let st = state () in
+  match st.Machine.frames with
+  | f :: rest ->
+      st.Machine.frames <- rest;
+      f
+  | [] -> assert false
+
+let run_handlers hs = List.iter (fun h -> h ()) hs
+
+(* ------------------------------------------------------------------ *)
+
+let rec top_level body =
+  let m = Machine.the_machine () in
+  let st = state () in
+  st.Machine.epoch <- m.Machine.next_epoch;
+  m.Machine.next_epoch <- m.Machine.next_epoch + 1;
+  let top = push_frame `Top in
+  match
+    let r = body () in
+    Effect.perform Token_acquire;
+    (* Commit handlers run inside the commit, after the point of no return
+       (token held), serialised against all other commits. *)
+    run_handlers (List.rev top.Machine.commit_handlers);
+    Effect.perform Commit_broadcast;
+    ignore (pop_frame ());
+    st.Machine.retries <- 0;
+    Effect.perform Token_release;
+    r
+  with
+  | r -> r
+  | exception Rollback 0 ->
+      (* Violated: discard all frames, compensate, back off, retry. *)
+      let handlers = top.Machine.abort_handlers in
+      st.Machine.frames <- [];
+      st.Machine.violated <- None;
+      run_handlers handlers;
+      st.Machine.retries <- st.Machine.retries + 1;
+      work (backoff_cycles m.Machine.cfg st.Machine.retries);
+      top_level body
+  | exception Explicit_exn ->
+      let handlers = top.Machine.abort_handlers in
+      st.Machine.frames <- [];
+      st.Machine.violated <- None;
+      run_handlers handlers;
+      raise Aborted
+  | exception e ->
+      (* Any other exception aborts the transaction and propagates. *)
+      let handlers = top.Machine.abort_handlers in
+      st.Machine.frames <- [];
+      st.Machine.violated <- None;
+      run_handlers handlers;
+      raise e
+
+and closed_nested body =
+  let st = state () in
+  match st.Machine.frames with
+  | [] -> top_level body
+  | parent :: _ ->
+      let rec attempt retries =
+        let child = push_frame `Closed in
+        match body () with
+        | r ->
+            (* Merge child into parent (flat merge of reads/writes; handlers
+               migrate to the parent, paper §4). *)
+            ignore (pop_frame ());
+            Hashtbl.iter (fun l () -> Hashtbl.replace parent.Machine.reads l ()) child.Machine.reads;
+            Hashtbl.iter (fun a v -> Hashtbl.replace parent.Machine.writes a v) child.Machine.writes;
+            parent.Machine.commit_handlers <-
+              child.Machine.commit_handlers @ parent.Machine.commit_handlers;
+            parent.Machine.abort_handlers <-
+              child.Machine.abort_handlers @ parent.Machine.abort_handlers;
+            r
+        | exception Rollback d when d = child.Machine.depth ->
+            (* Partial rollback: retry just this child. *)
+            ignore (pop_frame ());
+            let m = Machine.the_machine () in
+            work (backoff_cycles m.Machine.cfg retries);
+            attempt (retries + 1)
+        | exception e ->
+            ignore (pop_frame ());
+            raise e
+      in
+      attempt 0
+
+and atomic body = closed_nested body
+
+and open_nested body =
+  let st = state () in
+  match st.Machine.frames with
+  | [] -> top_level body
+  | parent :: _ ->
+      let rec attempt retries =
+        let child = push_frame `Open in
+        match
+          (* The broadcast belongs to the attempt: a violation delivered at
+             this effect must retry the open transaction. *)
+          let r = body () in
+          Effect.perform Open_broadcast;
+          r
+        with
+        | r ->
+            (* Open commit done: read dependencies are discarded; handlers
+               migrate to the parent. *)
+            ignore (pop_frame ());
+            parent.Machine.commit_handlers <-
+              child.Machine.commit_handlers @ parent.Machine.commit_handlers;
+            parent.Machine.abort_handlers <-
+              child.Machine.abort_handlers @ parent.Machine.abort_handlers;
+            r
+        | exception Rollback d when d = child.Machine.depth ->
+            ignore (pop_frame ());
+            let m = Machine.the_machine () in
+            work (backoff_cycles m.Machine.cfg retries);
+            attempt (retries + 1)
+        | exception e ->
+            ignore (pop_frame ());
+            raise e
+      in
+      attempt 0
+
+let on_commit h =
+  if not (machine_running ()) then h ()
+  else
+    let st = state () in
+    match List.rev st.Machine.frames with
+    | [] -> h ()
+    | top :: _ -> top.Machine.commit_handlers <- h :: top.Machine.commit_handlers
+
+let on_abort h =
+  if not (machine_running ()) then ()
+  else
+    let st = state () in
+    match List.rev st.Machine.frames with
+    | [] -> ()
+    | top :: _ -> top.Machine.abort_handlers <- h :: top.Machine.abort_handlers
+
+let self_abort () = if in_txn () then raise Explicit_exn else invalid_arg "Tcc.self_abort"
+
+let retry_now () =
+  if in_txn () then raise (Rollback 0) else invalid_arg "Tcc.retry_now"
+
+(* ------------------------------------------------------------------ *)
+(* TM_OPS instance for the transactional collection classes            *)
+
+type txn = { cpu : int; epoch : int }
+
+let current () =
+  if not (machine_running ()) then { cpu = -1; epoch = 0 }
+  else
+    let c = cpu_state () in
+    if c.Machine.txn.Machine.frames = [] then { cpu = c.Machine.id; epoch = 0 }
+    else { cpu = c.Machine.id; epoch = c.Machine.txn.Machine.epoch }
+
+let remote_abort (t : txn) =
+  if not (machine_running ()) then false
+  else
+  let m = Machine.the_machine () in
+  if t.epoch = 0 then false
+  else
+    let victim = m.Machine.cpus.(t.cpu) in
+    if
+      victim.Machine.txn.Machine.epoch = t.epoch
+      && victim.Machine.txn.Machine.frames <> []
+      && m.Machine.token_owner <> Some t.cpu
+    then begin
+      Machine.mark_violation m victim 0;
+      true
+    end
+    else false
+
+module Tm_ops : Tm_intf.TM_OPS with type txn = txn = struct
+  type nonrec txn = txn
+
+  let current = current
+  let in_txn = in_txn
+  let same_txn a b = a.cpu = b.cpu && a.epoch = b.epoch
+  let txn_id t = (t.epoch * 64) + t.cpu
+
+  type region = int
+
+  let next_region = Atomic.make 1
+  let new_region () = Atomic.fetch_and_add next_region 1
+
+  let critical r f =
+    if machine_running () then Ops.critical r ~cost:0 f else f ()
+
+  let on_commit = on_commit
+  let on_abort = on_abort
+  let remote_abort = remote_abort
+  let self_abort () = self_abort ()
+  let retry () = retry_now ()
+end

@@ -1,0 +1,1 @@
+lib/sim_ds/acc.ml: Sim

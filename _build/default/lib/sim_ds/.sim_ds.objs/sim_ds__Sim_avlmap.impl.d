@@ -1,0 +1,1 @@
+lib/sim_ds/sim_avlmap.ml: Acc Option

@@ -1,0 +1,1 @@
+lib/sim_ds/sim_hashmap.ml: Acc Option

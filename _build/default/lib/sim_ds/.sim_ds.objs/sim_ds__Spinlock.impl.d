@@ -1,0 +1,1 @@
+lib/sim_ds/spinlock.ml: Acc Fun Sim

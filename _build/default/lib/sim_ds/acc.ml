@@ -1,0 +1,25 @@
+(* Memory accessor: the simulated data structures are written once against
+   this record, then used either from inside a simulation (effect-performing
+   accessor, charged by the machine's timing model) or host-side for cheap
+   pre-population and end-of-run verification. *)
+
+type t = {
+  ld : int -> int; (* load word *)
+  st : int -> int -> unit; (* store word *)
+  al : int -> int; (* allocate n words, line-aligned *)
+}
+
+(* Inside a simulated thread: every access is a machine instruction. *)
+let sim = { ld = Sim.Ops.load; st = Sim.Ops.store; al = Sim.Ops.alloc }
+
+(* Host-side, against a machine that is not running: zero-cost setup and
+   inspection. *)
+let host (m : Sim.Machine.t) =
+  {
+    ld = Sim.Machine.mem_read m;
+    st = Sim.Machine.mem_write m;
+    al = Sim.Machine.alloc_words m;
+  }
+
+(* Deterministic integer hash (Knuth multiplicative). *)
+let hash_int k = k * 2654435761 land max_int

@@ -1,0 +1,183 @@
+(* An AVL tree in simulated memory, shaped like java.util.TreeMap: node
+   links, values and heights are shared words, so self-balancing rotations
+   write nodes near the root.  Inside transactions this is the paper's
+   "Atomos TreeMap" baseline of Figure 2, whose rotation-induced memory
+   conflicts the TransactionalSortedMap eliminates.
+
+   Layout:
+     header: [base+0] = root node (0 = empty), [base+1] = size
+     node:   [n+0]=key [n+1]=value [n+2]=left [n+3]=right [n+4]=height *)
+
+type t = { base : int }
+
+let create (a : Acc.t) () =
+  let base = a.al 2 in
+  a.st (base + 0) 0;
+  a.st (base + 1) 0;
+  { base }
+
+let size (a : Acc.t) t = a.ld (t.base + 1)
+let height (a : Acc.t) node = if node = 0 then 0 else a.ld (node + 4)
+
+let update_height (a : Acc.t) n =
+  a.st (n + 4) (1 + max (height a (a.ld (n + 2))) (height a (a.ld (n + 3))))
+
+let rotate_right (a : Acc.t) n =
+  let l = a.ld (n + 2) in
+  a.st (n + 2) (a.ld (l + 3));
+  a.st (l + 3) n;
+  update_height a n;
+  update_height a l;
+  l
+
+let rotate_left (a : Acc.t) n =
+  let r = a.ld (n + 3) in
+  a.st (n + 3) (a.ld (r + 2));
+  a.st (r + 2) n;
+  update_height a n;
+  update_height a r;
+  r
+
+let balance (a : Acc.t) n =
+  if n = 0 then 0
+  else begin
+    let hl = height a (a.ld (n + 2)) and hr = height a (a.ld (n + 3)) in
+    if hl > hr + 1 then begin
+      let l = a.ld (n + 2) in
+      if height a (a.ld (l + 2)) < height a (a.ld (l + 3)) then
+        a.st (n + 2) (rotate_left a l);
+      rotate_right a n
+    end
+    else if hr > hl + 1 then begin
+      let r = a.ld (n + 3) in
+      if height a (a.ld (r + 3)) < height a (a.ld (r + 2)) then
+        a.st (n + 3) (rotate_right a r);
+      rotate_left a n
+    end
+    else begin
+      update_height a n;
+      n
+    end
+  end
+
+let find (a : Acc.t) t k =
+  let rec go node =
+    if node = 0 then None
+    else
+      let nk = a.ld node in
+      if k = nk then Some (a.ld (node + 1))
+      else if k < nk then go (a.ld (node + 2))
+      else go (a.ld (node + 3))
+  in
+  go (a.ld (t.base + 0))
+
+let mem (a : Acc.t) t k = Option.is_some (find a t k)
+
+let put (a : Acc.t) t k v =
+  let added = ref false in
+  let rec go node =
+    if node = 0 then begin
+      added := true;
+      let n = a.al 5 in
+      a.st (n + 0) k;
+      a.st (n + 1) v;
+      a.st (n + 2) 0;
+      a.st (n + 3) 0;
+      a.st (n + 4) 1;
+      n
+    end
+    else
+      let nk = a.ld node in
+      if k = nk then begin
+        a.st (node + 1) v;
+        node
+      end
+      else if k < nk then begin
+        a.st (node + 2) (go (a.ld (node + 2)));
+        balance a node
+      end
+      else begin
+        a.st (node + 3) (go (a.ld (node + 3)));
+        balance a node
+      end
+  in
+  a.st (t.base + 0) (go (a.ld (t.base + 0)));
+  if !added then a.st (t.base + 1) (a.ld (t.base + 1) + 1)
+
+(* Detach the minimum node of subtree [node]; returns (min_node, rest). *)
+let rec extract_min (a : Acc.t) node =
+  let l = a.ld (node + 2) in
+  if l = 0 then (node, a.ld (node + 3))
+  else begin
+    let mn, l' = extract_min a l in
+    a.st (node + 2) l';
+    (mn, balance a node)
+  end
+
+let remove (a : Acc.t) t k =
+  let removed = ref false in
+  let rec go node =
+    if node = 0 then 0
+    else
+      let nk = a.ld node in
+      if k < nk then begin
+        a.st (node + 2) (go (a.ld (node + 2)));
+        balance a node
+      end
+      else if k > nk then begin
+        a.st (node + 3) (go (a.ld (node + 3)));
+        balance a node
+      end
+      else begin
+        removed := true;
+        let l = a.ld (node + 2) and r = a.ld (node + 3) in
+        if l = 0 then r
+        else if r = 0 then l
+        else begin
+          let succ, r' = extract_min a r in
+          a.st (succ + 2) l;
+          a.st (succ + 3) r';
+          balance a succ
+        end
+      end
+  in
+  a.st (t.base + 0) (go (a.ld (t.base + 0)));
+  if !removed then a.st (t.base + 1) (a.ld (t.base + 1) - 1)
+
+let min_key (a : Acc.t) t =
+  let rec go node best =
+    if node = 0 then best else go (a.ld (node + 2)) (Some (a.ld node))
+  in
+  go (a.ld (t.base + 0)) None
+
+let max_key (a : Acc.t) t =
+  let rec go node best =
+    if node = 0 then best else go (a.ld (node + 3)) (Some (a.ld node))
+  in
+  go (a.ld (t.base + 0)) None
+
+(* In-order iteration over lo <= key < hi. *)
+let iter_range (a : Acc.t) t ~lo ~hi f =
+  let rec go node =
+    if node <> 0 then begin
+      let k = a.ld node in
+      if k >= lo then go (a.ld (node + 2));
+      if k >= lo && k < hi then f k (a.ld (node + 1));
+      if k < hi then go (a.ld (node + 3))
+    end
+  in
+  go (a.ld (t.base + 0))
+
+let iter (a : Acc.t) t f = iter_range a t ~lo:min_int ~hi:max_int f
+
+let check_balanced (a : Acc.t) t =
+  let rec go node =
+    if node = 0 then 0
+    else begin
+      let hl = go (a.ld (node + 2)) and hr = go (a.ld (node + 3)) in
+      assert (abs (hl - hr) <= 1);
+      assert (a.ld (node + 4) = 1 + max hl hr);
+      1 + max hl hr
+    end
+  in
+  ignore (go (a.ld (t.base + 0)))

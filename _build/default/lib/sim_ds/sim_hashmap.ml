@@ -1,0 +1,81 @@
+(* A chained hash map in simulated memory, shaped like java.util.HashMap:
+   one shared [size] word plus bucket chains.  Keys and values are ints;
+   0 is reserved as the null node pointer.
+
+   Layout:
+     header: [base+0] = size, [base+1] = bucket count, [base+2] = buckets base
+     bucket i: one word holding the first node address (0 = empty)
+     node:   [n+0] = key, [n+1] = value, [n+2] = next
+
+   Used inside transactions this is the paper's "Atomos HashMap" baseline:
+   every insert/remove writes the size word, so logically independent
+   operations conflict at the memory level. *)
+
+type t = { base : int }
+
+let create (a : Acc.t) ~buckets =
+  let base = a.al 3 in
+  let arr = a.al buckets in
+  a.st (base + 0) 0;
+  a.st (base + 1) buckets;
+  a.st (base + 2) arr;
+  { base }
+
+let size (a : Acc.t) t = a.ld (t.base + 0)
+
+let bucket_addr (a : Acc.t) t k =
+  let n = a.ld (t.base + 1) in
+  let arr = a.ld (t.base + 2) in
+  arr + (Acc.hash_int k mod n)
+
+let find (a : Acc.t) t k =
+  let rec walk node =
+    if node = 0 then None
+    else if a.ld node = k then Some (a.ld (node + 1))
+    else walk (a.ld (node + 2))
+  in
+  walk (a.ld (bucket_addr a t k))
+
+let mem (a : Acc.t) t k = Option.is_some (find a t k)
+
+let put (a : Acc.t) t k v =
+  let b = bucket_addr a t k in
+  let rec walk node =
+    if node = 0 then begin
+      let fresh = a.al 3 in
+      a.st (fresh + 0) k;
+      a.st (fresh + 1) v;
+      a.st (fresh + 2) (a.ld b);
+      a.st b fresh;
+      a.st (t.base + 0) (a.ld (t.base + 0) + 1)
+    end
+    else if a.ld node = k then a.st (node + 1) v
+    else walk (a.ld (node + 2))
+  in
+  walk (a.ld b)
+
+let remove (a : Acc.t) t k =
+  let b = bucket_addr a t k in
+  let rec walk prev node =
+    if node = 0 then ()
+    else if a.ld node = k then begin
+      let next = a.ld (node + 2) in
+      (match prev with None -> a.st b next | Some p -> a.st (p + 2) next);
+      a.st (t.base + 0) (a.ld (t.base + 0) - 1)
+    end
+    else walk (Some node) (a.ld (node + 2))
+  in
+  walk None (a.ld b)
+
+let iter (a : Acc.t) t f =
+  let n = a.ld (t.base + 1) in
+  let arr = a.ld (t.base + 2) in
+  for i = 0 to n - 1 do
+    let rec walk node =
+      if node <> 0 then begin
+        f (a.ld node) (a.ld (node + 1));
+        walk (a.ld (node + 2))
+      end
+    in
+    walk (a.ld (arr + i))
+  done

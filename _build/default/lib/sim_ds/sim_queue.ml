@@ -1,0 +1,47 @@
+(* A linked FIFO queue in simulated memory.
+   Layout: header [base+0]=head [base+1]=tail [base+2]=length;
+   node [n+0]=value [n+1]=next. *)
+
+type t = { base : int }
+
+let create (a : Acc.t) () =
+  let base = a.al 3 in
+  a.st (base + 0) 0;
+  a.st (base + 1) 0;
+  a.st (base + 2) 0;
+  { base }
+
+let length (a : Acc.t) t = a.ld (t.base + 2)
+let is_empty (a : Acc.t) t = length a t = 0
+
+let enqueue (a : Acc.t) t v =
+  let n = a.al 2 in
+  a.st (n + 0) v;
+  a.st (n + 1) 0;
+  let tail = a.ld (t.base + 1) in
+  if tail = 0 then a.st (t.base + 0) n else a.st (tail + 1) n;
+  a.st (t.base + 1) n;
+  a.st (t.base + 2) (a.ld (t.base + 2) + 1)
+
+let peek (a : Acc.t) t =
+  let head = a.ld (t.base + 0) in
+  if head = 0 then None else Some (a.ld head)
+
+let dequeue (a : Acc.t) t =
+  let head = a.ld (t.base + 0) in
+  if head = 0 then None
+  else begin
+    let next = a.ld (head + 1) in
+    a.st (t.base + 0) next;
+    if next = 0 then a.st (t.base + 1) 0;
+    a.st (t.base + 2) (a.ld (t.base + 2) - 1);
+    Some (a.ld head)
+  end
+
+let push_front (a : Acc.t) t v =
+  let n = a.al 2 in
+  a.st (n + 0) v;
+  a.st (n + 1) (a.ld (t.base + 0));
+  a.st (t.base + 0) n;
+  if a.ld (t.base + 1) = 0 then a.st (t.base + 1) n;
+  a.st (t.base + 2) (a.ld (t.base + 2) + 1)

@@ -1,0 +1,23 @@
+(* Test-and-test-and-set spinlock over a simulated cache line — the "Java
+   synchronized" baseline.  Contention costs come from the MESI model: the
+   lock word ping-pongs between caches, and the bus serialises upgrades. *)
+
+type t = { addr : int }
+
+let create (a : Acc.t) () =
+  let addr = a.al 1 in
+  a.st addr 0;
+  { addr }
+
+let rec acquire t =
+  if Sim.Ops.load t.addr = 0 && Sim.Ops.cas t.addr ~expect:0 ~repl:1 then ()
+  else begin
+    Sim.Ops.work 8;
+    acquire t
+  end
+
+let release t = Sim.Ops.store t.addr 0
+
+let with_lock t f =
+  acquire t;
+  Fun.protect ~finally:(fun () -> release t) f

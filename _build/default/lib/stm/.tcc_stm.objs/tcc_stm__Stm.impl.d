@@ -1,0 +1,1 @@
+lib/stm/stm.ml: Atomic Domain Fun Hashtbl List Mutex Option Tm_intf Types

@@ -1,0 +1,1 @@
+lib/stm/tvar.ml: Atomic Domain Hashtbl Obj Types

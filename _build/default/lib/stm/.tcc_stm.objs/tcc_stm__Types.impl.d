@@ -1,0 +1,1 @@
+lib/stm/types.ml: Atomic Domain Hashtbl List Mutex

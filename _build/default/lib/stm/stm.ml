@@ -1,0 +1,296 @@
+open Types
+
+exception Aborted
+
+type handle = txn
+
+let context = context
+
+let current () =
+  match !(context ()) with
+  | Some t -> t.top
+  | None ->
+      (* Auto-commit context: a fresh, already-committed handle so that
+         semantic lock owners recorded outside transactions never block
+         anyone (remote_abort on it reports "already committed"). *)
+      let t = make_top () in
+      Atomic.set t.top_status Committed;
+      t
+
+let in_txn () = Option.is_some !(context ())
+let same_txn (a : handle) (b : handle) = a.txn_id = b.txn_id
+let txn_id (t : handle) = t.txn_id
+
+let on_commit h =
+  match !(context ()) with
+  | None -> h () (* auto-commit: the operation is its own transaction *)
+  | Some t -> t.commit_handlers <- h :: t.commit_handlers
+
+let on_abort h =
+  match !(context ()) with
+  | None -> () (* auto-commit transactions never abort *)
+  | Some t -> t.abort_handlers <- h :: t.abort_handlers
+
+(* Handler registration targeting the top-level transaction regardless of
+   the current nesting depth: what the collection classes need, since lock
+   ownership and compensation belong to the top-level outcome. *)
+let on_top_commit h =
+  match !(context ()) with
+  | None -> h ()
+  | Some t ->
+      let top = t.top in
+      top.commit_handlers <- h :: top.commit_handlers
+
+let on_top_abort h =
+  match !(context ()) with
+  | None -> ()
+  | Some t ->
+      let top = t.top in
+      top.abort_handlers <- h :: top.abort_handlers
+
+let self_abort () =
+  match !(context ()) with
+  | None -> invalid_arg "Stm.self_abort: no enclosing transaction"
+  | Some _ -> raise Explicit_abort_exn
+
+(* Abort and retry the current top-level transaction transparently. *)
+let retry_now () =
+  match !(context ()) with
+  | None -> invalid_arg "Stm.retry_now: no enclosing transaction"
+  | Some _ -> raise Conflict_exn
+
+let remote_abort (t : handle) =
+  let rec go () =
+    match Atomic.get t.top_status with
+    | Active ->
+        if Atomic.compare_and_set t.top_status Active Aborted then true
+        else go ()
+    | Aborted -> true
+    | Committing | Committed -> false
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Commit machinery                                                    *)
+
+let release_locks acquired = List.iter (fun (vl, old) -> Atomic.set vl old) acquired
+
+(* Acquire write locks in tv_id order (no deadlock), spinning a bounded
+   number of times on each before declaring a conflict. *)
+let lock_writes top =
+  let entries = Hashtbl.fold (fun _ w acc -> w :: acc) top.writes [] in
+  let entries =
+    List.sort (fun (W (a, _)) (W (b, _)) -> compare a.tv_id b.tv_id) entries
+  in
+  let rec acquire acc = function
+    | [] -> acc
+    | W (tv, _) :: rest ->
+        let rec try_lock spins =
+          let cur = Atomic.get tv.vlock in
+          if locked cur then
+            if spins = 0 then None
+            else begin
+              Domain.cpu_relax ();
+              try_lock (spins - 1)
+            end
+          else if Atomic.compare_and_set tv.vlock cur (cur + 1) then Some cur
+          else try_lock spins
+        in
+        (match try_lock 1024 with
+        | None ->
+            release_locks acc;
+            raise Conflict_exn
+        | Some old -> acquire ((tv.vlock, old) :: acc) rest)
+  in
+  acquire [] entries
+
+let validate_reads top =
+  List.for_all (fun r -> rentry_valid ~self:(Some top) r) top.reads
+
+(* Commit a top-level transaction.  When [run_handlers] is set and the
+   transaction registered handlers, the whole sequence
+
+     lock write set -> validate reads -> flip to Committing ->
+     run commit handlers -> publish memory writes -> Committed
+
+   executes under the global semantic-commit token, making the handlers'
+   semantic conflict checks and buffer application atomic with the
+   memory-level commit (multi-level transaction commit).  Commit handlers
+   must not access tvars: the collection classes operate on their wrapped
+   structures inside [critical] regions instead. *)
+let commit_top ?(run_handlers = true) top =
+  let attempt () =
+    let acquired = lock_writes top in
+    if not (validate_reads top) then begin
+      release_locks acquired;
+      raise Conflict_exn
+    end;
+    if not (Atomic.compare_and_set top.top_status Active Committing) then begin
+      release_locks acquired;
+      raise Remote_aborted_exn
+    end;
+    if run_handlers then List.iter (fun h -> h ()) (List.rev top.commit_handlers);
+    let wv = Atomic.fetch_and_add clock 2 + 2 in
+    Hashtbl.iter (fun _ (W (tv, v)) -> Atomic.set tv.value v) top.writes;
+    List.iter (fun (vl, _) -> Atomic.set vl wv) acquired;
+    Atomic.set top.top_status Committed;
+    Atomic.incr stat_commits
+  in
+  if run_handlers && top.commit_handlers <> [] then begin
+    Mutex.lock semantic_commit_token;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock semantic_commit_token)
+      attempt
+  end
+  else attempt ()
+
+let run_abort_handlers t =
+  (* Newest-first: compensations undo in reverse registration order. *)
+  List.iter (fun h -> h ()) t.abort_handlers
+
+let mark_aborted t = ignore (Atomic.compare_and_set t.top_status Active Aborted)
+
+(* Run [f] as a fresh top-level transaction, retrying on conflicts and
+   remote aborts with exponential backoff.  With [defer_handlers], commit
+   handlers are not executed at commit; the caller (open nesting) migrates
+   them to the suspended parent instead. *)
+let run_top ?(defer_handlers = false) f =
+  let ctx = context () in
+  let rec attempt n =
+    let t = make_top () in
+    t.retries <- n;
+    ctx := Some t;
+    match
+      let r = f () in
+      commit_top ~run_handlers:(not defer_handlers) t;
+      r
+    with
+    | r ->
+        ctx := None;
+        (r, t)
+    | exception ((Conflict_exn | Child_conflict_exn | Remote_aborted_exn) as e)
+      ->
+        (match e with
+        | Remote_aborted_exn -> Atomic.incr stat_remote_aborts
+        | _ -> Atomic.incr stat_conflict_aborts);
+        ctx := None;
+        mark_aborted t;
+        (* Handlers registered inside an aborting open-nested transaction
+           are discarded without running (paper §4); only a transaction that
+           owns its handlers compensates. *)
+        if not defer_handlers then run_abort_handlers t;
+        backoff n;
+        attempt (n + 1)
+    | exception Explicit_abort_exn ->
+        Atomic.incr stat_explicit_aborts;
+        ctx := None;
+        mark_aborted t;
+        if not defer_handlers then run_abort_handlers t;
+        raise Aborted
+    | exception e ->
+        (* Any other exception aborts the transaction and propagates. *)
+        ctx := None;
+        mark_aborted t;
+        if not defer_handlers then run_abort_handlers t;
+        raise e
+  in
+  attempt 0
+
+let closed_nested_in parent f =
+  let ctx = context () in
+  let rec attempt n =
+    let child = make_child parent in
+    ctx := Some child;
+    match f () with
+    | r ->
+        parent.reads <- child.reads @ parent.reads;
+        Hashtbl.iter (fun k w -> Hashtbl.replace parent.writes k w) child.writes;
+        parent.commit_handlers <- child.commit_handlers @ parent.commit_handlers;
+        parent.abort_handlers <- child.abort_handlers @ parent.abort_handlers;
+        ctx := Some parent;
+        r
+    | exception Child_conflict_exn ->
+        (* Partial rollback: only the child's tentative state is dropped. *)
+        ctx := Some parent;
+        backoff n;
+        attempt (n + 1)
+    | exception e ->
+        ctx := Some parent;
+        raise e
+  in
+  attempt 0
+
+let atomic f =
+  match !(context ()) with
+  | None -> fst (run_top f)
+  | Some parent -> closed_nested_in parent f
+
+let closed_nested = atomic
+
+let open_nested f =
+  let ctx = context () in
+  match !ctx with
+  | None -> fst (run_top f)
+  | Some parent ->
+      ctx := None;
+      (match run_top ~defer_handlers:true f with
+      | r, open_txn ->
+          ctx := Some parent;
+          (* Handlers registered inside the open-nested transaction become
+             the parent's responsibility once the open transaction commits
+             (paper §4, "Commit and abort handlers"). *)
+          parent.commit_handlers <-
+            open_txn.commit_handlers @ parent.commit_handlers;
+          parent.abort_handlers <- open_txn.abort_handlers @ parent.abort_handlers;
+          r
+      | exception e ->
+          ctx := Some parent;
+          raise e)
+
+let retries () = match !(context ()) with None -> 0 | Some t -> t.top.retries
+
+(* ------------------------------------------------------------------ *)
+(* Global statistics                                                    *)
+
+type stats = {
+  commits : int;
+  conflict_aborts : int;
+  remote_aborts : int;
+  explicit_aborts : int;
+}
+
+let global_stats () =
+  {
+    commits = Atomic.get stat_commits;
+    conflict_aborts = Atomic.get stat_conflict_aborts;
+    remote_aborts = Atomic.get stat_remote_aborts;
+    explicit_aborts = Atomic.get stat_explicit_aborts;
+  }
+
+let reset_stats () =
+  Atomic.set stat_commits 0;
+  Atomic.set stat_conflict_aborts 0;
+  Atomic.set stat_remote_aborts 0;
+  Atomic.set stat_explicit_aborts 0
+
+(* ------------------------------------------------------------------ *)
+(* TM_OPS instance for the transactional collection classes            *)
+
+module Tm_ops : Tm_intf.TM_OPS with type txn = handle = struct
+  type txn = handle
+
+  let current = current
+  let in_txn = in_txn
+  let same_txn = same_txn
+  let txn_id = txn_id
+
+  type region = Mutex.t
+
+  let new_region () = Mutex.create ()
+  let critical m f = Mutex.protect m f
+  let on_commit = on_top_commit
+  let on_abort = on_top_abort
+  let remote_abort = remote_abort
+  let self_abort () = self_abort ()
+  let retry () = retry_now ()
+end

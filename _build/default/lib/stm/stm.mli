@@ -1,0 +1,93 @@
+(** Host software transactional memory with the semantics the paper's
+    transactional collection classes require (§4): closed-nested
+    transactions with partial rollback, open-nested transactions, commit and
+    abort handlers, and program-directed (remote) transaction abort.
+
+    The implementation is a TL2-style optimistic STM: a global version
+    clock, versioned write-locks on {!Tvar.t}s, redo logging and commit-time
+    read-set validation, with read-version extension so that long-running
+    transactions survive unrelated concurrent commits. *)
+
+exception Aborted
+(** Raised out of {!atomic} when the transaction aborted itself via
+    {!self_abort} (program-directed self-abort). *)
+
+type handle
+(** Identity of a top-level transaction; the owner recorded in semantic lock
+    tables. *)
+
+val atomic : (unit -> 'a) -> 'a
+(** [atomic f] runs [f] transactionally.  At top level it retries [f] on
+    memory conflicts and remote aborts (with exponential backoff) until it
+    commits; nested inside another transaction it is a closed-nested
+    transaction.  Exceptions raised by [f] abort the transaction and
+    propagate. *)
+
+val closed_nested : (unit -> 'a) -> 'a
+(** Alias of {!atomic}: nested transactions are closed by default.  A
+    conflict confined to the child rolls back and retries only the child. *)
+
+val open_nested : (unit -> 'a) -> 'a
+(** [open_nested f] runs [f] as an open-nested transaction: it commits
+    immediately and independently of the enclosing transaction, exposing its
+    writes and discarding its read dependencies from the parent's point of
+    view.  Commit/abort handlers registered inside migrate to the parent
+    when the open transaction commits. *)
+
+val on_commit : (unit -> unit) -> unit
+(** Register a commit handler on the current nesting level.  Handlers run
+    during the top-level commit, after validation, serialised against all
+    other handler-running commits; they must not access {!Tvar.t}s. Outside
+    a transaction the handler runs immediately (auto-commit). *)
+
+val on_abort : (unit -> unit) -> unit
+(** Register a compensating abort handler, run (newest first) if the
+    top-level transaction aborts.  Discarded if the registering nested
+    transaction aborts, per the paper's handler semantics. *)
+
+val on_top_commit : (unit -> unit) -> unit
+(** Like {!on_commit}, but always registers on the top-level transaction
+    regardless of nesting depth — the registration mode the collection
+    classes use, since lock ownership belongs to the top-level outcome. *)
+
+val on_top_abort : (unit -> unit) -> unit
+
+val self_abort : unit -> 'a
+(** Abort the current transaction; {!atomic} raises {!Aborted}. *)
+
+val retry_now : unit -> 'a
+(** Abort the current top-level transaction and retry it transparently
+    (after contention backoff). *)
+
+val current : unit -> handle
+(** The calling thread's top-level transaction (a fresh already-committed
+    handle outside any transaction). *)
+
+val in_txn : unit -> bool
+val same_txn : handle -> handle -> bool
+val txn_id : handle -> int
+
+val remote_abort : handle -> bool
+(** Program-directed abort of another transaction, used when semantic
+    conflict detection finds a reader holding a conflicting lock.  Returns
+    [false] if the target already passed its commit point, in which case it
+    serialises before the caller. *)
+
+val retries : unit -> int
+(** Number of times the current top-level transaction has been retried. *)
+
+(** {1 Global statistics} — process-wide monotonic counters. *)
+
+type stats = {
+  commits : int;  (** top-level transactions committed *)
+  conflict_aborts : int;  (** retries from memory-level validation/locking *)
+  remote_aborts : int;  (** retries from program-directed (semantic) abort *)
+  explicit_aborts : int;  (** {!self_abort} occurrences *)
+}
+
+val global_stats : unit -> stats
+val reset_stats : unit -> unit
+
+(** {!Tm_intf.TM_OPS} instance: plugs this STM into the transactional
+    collection classes. *)
+module Tm_ops : Tm_intf.TM_OPS with type txn = handle

@@ -1,0 +1,61 @@
+open Types
+
+type 'a t = 'a tvar_repr
+
+let make v =
+  {
+    tv_id = Atomic.fetch_and_add next_tv_id 1;
+    value = Atomic.make v;
+    vlock = Atomic.make 0;
+  }
+
+let id tv = tv.tv_id
+
+(* The write set is keyed by [tv_id], which is unique per tvar, so an entry
+   found under our id necessarily wraps this very tvar and its pending value
+   has type ['a].  The physical-equality assertion guards the coercion. *)
+let pending_value : type a. a t -> wentry -> a =
+ fun tv (W (tv', v)) ->
+  assert (Obj.repr tv' == Obj.repr tv);
+  (Obj.magic v : a)
+
+let rec read_in_txn txn tv =
+  check_not_aborted txn;
+  match find_write txn tv.tv_id with
+  | Some w -> pending_value tv w
+  | None ->
+      let v, ver = read_committed tv in
+      if ver > txn.top.rv then
+        if extend_read_version txn then read_in_txn txn tv
+        else raise Conflict_exn
+      else begin
+        txn.reads <- R (tv, ver) :: txn.reads;
+        v
+      end
+
+let get tv =
+  match !(context ()) with
+  | None -> fst (read_committed tv)
+  | Some txn -> read_in_txn txn tv
+
+(* Non-transactional store: lock, advance the clock, publish. *)
+let rec nontx_set tv v =
+  let cur = Atomic.get tv.vlock in
+  if locked cur || not (Atomic.compare_and_set tv.vlock cur (cur + 1)) then begin
+    Domain.cpu_relax ();
+    nontx_set tv v
+  end
+  else begin
+    let wv = Atomic.fetch_and_add clock 2 + 2 in
+    Atomic.set tv.value v;
+    Atomic.set tv.vlock wv
+  end
+
+let set tv v =
+  match !(context ()) with
+  | None -> nontx_set tv v
+  | Some txn ->
+      check_not_aborted txn;
+      Hashtbl.replace txn.writes tv.tv_id (W (tv, v))
+
+let modify tv f = set tv (f (get tv))

@@ -1,0 +1,16 @@
+(** Transactional variables: the unit of memory-level conflict detection in
+    the host software TM.  Inside a transaction, [get] records a read
+    dependency validated at commit and [set] buffers the write in a redo log;
+    outside any transaction both act as linearisable single-word operations. *)
+
+type 'a t
+
+val make : 'a -> 'a t
+val id : 'a t -> int
+
+val get : 'a t -> 'a
+(** May raise internal conflict exceptions that are handled by
+    {!Stm.atomic}'s retry loop; user code never observes them. *)
+
+val set : 'a t -> 'a -> unit
+val modify : 'a t -> ('a -> 'a) -> unit

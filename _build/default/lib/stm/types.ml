@@ -1,0 +1,177 @@
+(* Internal representation shared by Tvar and Stm.
+
+   The design is a TL2-style software TM with a global version clock:
+   - every tvar carries a versioned lock word [vlock] (even = version of the
+     committed value, odd = write-locked by a committer);
+   - transactions buffer writes (redo log) and validate their read set
+     against the clock at commit;
+   - a top-level transaction can be aborted remotely (program-directed
+     abort) by CASing its status word, which is the mechanism semantic
+     conflict detection uses to abort readers holding conflicting locks.
+
+   Semantic commit phases (commits that run commit handlers) are serialised
+   by a global token so that the paper's lock-based conflict check, the
+   application of store buffers and the memory-level commit form one atomic
+   unit with respect to other semantic commits. *)
+
+type status = Active | Committing | Committed | Aborted
+
+exception Conflict_exn
+(* The whole top-level transaction lost a memory-level race; retry it. *)
+
+exception Child_conflict_exn
+(* Only the innermost closed-nested child is invalid; partial rollback. *)
+
+exception Remote_aborted_exn
+(* The transaction was aborted by another transaction (semantic conflict). *)
+
+exception Explicit_abort_exn
+(* The program requested its own abort. *)
+
+type 'a tvar_repr = {
+  tv_id : int;
+  value : 'a Atomic.t;
+  vlock : int Atomic.t;
+}
+
+type rentry = R : 'a tvar_repr * int -> rentry
+type wentry = W : 'a tvar_repr * 'a -> wentry
+
+type txn = {
+  txn_id : int;
+  top_status : status Atomic.t; (* physically shared with [top] *)
+  mutable rv : int; (* read version; meaningful on the top level *)
+  mutable reads : rentry list;
+  writes : (int, wentry) Hashtbl.t;
+  mutable commit_handlers : (unit -> unit) list; (* newest first *)
+  mutable abort_handlers : (unit -> unit) list; (* newest first *)
+  parent : txn option;
+  mutable top : txn;
+  mutable retries : int;
+}
+
+let clock : int Atomic.t = Atomic.make 0
+let next_txn_id : int Atomic.t = Atomic.make 1
+let next_tv_id : int Atomic.t = Atomic.make 1
+
+(* Serialises commit phases that execute commit handlers (semantic
+   commits), so lock-table conflict checks and buffer application are
+   atomic across transactions. *)
+let semantic_commit_token = Mutex.create ()
+
+let ctx_key : txn option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let context () = Domain.DLS.get ctx_key
+
+let make_top () =
+  let rec t =
+    {
+      txn_id = Atomic.fetch_and_add next_txn_id 1;
+      top_status = Atomic.make Active;
+      rv = Atomic.get clock;
+      reads = [];
+      writes = Hashtbl.create 16;
+      commit_handlers = [];
+      abort_handlers = [];
+      parent = None;
+      top = t;
+      retries = 0;
+    }
+  in
+  t
+
+let make_child parent =
+  {
+    txn_id = Atomic.fetch_and_add next_txn_id 1;
+    top_status = parent.top_status;
+    rv = parent.top.rv;
+    reads = [];
+    writes = Hashtbl.create 8;
+    commit_handlers = [];
+    abort_handlers = [];
+    parent = Some parent;
+    top = parent.top;
+    retries = 0;
+  }
+
+let check_not_aborted txn =
+  if Atomic.get txn.top_status = Aborted then raise Remote_aborted_exn
+
+(* Walk the nesting stack, innermost first, looking for a buffered write. *)
+let rec find_write txn tv_id =
+  match Hashtbl.find_opt txn.writes tv_id with
+  | Some _ as w -> w
+  | None -> ( match txn.parent with None -> None | Some p -> find_write p tv_id)
+
+let locked v = v land 1 = 1
+
+(* Read a consistent (value, version) snapshot of a committed tvar. *)
+let rec read_committed tv =
+  let v1 = Atomic.get tv.vlock in
+  if locked v1 then begin
+    Domain.cpu_relax ();
+    read_committed tv
+  end
+  else
+    let v = Atomic.get tv.value in
+    let v2 = Atomic.get tv.vlock in
+    if v1 = v2 then (v, v1)
+    else begin
+      Domain.cpu_relax ();
+      read_committed tv
+    end
+
+(* A read entry is still valid if its tvar is unlocked at the recorded
+   version, or locked by [txn] itself (commit-time validation only). *)
+let rentry_valid ?(self = None) (R (tv, ver)) =
+  let cur = Atomic.get tv.vlock in
+  if cur = ver then true
+  else if locked cur && cur = ver + 1 then
+    match self with
+    | Some txn -> Hashtbl.mem txn.writes tv.tv_id
+    | None -> false
+  else false
+
+(* Validate every level of the nesting stack rooted at [innermost].
+   Returns [`Ok] when all reads are valid, [`Child_only] when the only
+   invalid entries live in [innermost] (and it has a parent, enabling
+   partial rollback), and [`Top] otherwise. *)
+let validate_stack innermost =
+  let rec level_ok txn = List.for_all (fun r -> rentry_valid r) txn.reads
+  and check txn acc =
+    let ok = level_ok txn in
+    match txn.parent with
+    | None -> if ok then acc else `Top
+    | Some p ->
+        let acc =
+          if ok then acc
+          else if txn == innermost && acc = `Ok then `Child_only
+          else `Top
+        in
+        check p acc
+  in
+  check innermost `Ok
+
+(* Try to extend the top-level read version to the current clock, as TL2
+   does, so long transactions survive concurrent unrelated commits. *)
+let extend_read_version innermost =
+  let new_rv = Atomic.get clock in
+  match validate_stack innermost with
+  | `Ok ->
+      innermost.top.rv <- new_rv;
+      true
+  | `Child_only -> raise Child_conflict_exn
+  | `Top -> false
+
+(* Global statistics (monotonic counters; reset via Stm.reset_stats). *)
+let stat_commits = Atomic.make 0
+let stat_conflict_aborts = Atomic.make 0
+let stat_remote_aborts = Atomic.make 0
+let stat_explicit_aborts = Atomic.make 0
+
+let backoff n =
+  let spins = 1 lsl min n 12 in
+  for _ = 1 to spins do
+    Domain.cpu_relax ()
+  done

@@ -1,0 +1,1 @@
+lib/stm_ds/stm_avlmap.ml: List Option Stm_ds_util Tcc_stm

@@ -1,0 +1,1 @@
+lib/stm_ds/stm_counter.ml: Stm_ds_util Tcc_stm

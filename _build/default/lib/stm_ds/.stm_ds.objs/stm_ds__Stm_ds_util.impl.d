@@ -1,0 +1,1 @@
+lib/stm_ds/stm_ds_util.ml: Tcc_stm

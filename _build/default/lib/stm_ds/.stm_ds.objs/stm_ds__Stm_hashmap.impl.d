@@ -1,0 +1,1 @@
+lib/stm_ds/stm_hashmap.ml: Array Hashtbl List Option Stm_ds_util Tcc_stm

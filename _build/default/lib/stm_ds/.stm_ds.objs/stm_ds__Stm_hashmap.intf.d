@@ -1,0 +1,1 @@
+lib/stm_ds/stm_hashmap.mli:

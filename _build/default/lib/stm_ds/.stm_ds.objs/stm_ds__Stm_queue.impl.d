@@ -1,0 +1,1 @@
+lib/stm_ds/stm_queue.ml: List Stm_ds_util Tcc_stm

@@ -1,0 +1,1 @@
+lib/stm_ds/stm_uidgen.ml: Stm_ds_util Tcc_stm

@@ -1,0 +1,228 @@
+module Tvar = Tcc_stm.Tvar
+open Stm_ds_util
+
+(* Node-granular transactional AVL tree: links, values and heights live in
+   tvars, so rebalancing rotations perform the same shared writes a
+   java.util.TreeMap performs inside a transaction.  Conflicts near the root
+   caused by rotations are precisely the "non-semantic conflicts" of the
+   paper's TestSortedMap baseline. *)
+
+type ('k, 'v) node = Nil | N of ('k, 'v) body
+
+and ('k, 'v) body = {
+  key : 'k;
+  value : 'v Tvar.t;
+  l : ('k, 'v) node Tvar.t;
+  r : ('k, 'v) node Tvar.t;
+  h : int Tvar.t;
+}
+
+type ('k, 'v) t = {
+  compare : 'k -> 'k -> int;
+  root : ('k, 'v) node Tvar.t;
+  size : int Tvar.t;
+}
+
+let create ~compare () = { compare; root = Tvar.make Nil; size = Tvar.make 0 }
+let compare_key t = t.compare
+let height = function Nil -> 0 | N b -> Tvar.get b.h
+
+let update_height b =
+  Tvar.set b.h (1 + max (height (Tvar.get b.l)) (height (Tvar.get b.r)))
+
+let rotate_right b =
+  match Tvar.get b.l with
+  | Nil -> assert false
+  | N lb ->
+      Tvar.set b.l (Tvar.get lb.r);
+      Tvar.set lb.r (N b);
+      update_height b;
+      update_height lb;
+      N lb
+
+let rotate_left b =
+  match Tvar.get b.r with
+  | Nil -> assert false
+  | N rb ->
+      Tvar.set b.r (Tvar.get rb.l);
+      Tvar.set rb.l (N b);
+      update_height b;
+      update_height rb;
+      N rb
+
+let balance node =
+  match node with
+  | Nil -> Nil
+  | N b ->
+      let hl = height (Tvar.get b.l) and hr = height (Tvar.get b.r) in
+      if hl > hr + 1 then begin
+        (match Tvar.get b.l with
+        | Nil -> assert false
+        | N lb ->
+            if height (Tvar.get lb.l) < height (Tvar.get lb.r) then
+              Tvar.set b.l (rotate_left lb));
+        rotate_right b
+      end
+      else if hr > hl + 1 then begin
+        (match Tvar.get b.r with
+        | Nil -> assert false
+        | N rb ->
+            if height (Tvar.get rb.r) < height (Tvar.get rb.l) then
+              Tvar.set b.r (rotate_right rb));
+        rotate_left b
+      end
+      else begin
+        update_height b;
+        node
+      end
+
+let size t = in_atomic (fun () -> Tvar.get t.size)
+let is_empty t = size t = 0
+
+let find t key =
+  in_atomic (fun () ->
+      let rec go = function
+        | Nil -> None
+        | N b ->
+            let c = t.compare key b.key in
+            if c = 0 then Some (Tvar.get b.value)
+            else if c < 0 then go (Tvar.get b.l)
+            else go (Tvar.get b.r)
+      in
+      go (Tvar.get t.root))
+
+let mem t key = Option.is_some (find t key)
+
+let add t key value =
+  in_atomic (fun () ->
+      let added = ref false in
+      let rec go = function
+        | Nil ->
+            added := true;
+            N
+              {
+                key;
+                value = Tvar.make value;
+                l = Tvar.make Nil;
+                r = Tvar.make Nil;
+                h = Tvar.make 1;
+              }
+        | N b as node ->
+            let c = t.compare key b.key in
+            if c = 0 then begin
+              Tvar.set b.value value;
+              node
+            end
+            else if c < 0 then begin
+              Tvar.set b.l (go (Tvar.get b.l));
+              balance node
+            end
+            else begin
+              Tvar.set b.r (go (Tvar.get b.r));
+              balance node
+            end
+      in
+      Tvar.set t.root (go (Tvar.get t.root));
+      if !added then Tvar.set t.size (Tvar.get t.size + 1))
+
+(* Detach the minimum node of a non-empty subtree, returning its body and
+   the rebalanced remainder. *)
+let rec extract_min node =
+  match node with
+  | Nil -> assert false
+  | N b -> (
+      match Tvar.get b.l with
+      | Nil -> (b, Tvar.get b.r)
+      | l ->
+          let m, l' = extract_min l in
+          Tvar.set b.l l';
+          (m, balance node))
+
+let remove t key =
+  in_atomic (fun () ->
+      let removed = ref false in
+      let rec go = function
+        | Nil -> Nil
+        | N b as node ->
+            let c = t.compare key b.key in
+            if c < 0 then begin
+              Tvar.set b.l (go (Tvar.get b.l));
+              balance node
+            end
+            else if c > 0 then begin
+              Tvar.set b.r (go (Tvar.get b.r));
+              balance node
+            end
+            else begin
+              removed := true;
+              match (Tvar.get b.l, Tvar.get b.r) with
+              | Nil, r -> r
+              | l, Nil -> l
+              | l, r ->
+                  let succ, r' = extract_min r in
+                  Tvar.set succ.l l;
+                  Tvar.set succ.r r';
+                  balance (N succ)
+            end
+      in
+      Tvar.set t.root (go (Tvar.get t.root));
+      if !removed then Tvar.set t.size (Tvar.get t.size - 1))
+
+let min_binding t =
+  in_atomic (fun () ->
+      let rec go acc = function
+        | Nil -> acc
+        | N b -> go (Some (b.key, Tvar.get b.value)) (Tvar.get b.l)
+      in
+      go None (Tvar.get t.root))
+
+let max_binding t =
+  in_atomic (fun () ->
+      let rec go acc = function
+        | Nil -> acc
+        | N b -> go (Some (b.key, Tvar.get b.value)) (Tvar.get b.r)
+      in
+      go None (Tvar.get t.root))
+
+let iter f t =
+  in_atomic (fun () ->
+      let rec go = function
+        | Nil -> ()
+        | N b ->
+            go (Tvar.get b.l);
+            f b.key (Tvar.get b.value);
+            go (Tvar.get b.r)
+      in
+      go (Tvar.get t.root))
+
+let iter_range f t ~lo ~hi =
+  in_atomic (fun () ->
+      let above_lo k = match lo with None -> true | Some b -> t.compare k b >= 0 in
+      let below_hi k = match hi with None -> true | Some b -> t.compare k b < 0 in
+      let rec go = function
+        | Nil -> ()
+        | N b ->
+            if above_lo b.key then go (Tvar.get b.l);
+            if above_lo b.key && below_hi b.key then f b.key (Tvar.get b.value);
+            if below_hi b.key then go (Tvar.get b.r)
+      in
+      go (Tvar.get t.root))
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun k v -> acc := f k v !acc) t;
+  !acc
+
+let to_list t = List.rev (fold (fun k v acc -> (k, v) :: acc) t [])
+
+let check_balanced t =
+  in_atomic (fun () ->
+      let rec go = function
+        | Nil -> 0
+        | N b ->
+            let hl = go (Tvar.get b.l) and hr = go (Tvar.get b.r) in
+            assert (abs (hl - hr) <= 1);
+            assert (Tvar.get b.h = 1 + max hl hr);
+            1 + max hl hr
+      in
+      ignore (go (Tvar.get t.root)))

@@ -1,0 +1,26 @@
+(** A sorted map (AVL tree) whose links, values and heights are tvars — the
+    "Atomos TreeMap" baseline.  Self-balancing rotations write shared nodes
+    near the root, so transactions inserting disjoint keys still conflict at
+    the memory level; the TransactionalSortedMap wrapper eliminates these
+    conflicts by construction. *)
+
+type ('k, 'v) t
+
+val create : compare:('k -> 'k -> int) -> unit -> ('k, 'v) t
+val compare_key : ('k, 'v) t -> 'k -> 'k -> int
+val size : ('k, 'v) t -> int
+val is_empty : ('k, 'v) t -> bool
+val find : ('k, 'v) t -> 'k -> 'v option
+val mem : ('k, 'v) t -> 'k -> bool
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+val remove : ('k, 'v) t -> 'k -> unit
+val min_binding : ('k, 'v) t -> ('k * 'v) option
+val max_binding : ('k, 'v) t -> ('k * 'v) option
+val iter : ('k -> 'v -> unit) -> ('k, 'v) t -> unit
+
+val iter_range :
+  ('k -> 'v -> unit) -> ('k, 'v) t -> lo:'k option -> hi:'k option -> unit
+
+val fold : ('k -> 'v -> 'acc -> 'acc) -> ('k, 'v) t -> 'acc -> 'acc
+val to_list : ('k, 'v) t -> ('k * 'v) list
+val check_balanced : ('k, 'v) t -> unit

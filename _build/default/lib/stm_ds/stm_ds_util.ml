@@ -1,0 +1,5 @@
+module Stm = Tcc_stm.Stm
+
+(* Data-structure operations assume transactional context; when called
+   outside one they become their own small transaction. *)
+let in_atomic f = if Stm.in_txn () then f () else Stm.atomic f

@@ -1,0 +1,91 @@
+module Tvar = Tcc_stm.Tvar
+open Stm_ds_util
+
+type ('k, 'v) t = {
+  hash : 'k -> int;
+  equal : 'k -> 'k -> bool;
+  buckets : ('k * 'v) list Tvar.t array Tvar.t;
+  size : int Tvar.t;
+}
+
+let create ?(initial_capacity = 16) ?(hash = Hashtbl.hash) ?(equal = ( = )) () =
+  {
+    hash;
+    equal;
+    buckets = Tvar.make (Array.init (max 1 initial_capacity) (fun _ -> Tvar.make []));
+    size = Tvar.make 0;
+  }
+
+let bucket_for t k =
+  let buckets = Tvar.get t.buckets in
+  buckets.(t.hash k land max_int mod Array.length buckets)
+
+let size t = in_atomic (fun () -> Tvar.get t.size)
+let is_empty t = size t = 0
+
+let find t k =
+  in_atomic (fun () ->
+      let rec scan = function
+        | [] -> None
+        | (k', v) :: rest -> if t.equal k k' then Some v else scan rest
+      in
+      scan (Tvar.get (bucket_for t k)))
+
+let mem t k = Option.is_some (find t k)
+
+let resize t =
+  let old = Tvar.get t.buckets in
+  let fresh = Array.init (2 * Array.length old) (fun _ -> Tvar.make []) in
+  Array.iter
+    (fun b ->
+      List.iter
+        (fun ((k, _) as binding) ->
+          let tv = fresh.(t.hash k land max_int mod Array.length fresh) in
+          Tvar.set tv (binding :: Tvar.get tv))
+        (Tvar.get b))
+    old;
+  Tvar.set t.buckets fresh
+
+let add t k v =
+  in_atomic (fun () ->
+      let b = bucket_for t k in
+      let bindings = Tvar.get b in
+      let rec replace = function
+        | [] -> None
+        | (k', _) :: rest when t.equal k k' -> Some ((k, v) :: rest)
+        | x :: rest -> Option.map (fun r -> x :: r) (replace rest)
+      in
+      match replace bindings with
+      | Some bindings -> Tvar.set b bindings
+      | None ->
+          Tvar.set b ((k, v) :: bindings);
+          let n = Tvar.get t.size + 1 in
+          Tvar.set t.size n;
+          if n > 3 * Array.length (Tvar.get t.buckets) / 4 then resize t)
+
+let remove t k =
+  in_atomic (fun () ->
+      let b = bucket_for t k in
+      let rec drop = function
+        | [] -> None
+        | (k', _) :: rest when t.equal k k' -> Some rest
+        | x :: rest -> Option.map (fun r -> x :: r) (drop rest)
+      in
+      match drop (Tvar.get b) with
+      | Some bindings ->
+          Tvar.set b bindings;
+          Tvar.set t.size (Tvar.get t.size - 1)
+      | None -> ())
+
+let iter f t =
+  in_atomic (fun () ->
+      Array.iter
+        (fun b -> List.iter (fun (k, v) -> f k v) (Tvar.get b))
+        (Tvar.get t.buckets))
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun k v -> acc := f k v !acc) t;
+  !acc
+
+let to_list t = fold (fun k v acc -> (k, v) :: acc) t []

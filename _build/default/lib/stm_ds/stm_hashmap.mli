@@ -1,0 +1,25 @@
+(** A hash map built directly from tvars — the "Atomos HashMap" baseline.
+    Structurally faithful to [java.util.HashMap] used inside transactions:
+    every insert or remove writes the shared [size] tvar, so two long
+    transactions inserting {e different} keys still conflict at the memory
+    level.  The TransactionalMap wrapper exists to eliminate exactly these
+    conflicts. *)
+
+type ('k, 'v) t
+
+val create :
+  ?initial_capacity:int ->
+  ?hash:('k -> int) ->
+  ?equal:('k -> 'k -> bool) ->
+  unit ->
+  ('k, 'v) t
+
+val size : ('k, 'v) t -> int
+val is_empty : ('k, 'v) t -> bool
+val find : ('k, 'v) t -> 'k -> 'v option
+val mem : ('k, 'v) t -> 'k -> bool
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+val remove : ('k, 'v) t -> 'k -> unit
+val iter : ('k -> 'v -> unit) -> ('k, 'v) t -> unit
+val fold : ('k -> 'v -> 'acc -> 'acc) -> ('k, 'v) t -> 'acc -> 'acc
+val to_list : ('k, 'v) t -> ('k * 'v) list

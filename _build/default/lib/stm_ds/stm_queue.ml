@@ -1,0 +1,49 @@
+module Tvar = Tcc_stm.Tvar
+open Stm_ds_util
+
+(* Two-list functional FIFO held in tvars: every enqueue writes [back], every
+   dequeue writes [front] (and sometimes [back]), and both touch [len] — the
+   conflict-heavy baseline a naive transactional queue exhibits. *)
+
+type 'v t = {
+  front : 'v list Tvar.t;
+  back : 'v list Tvar.t;
+  len : int Tvar.t;
+}
+
+let create () = { front = Tvar.make []; back = Tvar.make []; len = Tvar.make 0 }
+let length t = in_atomic (fun () -> Tvar.get t.len)
+let is_empty t = length t = 0
+
+let enqueue t v =
+  in_atomic (fun () ->
+      Tvar.set t.back (v :: Tvar.get t.back);
+      Tvar.set t.len (Tvar.get t.len + 1))
+
+let normalize t =
+  match Tvar.get t.front with
+  | [] ->
+      let back = Tvar.get t.back in
+      if back <> [] then begin
+        Tvar.set t.front (List.rev back);
+        Tvar.set t.back []
+      end
+  | _ -> ()
+
+let peek t =
+  in_atomic (fun () ->
+      normalize t;
+      match Tvar.get t.front with [] -> None | v :: _ -> Some v)
+
+let dequeue t =
+  in_atomic (fun () ->
+      normalize t;
+      match Tvar.get t.front with
+      | [] -> None
+      | v :: rest ->
+          Tvar.set t.front rest;
+          Tvar.set t.len (Tvar.get t.len - 1);
+          Some v)
+
+let to_list t =
+  in_atomic (fun () -> Tvar.get t.front @ List.rev (Tvar.get t.back))

@@ -1,0 +1,12 @@
+(** A FIFO queue built from tvars: the fully isolated (conflict-heavy)
+    baseline that the reduced-isolation TransactionalQueue improves on. *)
+
+type 'v t
+
+val create : unit -> 'v t
+val length : 'v t -> int
+val is_empty : 'v t -> bool
+val enqueue : 'v t -> 'v -> unit
+val peek : 'v t -> 'v option
+val dequeue : 'v t -> 'v option
+val to_list : 'v t -> 'v list

@@ -1,0 +1,25 @@
+module Tvar = Tcc_stm.Tvar
+module Stm = Tcc_stm.Stm
+open Stm_ds_util
+
+type t = int Tvar.t
+
+let create ?(first = 1) () = Tvar.make first
+
+let next_isolated t =
+  in_atomic (fun () ->
+      let id = Tvar.get t in
+      Tvar.set t (id + 1);
+      id)
+
+(* Open-nested UID allocation: the identifier is consumed immediately and is
+   NOT returned on parent abort — monotonically increasing identifiers may
+   have gaps but are always unique, the database-community tradeoff the
+   paper cites (Gray & Reuter).  No compensation is registered. *)
+let next t =
+  Stm.open_nested (fun () ->
+      let id = Tvar.get t in
+      Tvar.set t (id + 1);
+      id)
+
+let peek t = Tvar.get t

@@ -1,0 +1,17 @@
+(** Unique-identifier generator.  [next] allocates open-nested: aborted
+    parents leave gaps in the sequence but identifiers stay unique and the
+    generator never causes conflicts between long transactions — the
+    monotonically-increasing-identifier tradeoff between isolation and
+    serializability from the database literature (paper §1, §6.3). *)
+
+type t
+
+val create : ?first:int -> unit -> t
+
+val next_isolated : t -> int
+(** Fully serializable allocation: gap-free, but serialises all users. *)
+
+val next : t -> int
+(** Open-nested allocation: unique, conflict-free, possibly gapped. *)
+
+val peek : t -> int

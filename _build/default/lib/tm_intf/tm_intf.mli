@@ -1,0 +1,121 @@
+(** Module types shared between the host software transactional memory
+    ({!module:Tcc_stm}) and the simulated TCC hardware transactional memory
+    ({!module:Tcc}).  The transactional collection classes are functorised
+    over {!module-type:TM_OPS} so that the same semantic-concurrency-control
+    code runs on either system, mirroring the paper's claim that the classes
+    apply to both hardware and software TM. *)
+
+(** The transactional semantics required by transactional collection classes
+    (paper §4): nested transactions (open and closed), commit and abort
+    handlers, and program-directed transaction abort. *)
+module type TM_OPS = sig
+  type txn
+  (** Handle on a top-level transaction.  Semantic locks record the top-level
+      transaction as owner — not the open-nested transaction that takes the
+      lock — because it is the top-level outcome that must release them. *)
+
+  val current : unit -> txn
+  (** Top-level transaction of the calling thread.  Outside any transaction,
+      returns a fresh handle denoting an auto-commit (single-operation)
+      transaction. *)
+
+  val in_txn : unit -> bool
+  (** [true] iff the calling thread is executing inside a transaction. *)
+
+  val same_txn : txn -> txn -> bool
+
+  val txn_id : txn -> int
+  (** Unique identifier of a top-level transaction; keys per-transaction
+      local state (store buffers, held-lock lists) inside collections. *)
+
+  type region
+  (** An isolation region protecting one collection's shared transactional
+      state (lock tables and the underlying structure).  On the host STM this
+      is a mutex standing in for the atomicity that open-nested transactions
+      provide; on the simulated TCC machine it is a lock line accessed inside
+      a real open-nested hardware transaction. *)
+
+  val new_region : unit -> region
+
+  val critical : region -> (unit -> 'a) -> 'a
+  (** [critical r f] runs [f] as an open-nested atomic section on region [r]:
+      its effects are immediately visible to all transactions and are {e not}
+      rolled back if the enclosing transaction later aborts (compensation is
+      the job of abort handlers). *)
+
+  val on_commit : (unit -> unit) -> unit
+  (** Register a commit handler on the current top-level transaction.  Commit
+      handlers run during the commit phase, after validation, serialised
+      against all other semantic commit phases; they apply buffered changes,
+      perform semantic conflict detection and release semantic locks. *)
+
+  val on_abort : (unit -> unit) -> unit
+  (** Register an abort handler: a compensating action that releases semantic
+      locks and clears local buffers when the top-level transaction aborts. *)
+
+  val remote_abort : txn -> bool
+  (** [remote_abort t] requests the abort of another transaction that holds a
+      conflicting semantic lock.  Returns [false] when [t] has already passed
+      its commit point (it then serialises before the caller, which is not a
+      conflict), [true] when the abort was delivered or [t] was already
+      aborted/finished aborting. *)
+
+  val self_abort : unit -> 'a
+  (** Abort the current transaction explicitly (program-directed abort). *)
+
+  val retry : unit -> 'a
+  (** Abort the current transaction and retry it transparently (with the
+      TM's contention backoff) — the contention-management hook for the
+      pessimistic variants of §5.1. *)
+end
+
+(** Operations a wrapped (underlying) map implementation must provide.  All
+    calls are made inside {!TM_OPS.critical} sections, so the implementation
+    needs no internal synchronisation — exactly the paper's "wrap existing
+    data structures" property. *)
+module type MAP_OPS = sig
+  type key
+  type 'v t
+
+  val create : unit -> 'v t
+  val find : 'v t -> key -> 'v option
+  val mem : 'v t -> key -> bool
+  val add : 'v t -> key -> 'v -> unit
+  (** Insert or replace. *)
+
+  val remove : 'v t -> key -> unit
+  val size : 'v t -> int
+  val iter : (key -> 'v -> unit) -> 'v t -> unit
+end
+
+(** Operations of an underlying ordered map, extending {!MAP_OPS} with the
+    ordered traversals the [SortedMap] wrapper needs. *)
+module type SORTED_MAP_OPS = sig
+  include MAP_OPS
+
+  val compare_key : key -> key -> int
+
+  val min_binding : 'v t -> (key * 'v) option
+  val max_binding : 'v t -> (key * 'v) option
+
+  val iter_range : (key -> 'v -> unit) -> 'v t -> lo:key option -> hi:key option -> unit
+  (** In-order iteration over keys [k] with [lo <= k < hi] (missing bound =
+      unbounded), matching Java's half-open [subMap] views. *)
+end
+
+(** Operations of an underlying FIFO queue wrapped by the transactional work
+    queue. *)
+module type QUEUE_OPS = sig
+  type 'v t
+
+  val create : unit -> 'v t
+  val enqueue : 'v t -> 'v -> unit
+  val dequeue : 'v t -> 'v option
+  val peek : 'v t -> 'v option
+  val is_empty : 'v t -> bool
+  val length : 'v t -> int
+
+  val push_front : 'v t -> 'v -> unit
+  (** Return an element to the head: the abort compensation uses this to
+      restore taken-but-unprocessed work in its original order. *)
+end

@@ -1,0 +1,1 @@
+lib/txcoll/semlock.ml: Coll List Tm_intf

@@ -1,0 +1,1 @@
+lib/txcoll/transactional_map.mli: Format Tm_intf

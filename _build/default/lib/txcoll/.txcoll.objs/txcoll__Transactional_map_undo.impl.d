@@ -1,0 +1,1 @@
+lib/txcoll/transactional_map_undo.ml: Coll Hashtbl List Option Semlock Tm_intf

@@ -1,0 +1,1 @@
+lib/txcoll/transactional_map_undo.mli: Tm_intf

@@ -1,0 +1,1 @@
+lib/txcoll/transactional_queue.ml: Coll Format Hashtbl List Semlock Tm_intf

@@ -1,0 +1,1 @@
+lib/txcoll/transactional_queue.mli: Format Tm_intf

@@ -1,0 +1,1 @@
+lib/txcoll/transactional_set.mli: Tm_intf Transactional_map

@@ -1,0 +1,1 @@
+lib/txcoll/transactional_sorted_map.ml: Coll Format Fun Hashtbl List Option Semlock Tm_intf

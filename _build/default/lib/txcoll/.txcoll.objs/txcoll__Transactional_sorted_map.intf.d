@@ -1,0 +1,1 @@
+lib/txcoll/transactional_sorted_map.mli: Format Tm_intf

@@ -1,0 +1,1 @@
+lib/txcoll/transactional_sorted_set.ml: List Tm_intf Transactional_sorted_map

@@ -1,0 +1,1 @@
+lib/txcoll/underlying.ml: Coll Tm_intf

@@ -1,0 +1,173 @@
+(* Semantic lock tables for one collection instance.
+
+   Lock owners are top-level transactions (paper §3.1: "The owner of a lock
+   is the top-level transaction at the time of the read operation").  All
+   functions must be called inside the collection's [TM.critical] region,
+   which provides the open-nested atomicity; the tables themselves therefore
+   need no internal synchronisation.
+
+   Conflict detection is optimistic (paper §5.1): writers examine these
+   tables at commit time and abort conflicting readers through
+   program-directed abort.  [remote_abort] returning [false] means the
+   reader already passed its commit point and thereby serialised before the
+   committing writer, which is not a conflict. *)
+
+module Make (TM : Tm_intf.TM_OPS) = struct
+  type 'k range = { lo : 'k option; hi : 'k option }
+  (* Half-open interval [lo, hi); [None] = unbounded on that side. *)
+
+  type key_entry = {
+    mutable readers : TM.txn list;
+    mutable writer : TM.txn option;
+        (* Exclusive writer, used only by the pessimistic/undo-logging
+           variants (§5.1); the optimistic wrapper never sets it. *)
+  }
+
+  type 'k t = {
+    key_lockers : ('k, key_entry) Coll.Chain_hashmap.t;
+    mutable size_lockers : TM.txn list;
+    mutable isempty_lockers : TM.txn list;
+    mutable first_lockers : TM.txn list;
+    mutable last_lockers : TM.txn list;
+    mutable range_lockers : ('k range * TM.txn) list;
+  }
+
+  let create () =
+    {
+      key_lockers = Coll.Chain_hashmap.create ();
+      size_lockers = [];
+      isempty_lockers = [];
+      first_lockers = [];
+      last_lockers = [];
+      range_lockers = [];
+    }
+
+  let mem_txn txn txns = List.exists (TM.same_txn txn) txns
+  let add_txn txn txns = if mem_txn txn txns then txns else txn :: txns
+  let drop_txn txn txns = List.filter (fun t -> not (TM.same_txn txn t)) txns
+
+  (* -------------------- acquisition (read operations) ------------------ *)
+
+  let entry_for t k =
+    match Coll.Chain_hashmap.find t.key_lockers k with
+    | Some e -> e
+    | None ->
+        let e = { readers = []; writer = None } in
+        Coll.Chain_hashmap.add t.key_lockers k e;
+        e
+
+  let lock_key t txn k =
+    let e = entry_for t k in
+    e.readers <- add_txn txn e.readers
+
+  let lock_key_write t txn k =
+    let e = entry_for t k in
+    e.writer <- Some txn
+
+  let key_readers t k =
+    match Coll.Chain_hashmap.find t.key_lockers k with
+    | None -> []
+    | Some e -> e.readers
+
+  let key_writer t k =
+    match Coll.Chain_hashmap.find t.key_lockers k with
+    | None -> None
+    | Some e -> e.writer
+
+  let any_other_writer t ~self =
+    Coll.Chain_hashmap.fold
+      (fun _ e acc ->
+        acc
+        || match e.writer with Some w -> not (TM.same_txn w self) | None -> false)
+      t.key_lockers false
+
+  let lock_size t txn = t.size_lockers <- add_txn txn t.size_lockers
+  let lock_isempty t txn = t.isempty_lockers <- add_txn txn t.isempty_lockers
+  let lock_first t txn = t.first_lockers <- add_txn txn t.first_lockers
+  let lock_last t txn = t.last_lockers <- add_txn txn t.last_lockers
+
+  let lock_range t txn range =
+    t.range_lockers <- (range, txn) :: t.range_lockers
+
+  (* -------------------- release (commit/abort handlers) ---------------- *)
+
+  let release_key t txn k =
+    match Coll.Chain_hashmap.find t.key_lockers k with
+    | None -> ()
+    | Some e ->
+        e.readers <- drop_txn txn e.readers;
+        (match e.writer with
+        | Some w when TM.same_txn w txn -> e.writer <- None
+        | _ -> ());
+        if e.readers = [] && e.writer = None then
+          Coll.Chain_hashmap.remove t.key_lockers k
+
+  let release_all t txn ~keys =
+    List.iter (release_key t txn) keys;
+    t.size_lockers <- drop_txn txn t.size_lockers;
+    t.isempty_lockers <- drop_txn txn t.isempty_lockers;
+    t.first_lockers <- drop_txn txn t.first_lockers;
+    t.last_lockers <- drop_txn txn t.last_lockers;
+    t.range_lockers <-
+      List.filter (fun (_, owner) -> not (TM.same_txn txn owner)) t.range_lockers
+
+  (* -------------------- conflict detection (write commit) -------------- *)
+
+  let abort_others ~self txns =
+    List.iter
+      (fun owner -> if not (TM.same_txn self owner) then ignore (TM.remote_abort owner))
+      txns
+
+  let conflict_key t ~self k =
+    match Coll.Chain_hashmap.find t.key_lockers k with
+    | None -> ()
+    | Some e ->
+        abort_others ~self e.readers;
+        (match e.writer with
+        | Some w when not (TM.same_txn self w) -> ignore (TM.remote_abort w)
+        | _ -> ())
+
+  let conflict_size t ~self = abort_others ~self t.size_lockers
+  let conflict_isempty t ~self = abort_others ~self t.isempty_lockers
+  let conflict_first t ~self = abort_others ~self t.first_lockers
+  let conflict_last t ~self = abort_others ~self t.last_lockers
+
+  let range_contains compare { lo; hi } k =
+    (match lo with None -> true | Some b -> compare k b >= 0)
+    && match hi with None -> true | Some b -> compare k b < 0
+
+  let conflict_range t ~self ~compare k =
+    List.iter
+      (fun (range, owner) ->
+        if (not (TM.same_txn self owner)) && range_contains compare range k then
+          ignore (TM.remote_abort owner))
+      t.range_lockers
+
+  (* -------------------- introspection (tests, Table 2/5 traces) -------- *)
+
+  let key_locked_by t txn k =
+    match Coll.Chain_hashmap.find t.key_lockers k with
+    | None -> false
+    | Some e -> (
+        mem_txn txn e.readers
+        || match e.writer with Some w -> TM.same_txn w txn | None -> false)
+
+  let size_locked_by t txn = mem_txn txn t.size_lockers
+  let isempty_locked_by t txn = mem_txn txn t.isempty_lockers
+  let first_locked_by t txn = mem_txn txn t.first_lockers
+  let last_locked_by t txn = mem_txn txn t.last_lockers
+
+  let range_locked_by t txn =
+    List.exists (fun (_, owner) -> TM.same_txn txn owner) t.range_lockers
+
+  let total_lockers t =
+    Coll.Chain_hashmap.fold
+      (fun _ e acc ->
+        acc + List.length e.readers + match e.writer with Some _ -> 1 | None -> 0)
+      t.key_lockers 0
+    + List.length t.size_lockers
+    + List.length t.isempty_lockers
+    + List.length t.first_lockers
+    + List.length t.last_lockers
+    + List.length t.range_lockers
+end

@@ -1,0 +1,440 @@
+(* TransactionalMap (paper §3.1): wraps an existing Map implementation and
+   replaces memory-level conflicts (size field, bucket collisions) with
+   semantic conflict detection on the Map abstract data type.
+
+   Structure mirrors Table 3:
+   - committed state: the wrapped map, read/written only inside [critical]
+     regions (the open-nesting discipline of §5);
+   - shared transactional state: the semantic lock tables ([Semlock]);
+   - local transactional state: a store buffer of deferred writes plus the
+     list of key locks held, one record per active top-level transaction.
+
+   Locking follows Table 2: read operations take key/size/isEmpty locks when
+   executed; writes are buffered and detect conflicts at commit time by
+   aborting other transactions that hold locks on the abstract state being
+   written (optimistic semantic concurrency control, §5.1). *)
+
+module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) = struct
+  module L = Semlock.Make (TM)
+
+  type isempty_policy =
+    | Dedicated  (** isEmpty is a primitive operation with its own lock,
+                     conflicting only when emptiness changes (§5.1). *)
+    | Via_size  (** isEmpty derives from size and takes the size lock — the
+                    concurrency-limiting variant, kept for the ablation. *)
+
+  (** When are write-write/write-read semantic conflicts detected (§5.1
+      "Alternatives to optimistic concurrency control")? *)
+  type write_policy =
+    | Optimistic  (** at commit time: the committer aborts lock holders. *)
+    | Pessimistic_aggressive
+        (** at operation time: the writer immediately aborts every other
+            holder of the key's lock. *)
+    | Pessimistic_timid
+        (** at operation time: the writer aborts itself (transparent retry
+            with backoff) while any other transaction holds the key. *)
+
+  type 'v write = {
+    pending : 'v option; (* None = removal *)
+    prior : bool option; (* presence read at operation time; None = blind *)
+  }
+
+  type 'v local = {
+    txn : TM.txn;
+    buffer : (M.key, 'v write) Coll.Chain_hashmap.t;
+    mutable key_locks : M.key list;
+  }
+
+  type 'v t = {
+    region : TM.region;
+    map : 'v M.t;
+    locks : M.key L.t;
+    locals : (int, 'v local) Hashtbl.t;
+    isempty_policy : isempty_policy;
+    write_policy : write_policy;
+    copy_key : M.key -> M.key;
+        (* §5.1 "Leaking uncommitted data": keys recorded in the shared lock
+           table may be objects whose construction has not committed, and
+           they remain visible to other transactions through equals/hash.
+           Supplying a copier stores an independent committed copy instead.
+           The default is identity — correct for immutable keys. *)
+  }
+
+  let wrap ?(isempty_policy = Dedicated) ?(write_policy = Optimistic)
+      ?(copy_key = Fun.id) map =
+    {
+      region = TM.new_region ();
+      map;
+      locks = L.create ();
+      locals = Hashtbl.create 32;
+      isempty_policy;
+      write_policy;
+      copy_key;
+    }
+
+  let create ?isempty_policy ?write_policy ?copy_key () =
+    wrap ?isempty_policy ?write_policy ?copy_key (M.create ())
+  let critical t f = TM.critical t.region f
+
+  (* ---------------- commit/abort handlers ---------------- *)
+
+  let cleanup t l =
+    L.release_all t.locks l.txn ~keys:l.key_locks;
+    Hashtbl.remove t.locals (TM.txn_id l.txn)
+
+  let presence_changes t l =
+    Coll.Chain_hashmap.fold
+      (fun k w acc ->
+        let prior =
+          match w.prior with Some p -> p | None -> M.mem t.map k
+        in
+        let after = Option.is_some w.pending in
+        if after && not prior then acc + 1
+        else if (not after) && prior then acc - 1
+        else acc)
+      l.buffer 0
+
+  let commit_handler t l () =
+    critical t (fun () ->
+        let self = l.txn in
+        let was_size = M.size t.map in
+        let delta = presence_changes t l in
+        (* Conflict detection per Table 2: aborting holders of key locks on
+           written keys, size lockers when the size changes, and isEmpty
+           lockers when emptiness flips. *)
+        Coll.Chain_hashmap.iter
+          (fun k _ -> L.conflict_key t.locks ~self k)
+          l.buffer;
+        if delta <> 0 then L.conflict_size t.locks ~self;
+        let now_size = was_size + delta in
+        if (was_size = 0) <> (now_size = 0) then L.conflict_isempty t.locks ~self;
+        (* Apply the store buffer (redo log) to the underlying map. *)
+        Coll.Chain_hashmap.iter
+          (fun k w ->
+            match w.pending with
+            | Some v -> M.add t.map k v
+            | None -> M.remove t.map k)
+          l.buffer;
+        cleanup t l)
+
+  let abort_handler t l () = critical t (fun () -> cleanup t l)
+
+  (* One local record per top-level transaction; its creation registers the
+     single commit handler and single abort handler of §5's guidelines. *)
+  let local_of t =
+    let txn = TM.current () in
+    let id = TM.txn_id txn in
+    match Hashtbl.find_opt t.locals id with
+    | Some l -> l
+    | None ->
+        let l = { txn; buffer = Coll.Chain_hashmap.create (); key_locks = [] } in
+        Hashtbl.add t.locals id l;
+        TM.on_commit (commit_handler t l);
+        TM.on_abort (abort_handler t l);
+        l
+
+  let lock_key t l k =
+    if not (L.key_locked_by t.locks l.txn k) then begin
+      let committed_copy = t.copy_key k in
+      L.lock_key t.locks l.txn committed_copy;
+      l.key_locks <- committed_copy :: l.key_locks
+    end
+
+  (* ---------------- read operations ---------------- *)
+
+  let find t k =
+    if not (TM.in_txn ()) then critical t (fun () -> M.find t.map k)
+    else
+      critical t (fun () ->
+          let l = local_of t in
+          match Coll.Chain_hashmap.find l.buffer k with
+          | Some w -> w.pending (* own write: no global read involved *)
+          | None ->
+              lock_key t l k;
+              M.find t.map k)
+
+  let mem t k = Option.is_some (find t k)
+
+  let size t =
+    if not (TM.in_txn ()) then critical t (fun () -> M.size t.map)
+    else
+      critical t (fun () ->
+          let l = local_of t in
+          L.lock_size t.locks l.txn;
+          M.size t.map + presence_changes t l)
+
+  let is_empty t =
+    if not (TM.in_txn ()) then critical t (fun () -> M.size t.map = 0)
+    else
+      critical t (fun () ->
+          let l = local_of t in
+          (match t.isempty_policy with
+          | Dedicated -> L.lock_isempty t.locks l.txn
+          | Via_size -> L.lock_size t.locks l.txn);
+          M.size t.map + presence_changes t l = 0)
+
+  (* ---------------- write operations ---------------- *)
+
+  (* Pessimistic early conflict detection on the written key (§5.1).  Runs
+     inside the critical region; a [`Retry] verdict is acted on outside it
+     (TM.retry must be raised from transaction context, not from inside the
+     open-nested atomic section). *)
+  let pessimistic_status t l k =
+    match t.write_policy with
+    | Optimistic -> `Ok
+    | Pessimistic_aggressive ->
+        L.conflict_key t.locks ~self:l.txn k;
+        `Ok
+    | Pessimistic_timid ->
+        let others =
+          List.exists
+            (fun o -> not (TM.same_txn o l.txn))
+            (L.key_readers t.locks k)
+          ||
+          match L.key_writer t.locks k with
+          | Some w -> not (TM.same_txn w l.txn)
+          | None -> false
+        in
+        if others then `Retry else `Ok
+
+  let buffer_write t l k pending ~blind =
+    match Coll.Chain_hashmap.find l.buffer k with
+    | Some w ->
+        let old = w.pending in
+        Coll.Chain_hashmap.add l.buffer k { pending; prior = w.prior };
+        old
+    | None ->
+        if blind then begin
+          Coll.Chain_hashmap.add l.buffer k { pending; prior = None };
+          None
+        end
+        else begin
+          (* Returning the previous value reads the key (Table 2: put and
+             remove take a key lock on their argument). *)
+          lock_key t l k;
+          let old = M.find t.map k in
+          Coll.Chain_hashmap.add l.buffer k
+            { pending; prior = Some (Option.is_some old) };
+          old
+        end
+
+  (* Transactional write entry point: pessimistic policies may demand a
+     transparent retry, raised outside the critical region. *)
+  let rec write_op t k pending ~blind =
+    let verdict =
+      critical t (fun () ->
+          let l = local_of t in
+          match pessimistic_status t l k with
+          | `Retry -> `Retry
+          | `Ok -> `Done (buffer_write t l k pending ~blind))
+    in
+    match verdict with
+    | `Done old -> old
+    | `Retry ->
+        TM.retry () |> ignore;
+        write_op t k pending ~blind
+
+  let put t k v =
+    if not (TM.in_txn ()) then
+      critical t (fun () ->
+          let old = M.find t.map k in
+          M.add t.map k v;
+          old)
+    else write_op t k (Some v) ~blind:false
+
+  let remove t k =
+    if not (TM.in_txn ()) then
+      critical t (fun () ->
+          let old = M.find t.map k in
+          M.remove t.map k;
+          old)
+    else write_op t k None ~blind:false
+
+  (* Blind variants (§5.1 "Extensions to java.util.Map"): no previous-value
+     read, hence no key lock and no ordering between two transactions that
+     only write the same key. *)
+  let put_blind t k v =
+    if not (TM.in_txn ()) then critical t (fun () -> M.add t.map k v)
+    else ignore (write_op t k (Some v) ~blind:true)
+
+  let remove_blind t k =
+    if not (TM.in_txn ()) then critical t (fun () -> M.remove t.map k)
+    else ignore (write_op t k None ~blind:true)
+
+  (* ---------------- iteration ---------------- *)
+
+  (* Full enumeration inside one critical section: merges the underlying map
+     with the store buffer, takes a key lock on every key returned and — as
+     the enumeration observes the complete contents — the size lock. *)
+  let fold f t init =
+    if not (TM.in_txn ()) then
+      critical t (fun () ->
+          let acc = ref init in
+          M.iter (fun k v -> acc := f k v !acc) t.map;
+          !acc)
+    else
+      critical t (fun () ->
+          let l = local_of t in
+          L.lock_size t.locks l.txn;
+          let acc = ref init in
+          M.iter
+            (fun k v ->
+              match Coll.Chain_hashmap.find l.buffer k with
+              | Some { pending = None; _ } -> () (* removed by us *)
+              | Some { pending = Some v'; _ } ->
+                  lock_key t l k;
+                  acc := f k v' !acc
+              | None ->
+                  lock_key t l k;
+                  acc := f k v !acc)
+            t.map;
+          (* Keys added only in the buffer. *)
+          Coll.Chain_hashmap.iter
+            (fun k w ->
+              match w.pending with
+              | Some v when not (M.mem t.map k) -> acc := f k v !acc
+              | _ -> ())
+            l.buffer;
+          !acc)
+
+  let iter f t = fold (fun k v () -> f k v) t ()
+  let to_list t = fold (fun k v acc -> (k, v) :: acc) t []
+  let keys t = fold (fun k _ acc -> k :: acc) t []
+  let values t = fold (fun _ v acc -> v :: acc) t []
+
+  (* Compound convenience operations built from the primitives, so their
+     conflict behaviour follows from the primitive locks (the paper's
+     primitive/derivative categorisation). *)
+
+  let put_if_absent t k v =
+    (* Reads the key (lock), writes only when absent; returns the residing
+       value. *)
+    match find t k with
+    | Some existing -> existing
+    | None ->
+        ignore (put t k v);
+        v
+
+  let update t k f =
+    (* Read-modify-write under the key lock. *)
+    match f (find t k) with
+    | Some v -> ignore (put t k v)
+    | None -> ignore (remove t k)
+
+  (* ---------------- cursor-style iteration ---------------- *)
+
+  (* The paper's iterator takes a key lock on each key as [next] returns it
+     and reveals the size when the enumeration completes.  Two policies for
+     the size lock:
+     - [`Eager] (default): taken at cursor creation, so a concurrent
+       size-changing commit always aborts the iterating transaction — the
+       enumeration is strictly serializable;
+     - [`At_exhaustion]: taken only when [next] first returns [None],
+       matching Table 2's "size lock on false return value of hasNext"
+       exactly; a key committed mid-iteration into an already-passed
+       position can then be missed without a conflict (the anomaly is
+       discussed in EXPERIMENTS.md). *)
+  type 'v cursor = {
+    cparent : 'v t;
+    mutable candidates : M.key list;
+    mutable exhausted : bool;
+    cpolicy : [ `Eager | `At_exhaustion ];
+  }
+
+  let cursor ?(size_lock = `Eager) t =
+    let candidates =
+      critical t (fun () ->
+          if TM.in_txn () then begin
+            let l = local_of t in
+            if size_lock = `Eager then L.lock_size t.locks l.txn;
+            let keys = ref [] in
+            M.iter (fun k _ -> keys := k :: !keys) t.map;
+            Coll.Chain_hashmap.iter
+              (fun k w ->
+                if Option.is_some w.pending && not (M.mem t.map k) then
+                  keys := k :: !keys)
+              l.buffer;
+            !keys
+          end
+          else begin
+            let keys = ref [] in
+            M.iter (fun k _ -> keys := k :: !keys) t.map;
+            !keys
+          end)
+    in
+    { cparent = t; candidates; exhausted = false; cpolicy = size_lock }
+
+  let rec next c =
+    let t = c.cparent in
+    match c.candidates with
+    | [] ->
+        if not c.exhausted then begin
+          c.exhausted <- true;
+          if c.cpolicy = `At_exhaustion then
+            critical t (fun () ->
+                if TM.in_txn () then L.lock_size t.locks (local_of t).txn)
+        end;
+        None
+    | k :: rest -> (
+        c.candidates <- rest;
+        let hit =
+          critical t (fun () ->
+              if not (TM.in_txn ()) then
+                Option.map (fun v -> (k, v)) (M.find t.map k)
+              else
+                let l = local_of t in
+                match Coll.Chain_hashmap.find l.buffer k with
+                | Some { pending = Some v; _ } -> Some (k, v)
+                | Some { pending = None; _ } -> None (* removed by us *)
+                | None -> (
+                    match M.find t.map k with
+                    | Some v ->
+                        lock_key t l k;
+                        Some (k, v)
+                    | None -> None (* removed by an earlier-serialized txn *)))
+        in
+        match hit with Some kv -> Some kv | None -> next c)
+
+  (* ---------------- introspection for tests/traces ---------------- *)
+
+  let holds_key_lock t k =
+    critical t (fun () -> L.key_locked_by t.locks (TM.current ()) k)
+
+  let holds_size_lock t =
+    critical t (fun () -> L.size_locked_by t.locks (TM.current ()))
+
+  let holds_isempty_lock t =
+    critical t (fun () -> L.isempty_locked_by t.locks (TM.current ()))
+
+  let outstanding_locks t = critical t (fun () -> L.total_lockers t.locks)
+
+  (* Live rendering of Table 3's state inventory: committed state (the
+     wrapped map), shared transactional state (lock tables), and the local
+     transactional state of every active transaction. *)
+  let dump_state ppf t =
+    critical t (fun () ->
+        Format.fprintf ppf "Committed state:@.";
+        Format.fprintf ppf "  map                 %d bindings@." (M.size t.map);
+        Format.fprintf ppf "Shared transactional state (open-nested):@.";
+        Format.fprintf ppf "  key2lockers         %d entries@."
+          (Coll.Chain_hashmap.size t.locks.L.key_lockers);
+        Format.fprintf ppf "  sizeLockers         %d@."
+          (List.length t.locks.L.size_lockers);
+        Format.fprintf ppf "  isEmptyLockers      %d@."
+          (List.length t.locks.L.isempty_lockers);
+        Format.fprintf ppf "Local transactional state (%d active txns):@."
+          (Hashtbl.length t.locals);
+        Hashtbl.iter
+          (fun id l ->
+            Format.fprintf ppf
+              "  txn %-6d storeBuffer=%d entries, keyLocks=%d@." id
+              (Coll.Chain_hashmap.size l.buffer)
+              (List.length l.key_locks))
+          t.locals)
+
+  let buffered_writes t =
+    critical t (fun () ->
+        match Hashtbl.find_opt t.locals (TM.txn_id (TM.current ())) with
+        | None -> 0
+        | Some l -> Coll.Chain_hashmap.size l.buffer)
+end

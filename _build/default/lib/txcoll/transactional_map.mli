@@ -1,0 +1,128 @@
+(** TransactionalMap (paper §3.1): wraps an existing [Map] implementation so
+    that long-running transactions can operate on it concurrently without
+    the unnecessary memory-level conflicts of the implementation (size
+    fields, bucket collisions).  Conflicts are detected on the abstract data
+    type instead: read operations take semantic locks (Table 2), writes are
+    buffered per transaction and applied by a commit handler that aborts
+    transactions holding locks on the abstract state being overwritten.
+
+    All operations may be called inside or outside transactions; outside,
+    each operation is its own atomic (auto-commit) transaction. *)
+
+module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) : sig
+  type 'v t
+
+  (** Encoding of [isEmpty] (§5.1 "Alternative semantic locks"). *)
+  type isempty_policy =
+    | Dedicated
+        (** [is_empty] is a primitive operation with its own lock that
+            conflicts only when emptiness changes — two
+            ["if not (is_empty m) then put"] transactions commute. *)
+    | Via_size
+        (** [is_empty] derives from [size] and takes the size lock,
+            conflicting with every size change (kept for the ablation). *)
+
+  (** When write conflicts are detected (§5.1 "Alternatives to optimistic
+      concurrency control"). *)
+  type write_policy =
+    | Optimistic  (** At commit: the committer aborts semantic-lock holders. *)
+    | Pessimistic_aggressive
+        (** At operation time: the writer immediately aborts other holders
+            of the written key's lock. *)
+    | Pessimistic_timid
+        (** At operation time: the writer retries itself transparently
+            while another transaction holds the written key. *)
+
+  val create :
+    ?isempty_policy:isempty_policy ->
+    ?write_policy:write_policy ->
+    ?copy_key:(M.key -> M.key) ->
+    unit ->
+    'v t
+  (** Create a map with a fresh underlying [M.t].  [copy_key] stores
+      independent copies of keys in the shared lock table, preventing the
+      §5.1 "leaking uncommitted data" hazard for mutable or
+      not-yet-committed key objects (default: identity, correct for
+      immutable keys). *)
+
+  val wrap :
+    ?isempty_policy:isempty_policy ->
+    ?write_policy:write_policy ->
+    ?copy_key:(M.key -> M.key) ->
+    'v M.t ->
+    'v t
+  (** Wrap an existing underlying map.  The caller must not touch the
+      wrapped map directly afterwards. *)
+
+  (** {1 Point operations} *)
+
+  val find : 'v t -> M.key -> 'v option
+  (** Takes a key lock (unless served from the transaction's own buffer). *)
+
+  val mem : 'v t -> M.key -> bool
+
+  val put : 'v t -> M.key -> 'v -> 'v option
+  (** Buffers the write and returns the previous value — thereby reading the
+      key and taking its lock (Table 2). *)
+
+  val remove : 'v t -> M.key -> 'v option
+
+  val put_blind : 'v t -> M.key -> 'v -> unit
+  (** §5.1 extension: does not read the previous value, takes no key lock —
+      two transactions blind-writing the same key need no ordering. *)
+
+  val remove_blind : 'v t -> M.key -> unit
+
+  val put_if_absent : 'v t -> M.key -> 'v -> 'v
+  (** Insert [v] unless the key is bound; returns the residing value. *)
+
+  val update : 'v t -> M.key -> ('v option -> 'v option) -> unit
+  (** Read-modify-write under the key lock; [None] removes. *)
+
+  (** {1 Aggregate operations} *)
+
+  val size : 'v t -> int
+  (** Takes the size lock: conflicts with any committing size change. *)
+
+  val is_empty : 'v t -> bool
+  (** Lock per [isempty_policy]. *)
+
+  val fold : (M.key -> 'v -> 'acc -> 'acc) -> 'v t -> 'acc -> 'acc
+  (** Full enumeration in one atomic step, merging the transaction's buffer:
+      takes a key lock on every binding returned plus the size lock. *)
+
+  val iter : (M.key -> 'v -> unit) -> 'v t -> unit
+  val to_list : 'v t -> (M.key * 'v) list
+  val keys : 'v t -> M.key list
+  val values : 'v t -> 'v list
+
+  (** {1 Cursor iteration}
+
+      The incremental iterator of Table 2: [next] takes a key lock on each
+      returned binding; the size lock is taken eagerly at cursor creation
+      (default, strictly serializable) or, paper-faithfully, only when
+      [next] first returns [None] ([`At_exhaustion] — a key committed into
+      an already-passed position can then be missed without conflict). *)
+
+  type 'v cursor
+
+  val cursor : ?size_lock:[ `Eager | `At_exhaustion ] -> 'v t -> 'v cursor
+  val next : 'v cursor -> (M.key * 'v) option
+
+  (** {1 Introspection} (tests, lock-table traces) *)
+
+  val holds_key_lock : 'v t -> M.key -> bool
+  val holds_size_lock : 'v t -> bool
+  val holds_isempty_lock : 'v t -> bool
+
+  val outstanding_locks : 'v t -> int
+  (** Total semantic locks currently registered; [0] when no transaction is
+      mid-flight (lock-leak detector). *)
+
+  val buffered_writes : 'v t -> int
+  (** Size of the calling transaction's store buffer. *)
+
+  val dump_state : Format.formatter -> 'v t -> unit
+  (** Live rendering of Table 3's state inventory (committed / shared
+      transactional / local transactional state). *)
+end

@@ -1,0 +1,221 @@
+(* Undo-logging TransactionalMap — the alternative implementation strategy
+   of paper §5.1 ("Redo versus undo logging"): writes update the wrapped map
+   in place and keep an undo log for compensation, instead of buffering a
+   redo log applied at commit.
+
+   As the paper notes, "undo logging requires early conflict detection
+   since only one writer can be allowed to update a piece of semantic state
+   in place at a time", so this variant is necessarily pessimistic:
+
+   - a write takes an exclusive semantic write lock on its key, aborting
+     any other holder immediately (aggressive contention management);
+   - a read of a key write-locked by another transaction retries
+     transparently until the writer finishes (wait-by-retry);
+   - full enumeration retries while any foreign writer exists;
+   - size is read live from the underlying map, so it can observe another
+     transaction's uncommitted in-place insertions; to preserve
+     serializability the abort handler re-checks size/isEmpty conflicts
+     after undoing, aborting any size readers that saw the dirty value.
+
+   The redo-based {!Transactional_map} is the paper's (and our) default:
+   this module exists to make the design-space comparison executable (see
+   the redo-vs-undo ablation). *)
+
+module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) = struct
+  module L = Semlock.Make (TM)
+
+  type 'v local = {
+    txn : TM.txn;
+    mutable undo : (M.key * 'v option) list; (* newest first; first write only *)
+    written : (M.key, unit) Coll.Chain_hashmap.t;
+    mutable key_locks : M.key list;
+    mutable delta : int; (* net size change of in-place updates *)
+  }
+
+  type 'v t = {
+    region : TM.region;
+    map : 'v M.t;
+    locks : M.key L.t;
+    locals : (int, 'v local) Hashtbl.t;
+  }
+
+  let wrap map =
+    {
+      region = TM.new_region ();
+      map;
+      locks = L.create ();
+      locals = Hashtbl.create 32;
+    }
+
+  let create () = wrap (M.create ())
+  let critical t f = TM.critical t.region f
+
+  let cleanup t l =
+    L.release_all t.locks l.txn ~keys:l.key_locks;
+    Hashtbl.remove t.locals (TM.txn_id l.txn)
+
+  let commit_handler t l () =
+    critical t (fun () ->
+        (* In-place changes are already applied; detect the remaining
+           abstract-state conflicts and release. *)
+        if l.delta <> 0 then begin
+          L.conflict_size t.locks ~self:l.txn;
+          let now = M.size t.map in
+          let before = now - l.delta in
+          if (before = 0) <> (now = 0) then L.conflict_isempty t.locks ~self:l.txn
+        end;
+        cleanup t l)
+
+  let abort_handler t l () =
+    critical t (fun () ->
+        (* Compensate newest-first, then abort any transaction that read the
+           dirty size/emptiness. *)
+        List.iter
+          (fun (k, prior) ->
+            match prior with
+            | Some v -> M.add t.map k v
+            | None -> M.remove t.map k)
+          l.undo;
+        if l.delta <> 0 then begin
+          L.conflict_size t.locks ~self:l.txn;
+          L.conflict_isempty t.locks ~self:l.txn
+        end;
+        cleanup t l)
+
+  let local_of t =
+    let txn = TM.current () in
+    let id = TM.txn_id txn in
+    match Hashtbl.find_opt t.locals id with
+    | Some l -> l
+    | None ->
+        let l =
+          {
+            txn;
+            undo = [];
+            written = Coll.Chain_hashmap.create ();
+            key_locks = [];
+            delta = 0;
+          }
+        in
+        Hashtbl.add t.locals id l;
+        TM.on_commit (commit_handler t l);
+        TM.on_abort (abort_handler t l);
+        l
+
+  let lock_read t l k =
+    if not (L.key_locked_by t.locks l.txn k) then begin
+      L.lock_key t.locks l.txn k;
+      l.key_locks <- k :: l.key_locks
+    end
+
+  let foreign_writer t l k =
+    match L.key_writer t.locks k with
+    | Some w -> not (TM.same_txn w l.txn)
+    | None -> false
+
+  (* Run [f] in the critical region, retrying the whole transaction while
+     [blocked] holds (wait-by-retry: the paper's "have the conflicting
+     operation wait for the other transaction to complete", without the
+     deadlock risk of in-place blocking). *)
+  let rec guarded t ~blocked f =
+    let verdict =
+      critical t (fun () ->
+          let l = local_of t in
+          if blocked l then `Retry else `Done (f l))
+    in
+    match verdict with
+    | `Done r -> r
+    | `Retry ->
+        TM.retry () |> ignore;
+        guarded t ~blocked f
+
+  (* ---------------- operations ---------------- *)
+
+  let find t k =
+    if not (TM.in_txn ()) then critical t (fun () -> M.find t.map k)
+    else
+      guarded t
+        ~blocked:(fun l -> foreign_writer t l k)
+        (fun l ->
+          lock_read t l k;
+          M.find t.map k)
+
+  let mem t k = Option.is_some (find t k)
+
+  let write t k pending =
+    (* A foreign writer cannot be aborted: its pending compensation would
+       clobber our in-place update.  Wait for it by retrying.  Foreign
+       readers are safe to abort aggressively (they have no in-place
+       effects). *)
+    guarded t
+      ~blocked:(fun l -> foreign_writer t l k)
+      (fun l ->
+        L.conflict_key t.locks ~self:l.txn k;
+        if not (L.key_locked_by t.locks l.txn k) then
+          l.key_locks <- k :: l.key_locks;
+        L.lock_key_write t.locks l.txn k;
+        let prior = M.find t.map k in
+        if not (Coll.Chain_hashmap.mem l.written k) then begin
+          Coll.Chain_hashmap.add l.written k ();
+          l.undo <- (k, prior) :: l.undo
+        end;
+        (match (prior, pending) with
+        | None, Some _ -> l.delta <- l.delta + 1
+        | Some _, None -> l.delta <- l.delta - 1
+        | _ -> ());
+        (match pending with
+        | Some v -> M.add t.map k v
+        | None -> M.remove t.map k);
+        prior)
+
+  let put t k v =
+    if not (TM.in_txn ()) then
+      critical t (fun () ->
+          let old = M.find t.map k in
+          M.add t.map k v;
+          old)
+    else write t k (Some v)
+
+  let remove t k =
+    if not (TM.in_txn ()) then
+      critical t (fun () ->
+          let old = M.find t.map k in
+          M.remove t.map k;
+          old)
+    else write t k None
+
+  let size t =
+    if not (TM.in_txn ()) then critical t (fun () -> M.size t.map)
+    else
+      guarded t
+        ~blocked:(fun l -> L.any_other_writer t.locks ~self:l.txn)
+        (fun l ->
+          L.lock_size t.locks l.txn;
+          M.size t.map)
+
+  let is_empty t = size t = 0
+
+  let fold f t init =
+    if not (TM.in_txn ()) then
+      critical t (fun () ->
+          let acc = ref init in
+          M.iter (fun k v -> acc := f k v !acc) t.map;
+          !acc)
+    else
+      guarded t
+        ~blocked:(fun l -> L.any_other_writer t.locks ~self:l.txn)
+        (fun l ->
+          L.lock_size t.locks l.txn;
+          let acc = ref init in
+          M.iter
+            (fun k v ->
+              lock_read t l k;
+              acc := f k v !acc)
+            t.map;
+          !acc)
+
+  let iter f t = fold (fun k v () -> f k v) t ()
+  let to_list t = fold (fun k v acc -> (k, v) :: acc) t []
+
+  let outstanding_locks t = critical t (fun () -> L.total_lockers t.locks)
+end

@@ -1,0 +1,157 @@
+(* TransactionalQueue (paper §3.3): a transactional work queue with
+   selectively reduced isolation, wrapping a Queue implementation behind the
+   util.concurrent Channel interface (put/take/poll/peek/offer only).
+
+   Per Table 9 the state is:
+   - committed: the underlying queue;
+   - shared: the set of transactions that observed emptiness (emptyLockers);
+   - local: addBuffer (elements to enqueue at commit) and removeBuffer
+     (elements already taken, to be returned to the queue on abort).
+
+   Isolation is deliberately reduced (§5 "if we want reduced isolation, we
+   ... allow writes to the underlying state from within open-nested
+   transactions"): [poll]/[take] remove from the underlying queue
+   immediately, so other transactions cannot steal work that would become
+   invalid if this transaction aborts — the Delaunay-mesh motivation.
+   [put] defers to commit so speculative new work never leaks.  Per Tables 7
+   and 8, the only semantic conflict is observing emptiness that a
+   committing [put] invalidates. *)
+
+module Make (TM : Tm_intf.TM_OPS) (Q : Tm_intf.QUEUE_OPS) = struct
+  module L = Semlock.Make (TM)
+
+  type 'v local = {
+    txn : TM.txn;
+    add_buffer : 'v Coll.Fifo_deque.t;
+    remove_buffer : 'v Coll.Fifo_deque.t; (* in removal order *)
+  }
+
+  type 'v t = {
+    region : TM.region;
+    queue : 'v Q.t;
+    locks : unit L.t; (* only the empty lock is used *)
+    locals : (int, 'v local) Hashtbl.t;
+  }
+
+  let wrap queue =
+    {
+      region = TM.new_region ();
+      queue;
+      locks = L.create ();
+      locals = Hashtbl.create 32;
+    }
+
+  let create () = wrap (Q.create ())
+  let critical t f = TM.critical t.region f
+
+  let cleanup t l =
+    L.release_all t.locks l.txn ~keys:[];
+    Hashtbl.remove t.locals (TM.txn_id l.txn)
+
+  let commit_handler t l () =
+    critical t (fun () ->
+        (* Additions become visible now; transactions that observed an empty
+           queue are no longer serializable after us (Table 8: put conflicts
+           "if now non-empty"). *)
+        if not (Coll.Fifo_deque.is_empty l.add_buffer) then
+          L.conflict_isempty t.locks ~self:l.txn;
+        Coll.Fifo_deque.iter (Q.enqueue t.queue) l.add_buffer;
+        (* Taken elements are consumed for good; drop the removeBuffer. *)
+        cleanup t l)
+
+  let abort_handler t l () =
+    critical t (fun () ->
+        (* Compensation: return taken-but-unprocessed elements to the front
+           of the queue in their original order.  [remove_buffer] lists them
+           oldest-removal-first, so pushing front in reverse restores the
+           original sequence. *)
+        let items = List.rev (Coll.Fifo_deque.to_list l.remove_buffer) in
+        List.iter (Q.push_front t.queue) items;
+        cleanup t l)
+
+  let local_of t =
+    let txn = TM.current () in
+    let id = TM.txn_id txn in
+    match Hashtbl.find_opt t.locals id with
+    | Some l -> l
+    | None ->
+        let l =
+          {
+            txn;
+            add_buffer = Coll.Fifo_deque.create ();
+            remove_buffer = Coll.Fifo_deque.create ();
+          }
+        in
+        Hashtbl.add t.locals id l;
+        TM.on_commit (commit_handler t l);
+        TM.on_abort (abort_handler t l);
+        l
+
+  let lock_empty t l = L.lock_isempty t.locks l.txn
+
+  (* ---------------- Channel operations ---------------- *)
+
+  let put t v =
+    if not (TM.in_txn ()) then critical t (fun () -> Q.enqueue t.queue v)
+    else critical t (fun () -> Coll.Fifo_deque.enqueue (local_of t).add_buffer v)
+
+  let offer = put
+
+  let poll t =
+    if not (TM.in_txn ()) then critical t (fun () -> Q.dequeue t.queue)
+    else
+      critical t (fun () ->
+          let l = local_of t in
+          match Q.dequeue t.queue with
+          | Some v ->
+              Coll.Fifo_deque.enqueue l.remove_buffer v;
+              Some v
+          | None -> (
+              (* Fall back to our own deferred additions. *)
+              match Coll.Fifo_deque.dequeue l.add_buffer with
+              | Some v -> Some v
+              | None ->
+                  lock_empty t l;
+                  None))
+
+  let take = poll
+
+  let peek t =
+    if not (TM.in_txn ()) then critical t (fun () -> Q.peek t.queue)
+    else
+      critical t (fun () ->
+          let l = local_of t in
+          match Q.peek t.queue with
+          | Some v -> Some v
+          | None -> (
+              match Coll.Fifo_deque.peek l.add_buffer with
+              | Some v -> Some v
+              | None ->
+                  lock_empty t l;
+                  None))
+
+  (* Committed length: a debugging/statistics view, NOT part of the Channel
+     interface (the paper removes size-revealing operations from the work
+     queue on purpose); takes no locks. *)
+  let committed_length t = critical t (fun () -> Q.length t.queue)
+
+  let holds_empty_lock t =
+    critical t (fun () -> L.isempty_locked_by t.locks (TM.current ()))
+
+  (* Live rendering of Table 9's state inventory. *)
+  let dump_state ppf t =
+    critical t (fun () ->
+        Format.fprintf ppf "Committed state:@.";
+        Format.fprintf ppf "  queue               %d elements@." (Q.length t.queue);
+        Format.fprintf ppf "Shared transactional state (open-nested):@.";
+        Format.fprintf ppf "  emptyLockers        %d@."
+          (List.length t.locks.L.isempty_lockers);
+        Format.fprintf ppf "Local transactional state (%d active txns):@."
+          (Hashtbl.length t.locals);
+        Hashtbl.iter
+          (fun id l ->
+            Format.fprintf ppf "  txn %-6d addBuffer=%d, removeBuffer=%d@." id
+              (Coll.Fifo_deque.length l.add_buffer)
+              (Coll.Fifo_deque.length l.remove_buffer))
+          t.locals)
+end

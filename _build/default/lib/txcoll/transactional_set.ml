@@ -1,0 +1,28 @@
+(* TransactionalSet (paper §5.1): a thin wrapper over TransactionalMap with
+   unit values, as ConcurrentHashSet wraps ConcurrentHashMap. *)
+
+module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) = struct
+  module Map = Transactional_map.Make (TM) (M)
+
+  type t = unit Map.t
+
+  let create ?isempty_policy () : t = Map.create ?isempty_policy ()
+  let mem (t : t) k = Map.mem t k
+
+  let add (t : t) k =
+    (* Returns [true] when the element was newly added. *)
+    Map.put t k () = None
+
+  let add_blind (t : t) k = Map.put_blind t k ()
+
+  let remove (t : t) k =
+    (* Returns [true] when the element was present. *)
+    Map.remove t k <> None
+
+  let remove_blind (t : t) k = Map.remove_blind t k
+  let size (t : t) = Map.size t
+  let is_empty (t : t) = Map.is_empty t
+  let fold f (t : t) init = Map.fold (fun k () acc -> f k acc) t init
+  let iter f (t : t) = Map.iter (fun k () -> f k) t
+  let to_list (t : t) = Map.fold (fun k () acc -> k :: acc) t []
+end

@@ -1,0 +1,26 @@
+(** TransactionalSet: thin wrapper over {!Transactional_map} with unit
+    values, as ConcurrentHashSet wraps ConcurrentHashMap (paper §5.1). *)
+
+module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) : sig
+  module Map : module type of Transactional_map.Make (TM) (M)
+
+  type t = unit Map.t
+
+  val create : ?isempty_policy:Map.isempty_policy -> unit -> t
+  val mem : t -> M.key -> bool
+
+  val add : t -> M.key -> bool
+  (** [true] when newly added (reads the element: takes its lock). *)
+
+  val add_blind : t -> M.key -> unit
+
+  val remove : t -> M.key -> bool
+  (** [true] when the element was present. *)
+
+  val remove_blind : t -> M.key -> unit
+  val size : t -> int
+  val is_empty : t -> bool
+  val fold : (M.key -> 'acc -> 'acc) -> t -> 'acc -> 'acc
+  val iter : (M.key -> unit) -> t -> unit
+  val to_list : t -> M.key list
+end

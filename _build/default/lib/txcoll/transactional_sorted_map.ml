@@ -1,0 +1,580 @@
+(* TransactionalSortedMap (paper §3.2): extends the TransactionalMap design
+   with the SortedMap abstract state — ordered iteration, range views and
+   the first/last endpoints.
+
+   Per Table 5:
+   - ordered iteration takes a range lock over the iterated values, plus a
+     first lock when iteration starts at the map's minimum and a last lock
+     when it runs off the maximum;
+   - [first_key]/[last_key] take the first/last locks;
+   - writes detect, at commit time, key conflicts, range conflicts on the
+     written key, first/last conflicts on endpoint changes and size/isEmpty
+     conflicts as in the plain map.
+
+   Per Table 6, the local state adds a sorted store buffer (ordered
+   enumeration must merge local changes in key order) and the list of range
+   locks held. *)
+
+module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
+  module L = Semlock.Make (TM)
+
+  type isempty_policy = Dedicated | Via_size
+
+  type write_policy = Optimistic | Pessimistic_aggressive | Pessimistic_timid
+
+  type 'v write = { pending : 'v option; prior : bool option }
+
+  type 'v local = {
+    txn : TM.txn;
+    buffer : (M.key, 'v write) Coll.Ordmap.t; (* sortedStoreBuffer *)
+    mutable key_locks : M.key list;
+  }
+
+  type 'v t = {
+    region : TM.region;
+    map : 'v M.t;
+    locks : M.key L.t;
+    locals : (int, 'v local) Hashtbl.t;
+    isempty_policy : isempty_policy;
+    write_policy : write_policy;
+    copy_key : M.key -> M.key;
+  }
+
+  type 'v view = { parent : 'v t; lo : M.key option; hi : M.key option }
+
+  let wrap ?(isempty_policy = Dedicated) ?(write_policy = Optimistic)
+      ?(copy_key = Fun.id) map =
+    {
+      region = TM.new_region ();
+      map;
+      locks = L.create ();
+      locals = Hashtbl.create 32;
+      isempty_policy;
+      write_policy;
+      copy_key;
+    }
+
+  let create ?isempty_policy ?write_policy ?copy_key () =
+    wrap ?isempty_policy ?write_policy ?copy_key (M.create ())
+  let critical t f = TM.critical t.region f
+  let compare_key = M.compare_key
+
+  (* ---------------- handlers ---------------- *)
+
+  let cleanup t l =
+    L.release_all t.locks l.txn ~keys:l.key_locks;
+    Hashtbl.remove t.locals (TM.txn_id l.txn)
+
+  let presence_changes t l =
+    Coll.Ordmap.fold
+      (fun k w acc ->
+        let prior = match w.prior with Some p -> p | None -> M.mem t.map k in
+        let after = Option.is_some w.pending in
+        if after && not prior then acc + 1
+        else if (not after) && prior then acc - 1
+        else acc)
+      l.buffer 0
+
+  let commit_handler t l () =
+    critical t (fun () ->
+        let self = l.txn in
+        let was_size = M.size t.map in
+        let delta = presence_changes t l in
+        if delta <> 0 then L.conflict_size t.locks ~self;
+        if (was_size = 0) <> (was_size + delta = 0) then
+          L.conflict_isempty t.locks ~self;
+        (* Check and apply entry by entry: endpoint-change detection compares
+           each write against the committed state as it evolves. *)
+        Coll.Ordmap.iter
+          (fun k w ->
+            L.conflict_key t.locks ~self k;
+            L.conflict_range t.locks ~self ~compare:M.compare_key k;
+            let min_k = Option.map fst (M.min_binding t.map) in
+            let max_k = Option.map fst (M.max_binding t.map) in
+            let present = M.mem t.map k in
+            (match w.pending with
+            | Some v ->
+                if not present then begin
+                  (match min_k with
+                  | None -> (* empty -> non-empty: both endpoints change *)
+                      L.conflict_first t.locks ~self;
+                      L.conflict_last t.locks ~self
+                  | Some mn ->
+                      if M.compare_key k mn < 0 then L.conflict_first t.locks ~self);
+                  match max_k with
+                  | None -> ()
+                  | Some mx ->
+                      if M.compare_key k mx > 0 then L.conflict_last t.locks ~self
+                end;
+                M.add t.map k v
+            | None ->
+                if present then begin
+                  (match min_k with
+                  | Some mn when M.compare_key k mn = 0 ->
+                      L.conflict_first t.locks ~self
+                  | _ -> ());
+                  (match max_k with
+                  | Some mx when M.compare_key k mx = 0 ->
+                      L.conflict_last t.locks ~self
+                  | _ -> ());
+                  M.remove t.map k
+                end))
+          l.buffer;
+        cleanup t l)
+
+  let abort_handler t l () = critical t (fun () -> cleanup t l)
+
+  let local_of t =
+    let txn = TM.current () in
+    let id = TM.txn_id txn in
+    match Hashtbl.find_opt t.locals id with
+    | Some l -> l
+    | None ->
+        let l =
+          {
+            txn;
+            buffer = Coll.Ordmap.create ~compare:M.compare_key ();
+            key_locks = [];
+          }
+        in
+        Hashtbl.add t.locals id l;
+        TM.on_commit (commit_handler t l);
+        TM.on_abort (abort_handler t l);
+        l
+
+  let lock_key t l k =
+    if not (L.key_locked_by t.locks l.txn k) then begin
+      let committed_copy = t.copy_key k in
+      L.lock_key t.locks l.txn committed_copy;
+      l.key_locks <- committed_copy :: l.key_locks
+    end
+
+  (* Pessimistic early conflict detection (§5.1); the [`Retry] verdict is
+     acted on outside the critical region. *)
+  let pessimistic_status t l k =
+    match t.write_policy with
+    | Optimistic -> `Ok
+    | Pessimistic_aggressive ->
+        L.conflict_key t.locks ~self:l.txn k;
+        L.conflict_range t.locks ~self:l.txn ~compare:M.compare_key k;
+        `Ok
+    | Pessimistic_timid ->
+        let others =
+          List.exists
+            (fun o -> not (TM.same_txn o l.txn))
+            (L.key_readers t.locks k)
+        in
+        if others then `Retry else `Ok
+
+  (* ---------------- point operations (as TransactionalMap) ------------- *)
+
+  let find t k =
+    if not (TM.in_txn ()) then critical t (fun () -> M.find t.map k)
+    else
+      critical t (fun () ->
+          let l = local_of t in
+          match Coll.Ordmap.find l.buffer k with
+          | Some w -> w.pending
+          | None ->
+              lock_key t l k;
+              M.find t.map k)
+
+  let mem t k = Option.is_some (find t k)
+
+  let size t =
+    if not (TM.in_txn ()) then critical t (fun () -> M.size t.map)
+    else
+      critical t (fun () ->
+          let l = local_of t in
+          L.lock_size t.locks l.txn;
+          M.size t.map + presence_changes t l)
+
+  let is_empty t =
+    if not (TM.in_txn ()) then critical t (fun () -> M.size t.map = 0)
+    else
+      critical t (fun () ->
+          let l = local_of t in
+          (match t.isempty_policy with
+          | Dedicated -> L.lock_isempty t.locks l.txn
+          | Via_size -> L.lock_size t.locks l.txn);
+          M.size t.map + presence_changes t l = 0)
+
+  let buffer_write t l k pending ~blind =
+    match Coll.Ordmap.find l.buffer k with
+    | Some w ->
+        let old = w.pending in
+        Coll.Ordmap.add l.buffer k { pending; prior = w.prior };
+        old
+    | None ->
+        if blind then begin
+          Coll.Ordmap.add l.buffer k { pending; prior = None };
+          None
+        end
+        else begin
+          lock_key t l k;
+          let old = M.find t.map k in
+          Coll.Ordmap.add l.buffer k { pending; prior = Some (Option.is_some old) };
+          old
+        end
+
+  let rec write_op t k pending ~blind =
+    let verdict =
+      critical t (fun () ->
+          let l = local_of t in
+          match pessimistic_status t l k with
+          | `Retry -> `Retry
+          | `Ok -> `Done (buffer_write t l k pending ~blind))
+    in
+    match verdict with
+    | `Done old -> old
+    | `Retry ->
+        TM.retry () |> ignore;
+        write_op t k pending ~blind
+
+  let put t k v =
+    if not (TM.in_txn ()) then
+      critical t (fun () ->
+          let old = M.find t.map k in
+          M.add t.map k v;
+          old)
+    else write_op t k (Some v) ~blind:false
+
+  let remove t k =
+    if not (TM.in_txn ()) then
+      critical t (fun () ->
+          let old = M.find t.map k in
+          M.remove t.map k;
+          old)
+    else write_op t k None ~blind:false
+
+  let put_blind t k v =
+    if not (TM.in_txn ()) then critical t (fun () -> M.add t.map k v)
+    else ignore (write_op t k (Some v) ~blind:true)
+
+  let remove_blind t k =
+    if not (TM.in_txn ()) then critical t (fun () -> M.remove t.map k)
+    else ignore (write_op t k None ~blind:true)
+
+  (* ---------------- ordered views and iteration ---------------- *)
+
+  (* Merge the underlying map and the sorted store buffer over [lo, hi),
+     in key order; buffered entries override underlying ones. *)
+  let merged_range t l ~lo ~hi =
+    let under = ref [] in
+    M.iter_range
+      (fun k v ->
+        match Coll.Ordmap.find l.buffer k with
+        | Some _ -> () (* overridden by the buffer *)
+        | None -> under := (k, v) :: !under)
+      t.map ~lo ~hi;
+    let buf = ref [] in
+    Coll.Ordmap.iter_range
+      (fun k w ->
+        match w.pending with Some v -> buf := (k, v) :: !buf | None -> ())
+      l.buffer ~lo ~hi;
+    List.merge
+      (fun (a, _) (b, _) -> M.compare_key a b)
+      (List.rev !under) (List.rev !buf)
+
+  let take_range_lock t l range =
+    L.lock_range t.locks l.txn range
+
+  (* Ordered fold over [lo, hi) with Table 5 locking: range lock over the
+     iterated span, first lock when the span starts at the map's minimum,
+     last lock when it runs past the maximum. *)
+  let fold_range f t init ~lo ~hi =
+    if not (TM.in_txn ()) then
+      critical t (fun () ->
+          let acc = ref init in
+          M.iter_range (fun k v -> acc := f k v !acc) t.map ~lo ~hi;
+          !acc)
+    else
+      critical t (fun () ->
+          let l = local_of t in
+          take_range_lock t l { lo; hi };
+          if lo = None then L.lock_first t.locks l.txn;
+          if hi = None then L.lock_last t.locks l.txn;
+          List.fold_left (fun acc (k, v) -> f k v acc) init (merged_range t l ~lo ~hi))
+
+  let fold f t init = fold_range f t init ~lo:None ~hi:None
+  let iter f t = fold (fun k v () -> f k v) t ()
+  let to_list t = List.rev (fold (fun k v acc -> (k, v) :: acc) t [])
+
+  (* First/last bindings of the merged view of [lo, hi). *)
+  let merged_first t l ~lo ~hi =
+    let under = ref None in
+    (try
+       M.iter_range
+         (fun k v ->
+           match Coll.Ordmap.find l.buffer k with
+           | Some _ -> ()
+           | None ->
+               under := Some (k, v);
+               raise Exit)
+         t.map ~lo ~hi
+     with Exit -> ());
+    let buf = ref None in
+    (try
+       Coll.Ordmap.iter_range
+         (fun k w ->
+           match w.pending with
+           | Some v ->
+               buf := Some (k, v);
+               raise Exit
+           | None -> ())
+         l.buffer ~lo ~hi
+     with Exit -> ());
+    match (!under, !buf) with
+    | None, x | x, None -> x
+    | Some (ku, _), Some (kb, vb) when M.compare_key kb ku < 0 -> Some (kb, vb)
+    | u, _ -> u
+
+  (* First merged binding strictly above [above] (or from [lo] when [above]
+     is [None]), below [hi]. *)
+  let merged_first_above t l ~above ~lo ~hi =
+    let scan_lo = match above with Some _ as a -> a | None -> lo in
+    let strictly k =
+      match above with None -> true | Some a -> M.compare_key k a > 0
+    in
+    let under = ref None in
+    (try
+       M.iter_range
+         (fun k v ->
+           if strictly k && Coll.Ordmap.find l.buffer k = None then begin
+             under := Some (k, v);
+             raise Exit
+           end)
+         t.map ~lo:scan_lo ~hi
+     with Exit -> ());
+    let buf = ref None in
+    (try
+       Coll.Ordmap.iter_range
+         (fun k w ->
+           match w.pending with
+           | Some v when strictly k ->
+               buf := Some (k, v);
+               raise Exit
+           | _ -> ())
+         l.buffer ~lo:scan_lo ~hi
+     with Exit -> ());
+    match (!under, !buf) with
+    | None, x | x, None -> x
+    | Some (ku, _), Some (kb, vb) when M.compare_key kb ku < 0 -> Some (kb, vb)
+    | u, _ -> u
+
+  let merged_last t l ~lo ~hi =
+    match List.rev (merged_range t l ~lo ~hi) with [] -> None | x :: _ -> Some x
+
+  let first_binding t =
+    if not (TM.in_txn ()) then critical t (fun () -> M.min_binding t.map)
+    else
+      critical t (fun () ->
+          let l = local_of t in
+          L.lock_first t.locks l.txn;
+          merged_first t l ~lo:None ~hi:None)
+
+  let last_binding t =
+    if not (TM.in_txn ()) then critical t (fun () -> M.max_binding t.map)
+    else
+      critical t (fun () ->
+          let l = local_of t in
+          L.lock_last t.locks l.txn;
+          merged_last t l ~lo:None ~hi:None)
+
+  let first_key t = Option.map fst (first_binding t)
+  let last_key t = Option.map fst (last_binding t)
+
+  (* ---------------- SortedMap views (subMap/headMap/tailMap) ----------- *)
+
+  let in_bounds v k =
+    (match v.lo with None -> true | Some b -> M.compare_key k b >= 0)
+    && match v.hi with None -> true | Some b -> M.compare_key k b < 0
+
+  let sub_map t ~lo ~hi = { parent = t; lo = Some lo; hi = Some hi }
+  let head_map t ~hi = { parent = t; lo = None; hi = Some hi }
+  let tail_map t ~lo = { parent = t; lo = Some lo; hi = None }
+
+  module View = struct
+    let find v k = if in_bounds v k then find v.parent k else None
+    let mem v k = Option.is_some (find v k)
+
+    let put v k value =
+      if not (in_bounds v k) then invalid_arg "TransactionalSortedMap.View.put";
+      put v.parent k value
+
+    let remove v k =
+      if not (in_bounds v k) then
+        invalid_arg "TransactionalSortedMap.View.remove";
+      remove v.parent k
+
+    let fold f v init = fold_range f v.parent init ~lo:v.lo ~hi:v.hi
+    let iter f v = fold (fun k value () -> f k value) v ()
+    let to_list v = List.rev (fold (fun k value acc -> (k, value) :: acc) v [])
+    let size v = fold (fun _ _ n -> n + 1) v 0
+    let is_empty v = to_list v = []
+
+    (* firstKey of a view reveals the absence of any key in [lo, found):
+       a range lock over that prefix plus a key lock on the found key. *)
+    let first_binding v =
+      let t = v.parent in
+      if not (TM.in_txn ()) then
+        critical t (fun () ->
+            let r = ref None in
+            (try
+               M.iter_range
+                 (fun k value ->
+                   r := Some (k, value);
+                   raise Exit)
+                 t.map ~lo:v.lo ~hi:v.hi
+             with Exit -> ());
+            !r)
+      else
+        critical t (fun () ->
+            let l = local_of t in
+            match merged_first t l ~lo:v.lo ~hi:v.hi with
+            | None ->
+                take_range_lock t l { lo = v.lo; hi = v.hi };
+                None
+            | Some (k, value) ->
+                take_range_lock t l { lo = v.lo; hi = Some k };
+                lock_key t l k;
+                Some (k, value))
+
+    let last_binding v =
+      let t = v.parent in
+      if not (TM.in_txn ()) then
+        critical t (fun () ->
+            let r = ref None in
+            M.iter_range (fun k value -> r := Some (k, value)) t.map ~lo:v.lo
+              ~hi:v.hi;
+            !r)
+      else
+        critical t (fun () ->
+            let l = local_of t in
+            match merged_last t l ~lo:v.lo ~hi:v.hi with
+            | None ->
+                take_range_lock t l { lo = v.lo; hi = v.hi };
+                None
+            | Some (k, value) ->
+                (* Conservative: [k, hi) covers the suffix whose emptiness
+                   above [k] the answer reveals, plus [k] itself. *)
+                take_range_lock t l { lo = Some k; hi = v.hi };
+                lock_key t l k;
+                Some (k, value))
+
+    let first_key v = Option.map fst (first_binding v)
+    let last_key v = Option.map fst (last_binding v)
+  end
+
+  (* ---------------- ordered cursor (Table 5 iterator) ---------------- *)
+
+  (* An incremental ordered iterator with the exact locking of Table 5:
+     each [next] extends the transaction's range lock over the span it has
+     observed ([previous key, returned key)), takes a key lock on the
+     returned key, and — when the iteration starts at the map's minimum —
+     a first lock; exhaustion locks the remaining span up to [hi], plus the
+     last lock when [hi] is unbounded.  Unlike [fold_range], the span ahead
+     of the cursor stays unlocked, so inserts ahead of the cursor commute
+     (and are observed live) while inserts behind it abort the iterator. *)
+  type 'v cursor = {
+    cparent : 'v t;
+    clo : M.key option;
+    chi : M.key option;
+    mutable cpos : M.key option; (* last returned key *)
+    mutable cexhausted : bool;
+  }
+
+  let cursor ?lo ?hi t =
+    if TM.in_txn () then
+      critical t (fun () ->
+          let l = local_of t in
+          if lo = None then L.lock_first t.locks l.txn);
+    { cparent = t; clo = lo; chi = hi; cpos = None; cexhausted = false }
+
+  let cursor_next c =
+    let t = c.cparent in
+    critical t (fun () ->
+        if not (TM.in_txn ()) then begin
+          (* Outside a transaction: plain ordered walk of the committed map. *)
+          let r = ref None in
+          (try
+             M.iter_range
+               (fun k v ->
+                 let ok =
+                   match c.cpos with
+                   | None -> true
+                   | Some p -> M.compare_key k p > 0
+                 in
+                 if ok then begin
+                   r := Some (k, v);
+                   raise Exit
+                 end)
+               t.map ~lo:c.clo ~hi:c.chi
+           with Exit -> ());
+          (match !r with Some (k, _) -> c.cpos <- Some k | None -> ());
+          !r
+        end
+        else begin
+          let l = local_of t in
+          let span_lo = match c.cpos with Some _ as p -> p | None -> c.clo in
+          match merged_first_above t l ~above:c.cpos ~lo:c.clo ~hi:c.chi with
+          | Some (k, v) ->
+              take_range_lock t l { lo = span_lo; hi = Some k };
+              lock_key t l k;
+              c.cpos <- Some k;
+              Some (k, v)
+          | None ->
+              if not c.cexhausted then begin
+                c.cexhausted <- true;
+                take_range_lock t l { lo = span_lo; hi = c.chi };
+                if c.chi = None then L.lock_last t.locks l.txn
+              end;
+              None
+        end)
+
+  (* ---------------- introspection ---------------- *)
+
+  let holds_key_lock t k =
+    critical t (fun () -> L.key_locked_by t.locks (TM.current ()) k)
+
+  let holds_size_lock t =
+    critical t (fun () -> L.size_locked_by t.locks (TM.current ()))
+
+  let holds_range_lock t =
+    critical t (fun () -> L.range_locked_by t.locks (TM.current ()))
+
+  let holds_first_lock t =
+    critical t (fun () -> L.first_locked_by t.locks (TM.current ()))
+
+  let holds_last_lock t =
+    critical t (fun () -> L.last_locked_by t.locks (TM.current ()))
+
+  let outstanding_locks t = critical t (fun () -> L.total_lockers t.locks)
+
+  (* Live rendering of Table 6's state inventory. *)
+  let dump_state ppf t =
+    critical t (fun () ->
+        Format.fprintf ppf "Committed state:@.";
+        Format.fprintf ppf "  sortedMap           %d bindings@." (M.size t.map);
+        Format.fprintf ppf "  comparator          (read-only)@.";
+        Format.fprintf ppf "Shared transactional state (open-nested):@.";
+        Format.fprintf ppf "  key2lockers         %d entries@."
+          (Coll.Chain_hashmap.size t.locks.L.key_lockers);
+        Format.fprintf ppf "  sizeLockers         %d@."
+          (List.length t.locks.L.size_lockers);
+        Format.fprintf ppf "  firstLockers        %d@."
+          (List.length t.locks.L.first_lockers);
+        Format.fprintf ppf "  lastLockers         %d@."
+          (List.length t.locks.L.last_lockers);
+        Format.fprintf ppf "  rangeLockers        %d@."
+          (List.length t.locks.L.range_lockers);
+        Format.fprintf ppf "Local transactional state (%d active txns):@."
+          (Hashtbl.length t.locals);
+        Hashtbl.iter
+          (fun id l ->
+            Format.fprintf ppf
+              "  txn %-6d sortedStoreBuffer=%d entries, keyLocks=%d@." id
+              (Coll.Ordmap.size l.buffer)
+              (List.length l.key_locks))
+          t.locals)
+end

@@ -1,0 +1,122 @@
+(** TransactionalSortedMap (paper §3.2): extends the TransactionalMap design
+    to the [SortedMap] abstract data type — ordered iteration, range views
+    ([subMap]/[headMap]/[tailMap]) and first/last endpoints — with the
+    semantic locks of Table 5: range locks over iterated spans and
+    first/last locks on the endpoints, so that a put or remove conflicts
+    exactly with the transactions whose ordered observations it
+    invalidates. *)
+
+module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) : sig
+  type 'v t
+
+  type isempty_policy = Dedicated | Via_size
+
+  (** As in {!Transactional_map.Make}: when write conflicts are detected. *)
+  type write_policy = Optimistic | Pessimistic_aggressive | Pessimistic_timid
+
+  val create :
+    ?isempty_policy:isempty_policy ->
+    ?write_policy:write_policy ->
+    ?copy_key:(M.key -> M.key) ->
+    unit ->
+    'v t
+
+  val wrap :
+    ?isempty_policy:isempty_policy ->
+    ?write_policy:write_policy ->
+    ?copy_key:(M.key -> M.key) ->
+    'v M.t ->
+    'v t
+  val compare_key : M.key -> M.key -> int
+
+  (** {1 Point operations} (as TransactionalMap) *)
+
+  val find : 'v t -> M.key -> 'v option
+  val mem : 'v t -> M.key -> bool
+  val put : 'v t -> M.key -> 'v -> 'v option
+  val remove : 'v t -> M.key -> 'v option
+  val put_blind : 'v t -> M.key -> 'v -> unit
+  val remove_blind : 'v t -> M.key -> unit
+  val size : 'v t -> int
+  val is_empty : 'v t -> bool
+
+  (** {1 Ordered access} *)
+
+  val first_binding : 'v t -> (M.key * 'v) option
+  (** Takes the first lock; conflicts with commits that change the
+      minimum. *)
+
+  val last_binding : 'v t -> (M.key * 'v) option
+  val first_key : 'v t -> M.key option
+  val last_key : 'v t -> M.key option
+
+  val fold_range :
+    (M.key -> 'v -> 'acc -> 'acc) ->
+    'v t ->
+    'acc ->
+    lo:M.key option ->
+    hi:M.key option ->
+    'acc
+  (** In-order fold over [lo <= k < hi] (half-open, Java [subMap] style),
+      merging the transaction's sorted store buffer.  Takes a range lock
+      over the span, plus the first lock when [lo = None] and the last lock
+      when [hi = None]. *)
+
+  val fold : (M.key -> 'v -> 'acc -> 'acc) -> 'v t -> 'acc -> 'acc
+  val iter : (M.key -> 'v -> unit) -> 'v t -> unit
+  val to_list : 'v t -> (M.key * 'v) list
+
+  (** {1 Views} — mutable [SortedMap] views as in Java *)
+
+  type 'v view
+
+  val sub_map : 'v t -> lo:M.key -> hi:M.key -> 'v view
+  val head_map : 'v t -> hi:M.key -> 'v view
+  val tail_map : 'v t -> lo:M.key -> 'v view
+
+  module View : sig
+    val find : 'v view -> M.key -> 'v option
+    val mem : 'v view -> M.key -> bool
+
+    val put : 'v view -> M.key -> 'v -> 'v option
+    (** @raise Invalid_argument outside the view's bounds. *)
+
+    val remove : 'v view -> M.key -> 'v option
+    val fold : (M.key -> 'v -> 'acc -> 'acc) -> 'v view -> 'acc -> 'acc
+    val iter : (M.key -> 'v -> unit) -> 'v view -> unit
+    val to_list : 'v view -> (M.key * 'v) list
+    val size : 'v view -> int
+    val is_empty : 'v view -> bool
+
+    val first_binding : 'v view -> (M.key * 'v) option
+    (** Reveals the absence of keys in [lo, found): takes a range lock over
+        that prefix and a key lock on the found key. *)
+
+    val last_binding : 'v view -> (M.key * 'v) option
+    val first_key : 'v view -> M.key option
+    val last_key : 'v view -> M.key option
+  end
+
+  (** {1 Ordered cursor} — the incremental iterator of Table 5: each [next]
+      extends the range lock over the observed span and key-locks the
+      returned binding, so inserts behind the cursor conflict while inserts
+      ahead of it commute (and are observed live); exhaustion locks the
+      remaining span, plus the last lock when unbounded. *)
+
+  type 'v cursor
+
+  val cursor : ?lo:M.key -> ?hi:M.key -> 'v t -> 'v cursor
+  val cursor_next : 'v cursor -> (M.key * 'v) option
+
+  (** {1 Introspection} *)
+
+  val holds_key_lock : 'v t -> M.key -> bool
+  val holds_size_lock : 'v t -> bool
+  val holds_range_lock : 'v t -> bool
+  val holds_first_lock : 'v t -> bool
+  val holds_last_lock : 'v t -> bool
+  val outstanding_locks : 'v t -> int
+
+  val dump_state : Format.formatter -> 'v t -> unit
+  (** Live rendering of Table 6's state inventory. *)
+end

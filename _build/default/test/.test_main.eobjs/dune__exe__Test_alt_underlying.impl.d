@@ -1,0 +1,1 @@
+test/test_alt_underlying.ml: Alcotest Atomic Coll Domain Hashtbl Int List Random Tcc_stm Txcoll

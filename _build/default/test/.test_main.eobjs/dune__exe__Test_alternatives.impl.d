@@ -1,0 +1,1 @@
+test/test_alternatives.ml: Alcotest Atomic Domain Hashtbl List QCheck Tcc_stm Txcoll

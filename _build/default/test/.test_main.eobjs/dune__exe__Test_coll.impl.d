@@ -1,0 +1,1 @@
+test/test_coll.ml: Alcotest Coll Hashtbl Int List Option Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_cursors.ml: Alcotest Atomic Domain List Tcc_stm Txcoll

@@ -1,0 +1,1 @@
+test/test_equivalence.ml: List Printf QCheck QCheck_alcotest String Tcc_stm Txcoll

@@ -1,0 +1,1 @@
+test/test_jbb.ml: Alcotest Harness Jbb List Option Printf Sim

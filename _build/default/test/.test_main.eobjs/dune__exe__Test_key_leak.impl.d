@@ -1,0 +1,1 @@
+test/test_key_leak.ml: Alcotest Atomic Domain Hashtbl Tcc_stm Txcoll

@@ -1,0 +1,1 @@
+test/test_semlock.ml: Alcotest Array Hashtbl Int List QCheck QCheck_alcotest Tcc_stm Txcoll

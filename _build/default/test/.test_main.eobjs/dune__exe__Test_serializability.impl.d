@@ -1,0 +1,1 @@
+test/test_serializability.ml: Alcotest Domain Int List Map Mutex Printf Random Tcc_stm Txcoll

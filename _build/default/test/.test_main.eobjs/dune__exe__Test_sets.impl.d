@@ -1,0 +1,1 @@
+test/test_sets.ml: Alcotest Atomic Buffer Domain Format Harness List String Tcc_stm Txcoll

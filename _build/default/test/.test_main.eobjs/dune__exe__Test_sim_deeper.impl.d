@@ -1,0 +1,1 @@
+test/test_sim_deeper.ml: Alcotest Array Atomic Harness Sim Sim_ds Txcoll

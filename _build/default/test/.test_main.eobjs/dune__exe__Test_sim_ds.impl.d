@@ -1,0 +1,1 @@
+test/test_sim_ds.ml: Alcotest Array Fun Hashtbl Int List Option Printf Random Sim Sim_ds Txcoll

@@ -1,0 +1,1 @@
+test/test_soak.ml: Alcotest Atomic Domain Hashtbl List Random Stm_ds Tcc_stm Txcoll

@@ -1,0 +1,1 @@
+test/test_stm.ml: Alcotest Array Atomic Domain List QCheck QCheck_alcotest Tcc_stm

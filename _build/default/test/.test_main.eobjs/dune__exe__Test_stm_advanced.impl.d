@@ -1,0 +1,1 @@
+test/test_stm_advanced.ml: Alcotest Array Atomic Domain Int List Random Tcc_stm Txcoll

@@ -1,0 +1,1 @@
+test/test_stm_ds.ml: Alcotest Array Domain Hashtbl Int List Option Printf QCheck QCheck_alcotest Stm_ds String Tcc_stm

@@ -1,0 +1,1 @@
+test/test_txcoll_map.ml: Alcotest Atomic Domain Int List Map Printf QCheck QCheck_alcotest String Tcc_stm Txcoll

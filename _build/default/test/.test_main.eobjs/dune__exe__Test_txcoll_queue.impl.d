@@ -1,0 +1,1 @@
+test/test_txcoll_queue.ml: Alcotest Atomic Domain List Option Tcc_stm Txcoll

@@ -1,0 +1,1 @@
+test/test_txcoll_sorted.ml: Alcotest Atomic Domain Int List Map Option Printf QCheck QCheck_alcotest String Tcc_stm Txcoll

@@ -1,0 +1,330 @@
+(* The same wrapper, different internals: run one shared test suite against
+   TransactionalMap over chaining and over open addressing, and against
+   TransactionalSortedMap over the AVL tree and over the skip list.  This is
+   the paper's central engineering claim — semantic concurrency control
+   needs no knowledge of the wrapped implementation. *)
+
+module Stm = Tcc_stm.Stm
+
+(* ---------------- model tests for the new plain structures ---------- *)
+
+let test_skiplist_model () =
+  let s = Coll.Skiplist.create ~compare:Int.compare () in
+  let model = Hashtbl.create 16 in
+  let rng = Random.State.make [| 5 |] in
+  for _ = 1 to 3000 do
+    let k = Random.State.int rng 128 in
+    if Random.State.int rng 3 < 2 then begin
+      let v = Random.State.int rng 1000 in
+      Coll.Skiplist.add s k v;
+      Hashtbl.replace model k v
+    end
+    else begin
+      Coll.Skiplist.remove s k;
+      Hashtbl.remove model k
+    end
+  done;
+  Coll.Skiplist.check_invariants s;
+  Alcotest.(check int) "size" (Hashtbl.length model) (Coll.Skiplist.size s);
+  Hashtbl.iter
+    (fun k v ->
+      Alcotest.(check (option int)) "find" (Some v) (Coll.Skiplist.find s k))
+    model;
+  let keys = List.map fst (Coll.Skiplist.to_list s) in
+  Alcotest.(check (list int)) "sorted" (List.sort Int.compare keys) keys
+
+let test_skiplist_range () =
+  let s = Coll.Skiplist.create ~compare:Int.compare () in
+  for k = 0 to 30 do
+    Coll.Skiplist.add s k (k * 2)
+  done;
+  let got = ref [] in
+  Coll.Skiplist.iter_range (fun k _ -> got := k :: !got) s ~lo:(Some 10)
+    ~hi:(Some 15);
+  Alcotest.(check (list int)) "range" [ 10; 11; 12; 13; 14 ] (List.rev !got);
+  Alcotest.(check (option (pair int int)))
+    "min" (Some (0, 0))
+    (Coll.Skiplist.min_binding s);
+  Alcotest.(check (option (pair int int)))
+    "max" (Some (30, 60))
+    (Coll.Skiplist.max_binding s)
+
+let test_oa_model () =
+  let h = Coll.Oa_hashmap.create ~initial_capacity:4 () in
+  let model = Hashtbl.create 16 in
+  let rng = Random.State.make [| 6 |] in
+  for _ = 1 to 3000 do
+    let k = Random.State.int rng 64 in
+    if Random.State.int rng 3 < 2 then begin
+      let v = Random.State.int rng 1000 in
+      Coll.Oa_hashmap.add h k v;
+      Hashtbl.replace model k v
+    end
+    else begin
+      Coll.Oa_hashmap.remove h k;
+      Hashtbl.remove model k
+    end
+  done;
+  Alcotest.(check int) "size" (Hashtbl.length model) (Coll.Oa_hashmap.size h);
+  Hashtbl.iter
+    (fun k v ->
+      Alcotest.(check (option int)) "find" (Some v) (Coll.Oa_hashmap.find h k))
+    model
+
+let test_oa_tombstone_reuse () =
+  let h = Coll.Oa_hashmap.create ~initial_capacity:4 ~hash:(fun _ -> 0) () in
+  (* Force one probe chain: all keys collide. *)
+  Coll.Oa_hashmap.add h 1 10;
+  Coll.Oa_hashmap.add h 2 20;
+  Coll.Oa_hashmap.remove h 1;
+  Alcotest.(check (option int)) "later key still reachable" (Some 20)
+    (Coll.Oa_hashmap.find h 2);
+  Coll.Oa_hashmap.add h 3 30;
+  Alcotest.(check int) "size" 2 (Coll.Oa_hashmap.size h);
+  Alcotest.(check (option int)) "reused slot" (Some 30) (Coll.Oa_hashmap.find h 3)
+
+(* ---------------- shared wrapper suite ---------------- *)
+
+module type WRAPPED_MAP = sig
+  type 'v t
+
+  val create : unit -> 'v t
+  val find : 'v t -> int -> 'v option
+  val put : 'v t -> int -> 'v -> 'v option
+  val remove : 'v t -> int -> 'v option
+  val size : 'v t -> int
+  val outstanding_locks : 'v t -> int
+end
+
+let conflict_scenario ~reader ~writer =
+  let phase = Atomic.make 0 in
+  let signal n = if Atomic.get phase < n then Atomic.set phase n in
+  let await n =
+    while Atomic.get phase < n do
+      Domain.cpu_relax ()
+    done
+  in
+  let attempts = ref 0 in
+  let d1 =
+    Domain.spawn (fun () ->
+        Stm.atomic (fun () ->
+            incr attempts;
+            reader ();
+            signal 1;
+            if !attempts = 1 then await 2))
+  in
+  let d2 =
+    Domain.spawn (fun () ->
+        await 1;
+        Stm.atomic writer;
+        signal 2)
+  in
+  Domain.join d1;
+  Domain.join d2;
+  !attempts
+
+module Map_suite (Name : sig
+  val name : string
+end)
+(M : WRAPPED_MAP) =
+struct
+  let test_compose () =
+    let m = M.create () in
+    Stm.atomic (fun () ->
+        ignore (M.put m 1 "a");
+        ignore (M.put m 2 "b");
+        Alcotest.(check (option string)) "own write" (Some "a") (M.find m 1));
+    Alcotest.(check int) "committed" 2 (M.size m);
+    Alcotest.(check int) "no leaks" 0 (M.outstanding_locks m)
+
+  let test_abort () =
+    let m = M.create () in
+    ignore (M.put m 1 "keep");
+    (try
+       Stm.atomic (fun () ->
+           ignore (M.put m 1 "drop");
+           ignore (M.remove m 1);
+           ignore (M.put m 9 "drop");
+           Stm.self_abort ())
+     with Stm.Aborted -> ());
+    Alcotest.(check (option string)) "unchanged" (Some "keep") (M.find m 1);
+    Alcotest.(check int) "size" 1 (M.size m)
+
+  let test_conflict () =
+    let m = M.create () in
+    ignore (M.put m 5 "x");
+    let n =
+      conflict_scenario
+        ~reader:(fun () -> ignore (M.find m 5))
+        ~writer:(fun () -> ignore (M.put m 5 "y"))
+    in
+    Alcotest.(check int) "same-key conflict" 2 n;
+    let n' =
+      conflict_scenario
+        ~reader:(fun () -> ignore (M.find m 5))
+        ~writer:(fun () -> ignore (M.put m 6 "z"))
+    in
+    Alcotest.(check int) "disjoint keys commute" 1 n'
+
+  let test_parallel_model () =
+    let m = M.create () in
+    let worker base () =
+      for i = 0 to 149 do
+        Stm.atomic (fun () -> ignore (M.put m (base + i) "v"))
+      done
+    in
+    let ds = [ Domain.spawn (worker 0); Domain.spawn (worker 1000) ] in
+    List.iter Domain.join ds;
+    Alcotest.(check int) "all inserts" 300 (M.size m);
+    Alcotest.(check int) "no stale locks" 0 (M.outstanding_locks m)
+
+  let suite =
+    ( "wrapped-map." ^ Name.name,
+      [
+        Alcotest.test_case "compose" `Quick test_compose;
+        Alcotest.test_case "abort" `Quick test_abort;
+        Alcotest.test_case "conflicts" `Quick test_conflict;
+        Alcotest.test_case "parallel" `Quick test_parallel_model;
+      ] )
+end
+
+module type WRAPPED_SORTED = sig
+  type 'v t
+
+  val create : unit -> 'v t
+  val find : 'v t -> int -> 'v option
+  val put : 'v t -> int -> 'v -> 'v option
+  val remove : 'v t -> int -> 'v option
+  val size : 'v t -> int
+  val first_key : 'v t -> int option
+  val last_key : 'v t -> int option
+  val to_list : 'v t -> (int * 'v) list
+
+  val fold_range :
+    (int -> 'v -> 'acc -> 'acc) ->
+    'v t ->
+    'acc ->
+    lo:int option ->
+    hi:int option ->
+    'acc
+
+  val outstanding_locks : 'v t -> int
+end
+
+module Sorted_suite (Name : sig
+  val name : string
+end)
+(M : WRAPPED_SORTED) =
+struct
+  let seeded () =
+    let m = M.create () in
+    List.iter (fun k -> ignore (M.put m k k)) [ 10; 20; 30; 40 ];
+    m
+
+  let test_ordered () =
+    let m = seeded () in
+    Stm.atomic (fun () ->
+        ignore (M.put m 25 25);
+        ignore (M.remove m 40);
+        Alcotest.(check (list int)) "merged order" [ 10; 20; 25; 30 ]
+          (List.map fst (M.to_list m));
+        Alcotest.(check (option int)) "first" (Some 10) (M.first_key m);
+        Alcotest.(check (option int)) "last" (Some 30) (M.last_key m));
+    Alcotest.(check int) "no leaks" 0 (M.outstanding_locks m)
+
+  let test_range () =
+    let m = seeded () in
+    Stm.atomic (fun () ->
+        let ks =
+          List.rev
+            (M.fold_range (fun k _ acc -> k :: acc) m [] ~lo:(Some 15)
+               ~hi:(Some 35))
+        in
+        Alcotest.(check (list int)) "range" [ 20; 30 ] ks)
+
+  let test_range_conflict () =
+    let m = seeded () in
+    let n =
+      conflict_scenario
+        ~reader:(fun () ->
+          ignore (M.fold_range (fun _ _ a -> a) m () ~lo:(Some 15) ~hi:(Some 35)))
+        ~writer:(fun () -> ignore (M.put m 25 25))
+    in
+    Alcotest.(check int) "insert in range aborts" 2 n;
+    let n' =
+      conflict_scenario
+        ~reader:(fun () ->
+          ignore (M.fold_range (fun _ _ a -> a) m () ~lo:(Some 15) ~hi:(Some 35)))
+        ~writer:(fun () -> ignore (M.put m 45 45))
+    in
+    Alcotest.(check int) "insert outside commutes" 1 n'
+
+  let test_endpoint_conflict () =
+    let m = seeded () in
+    let n =
+      conflict_scenario
+        ~reader:(fun () -> ignore (M.first_key m))
+        ~writer:(fun () -> ignore (M.put m 1 1))
+    in
+    Alcotest.(check int) "new min aborts firstKey" 2 n
+
+  let suite =
+    ( "wrapped-sorted." ^ Name.name,
+      [
+        Alcotest.test_case "ordered merge" `Quick test_ordered;
+        Alcotest.test_case "range" `Quick test_range;
+        Alcotest.test_case "range conflict" `Quick test_range_conflict;
+        Alcotest.test_case "endpoint conflict" `Quick test_endpoint_conflict;
+      ] )
+end
+
+(* ---------------- instantiations ---------------- *)
+
+module Chain = Txcoll.Host.Map (Txcoll.Host.Int_hashed)
+module Oa = Txcoll.Host.Map_over_open_addressing (Txcoll.Host.Int_hashed)
+module Avl = Txcoll.Host.Sorted_map (Txcoll.Host.Int_ordered)
+module Skip = Txcoll.Host.Sorted_map_over_skiplist (Txcoll.Host.Int_ordered)
+
+module Chain_adapter = struct
+  include Chain
+
+  let create () = Chain.create ()
+end
+
+module Oa_adapter = struct
+  include Oa
+
+  let create () = Oa.create ()
+end
+
+module Avl_adapter = struct
+  include Avl
+
+  let create () = Avl.create ()
+end
+
+module Skip_adapter = struct
+  include Skip
+
+  let create () = Skip.create ()
+end
+
+module S1 = Map_suite (struct let name = "chaining" end) (Chain_adapter)
+module S2 = Map_suite (struct let name = "open-addressing" end) (Oa_adapter)
+module S3 = Sorted_suite (struct let name = "avl" end) (Avl_adapter)
+module S4 = Sorted_suite (struct let name = "skiplist" end) (Skip_adapter)
+
+let suites =
+  [
+    ( "coll.alt",
+      [
+        Alcotest.test_case "skiplist model" `Quick test_skiplist_model;
+        Alcotest.test_case "skiplist range" `Quick test_skiplist_range;
+        Alcotest.test_case "open-addressing model" `Quick test_oa_model;
+        Alcotest.test_case "tombstone reuse" `Quick test_oa_tombstone_reuse;
+      ] );
+    S1.suite;
+    S2.suite;
+    S3.suite;
+    S4.suite;
+  ]

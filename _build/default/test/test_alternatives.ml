@@ -1,0 +1,201 @@
+(* Tests for the §5.1 alternative implementation strategies: pessimistic
+   semantic conflict detection and the undo-logging map. *)
+
+module Stm = Tcc_stm.Stm
+module IM = Txcoll.Host.Map (Txcoll.Host.Int_hashed)
+module UM = Txcoll.Host.Map_undo (Txcoll.Host.Int_hashed)
+
+let conflict_scenario ~reader ~writer =
+  let phase = Atomic.make 0 in
+  let signal n = if Atomic.get phase < n then Atomic.set phase n in
+  let await n =
+    while Atomic.get phase < n do
+      Domain.cpu_relax ()
+    done
+  in
+  let attempts = ref 0 in
+  let d1 =
+    Domain.spawn (fun () ->
+        Stm.atomic (fun () ->
+            incr attempts;
+            reader ();
+            signal 1;
+            if !attempts = 1 then await 2))
+  in
+  let d2 =
+    Domain.spawn (fun () ->
+        await 1;
+        Stm.atomic writer;
+        signal 2)
+  in
+  Domain.join d1;
+  Domain.join d2;
+  !attempts
+
+(* ---------------- pessimistic write policies ---------------- *)
+
+let test_pessimistic_aggressive_aborts_reader_early () =
+  let m = IM.create ~write_policy:IM.Pessimistic_aggressive () in
+  ignore (IM.put m 1 "seed");
+  (* The reader holds the key lock; the pessimistic writer aborts it at
+     operation time — before the writer even commits. *)
+  let n =
+    conflict_scenario
+      ~reader:(fun () -> ignore (IM.find m 1))
+      ~writer:(fun () -> ignore (IM.put m 1 "w"))
+  in
+  Alcotest.(check int) "reader aborted" 2 n
+
+let test_pessimistic_policies_still_correct () =
+  List.iter
+    (fun policy ->
+      let m = IM.create ~write_policy:policy () in
+      let worker base () =
+        for i = 0 to 99 do
+          Stm.atomic (fun () -> ignore (IM.put m (base + i) i))
+        done
+      in
+      let ds = [ Domain.spawn (worker 0); Domain.spawn (worker 1000) ] in
+      List.iter Domain.join ds;
+      Alcotest.(check int) "all inserts" 200 (IM.size m);
+      Alcotest.(check int) "no leaks" 0 (IM.outstanding_locks m))
+    [ IM.Pessimistic_aggressive; IM.Pessimistic_timid ]
+
+let test_pessimistic_timid_single_thread_noop () =
+  (* Timid self-retry must not trigger on the transaction's own locks. *)
+  let m = IM.create ~write_policy:IM.Pessimistic_timid () in
+  Stm.atomic (fun () ->
+      ignore (IM.find m 3);
+      ignore (IM.put m 3 "mine");
+      ignore (IM.put m 3 "again"));
+  Alcotest.(check (option string)) "committed" (Some "again") (IM.find m 3)
+
+(* ---------------- undo-logging map ---------------- *)
+
+let test_undo_basic_semantics () =
+  let m = UM.create () in
+  ignore (UM.put m 1 "a");
+  Stm.atomic (fun () ->
+      Alcotest.(check (option string)) "put returns old" (Some "a")
+        (UM.put m 1 "b");
+      Alcotest.(check (option string)) "read own in-place write" (Some "b")
+        (UM.find m 1);
+      ignore (UM.put m 2 "c");
+      Alcotest.(check int) "size live" 2 (UM.size m));
+  Alcotest.(check (option string)) "committed" (Some "b") (UM.find m 1);
+  Alcotest.(check int) "no leaks" 0 (UM.outstanding_locks m)
+
+let test_undo_abort_compensates () =
+  let m = UM.create () in
+  ignore (UM.put m 1 "keep");
+  ignore (UM.put m 2 "also");
+  (try
+     Stm.atomic (fun () ->
+         ignore (UM.put m 1 "dirty");
+         ignore (UM.remove m 2);
+         ignore (UM.put m 3 "new");
+         ignore (UM.put m 3 "newer");
+         Stm.self_abort ())
+   with Stm.Aborted -> ());
+  Alcotest.(check (option string)) "overwrite undone" (Some "keep") (UM.find m 1);
+  Alcotest.(check (option string)) "remove undone" (Some "also") (UM.find m 2);
+  Alcotest.(check (option string)) "insert undone" None (UM.find m 3);
+  Alcotest.(check int) "size restored" 2 (UM.size m);
+  Alcotest.(check int) "no leaks" 0 (UM.outstanding_locks m)
+
+let test_undo_writer_aborts_reader () =
+  let m = UM.create () in
+  ignore (UM.put m 1 "seed");
+  let n =
+    conflict_scenario
+      ~reader:(fun () -> ignore (UM.find m 1))
+      ~writer:(fun () -> ignore (UM.put m 1 "w"))
+  in
+  Alcotest.(check int) "in-place writer aborts reader at op time" 2 n
+
+let test_undo_parallel_correct () =
+  let m = UM.create () in
+  (* Every ninth insert forces one transparent retry (first attempt only),
+     exercising the undo path under parallelism. *)
+  let worker base () =
+    for i = 0 to 99 do
+      let first = ref true in
+      Stm.atomic (fun () ->
+          ignore (UM.put m (base + i) i);
+          if i mod 9 = 0 && !first then begin
+            first := false;
+            Stm.retry_now () |> ignore
+          end)
+    done
+  in
+  let ds = [ Domain.spawn (worker 0); Domain.spawn (worker 1000) ] in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "all inserts survive" 200 (UM.size m);
+  Alcotest.(check int) "no leaks" 0 (UM.outstanding_locks m)
+
+let test_undo_write_write_waits () =
+  (* Two transactions writing the same key serialize without losing either
+     update's effect; the final value is from the later-committed one. *)
+  for _ = 1 to 10 do
+    let m = UM.create () in
+    ignore (UM.put m 7 "init");
+    let body tag () =
+      Stm.atomic (fun () -> ignore (UM.put m 7 tag))
+    in
+    let d1 = Domain.spawn (body "one") and d2 = Domain.spawn (body "two") in
+    Domain.join d1;
+    Domain.join d2;
+    let v = UM.find m 7 in
+    Alcotest.(check bool) "one of the writers" true
+      (v = Some "one" || v = Some "two");
+    Alcotest.(check int) "no leaks" 0 (UM.outstanding_locks m)
+  done
+
+let test_undo_model_property () =
+  let prop =
+    QCheck.Test.make ~name:"undo map equals model after mixed commits/aborts"
+      ~count:60
+      QCheck.(list (triple small_nat small_int bool))
+      (fun ops ->
+        let m = UM.create () in
+        let model = Hashtbl.create 16 in
+        List.iter
+          (fun (k, v, abort) ->
+            let k = k mod 16 in
+            try
+              Stm.atomic (fun () ->
+                  ignore (UM.put m k v);
+                  if abort then Stm.self_abort ());
+              Hashtbl.replace model k v
+            with Stm.Aborted -> ())
+          ops;
+        UM.size m = Hashtbl.length model
+        && Hashtbl.fold (fun k v ok -> ok && UM.find m k = Some v) model true
+        && UM.outstanding_locks m = 0)
+  in
+  QCheck.Test.check_exn prop
+
+let suites =
+  [
+    ( "alt.pessimistic",
+      [
+        Alcotest.test_case "aggressive aborts reader early" `Quick
+          test_pessimistic_aggressive_aborts_reader_early;
+        Alcotest.test_case "policies correct in parallel" `Quick
+          test_pessimistic_policies_still_correct;
+        Alcotest.test_case "timid ignores own locks" `Quick
+          test_pessimistic_timid_single_thread_noop;
+      ] );
+    ( "alt.undo",
+      [
+        Alcotest.test_case "basic semantics" `Quick test_undo_basic_semantics;
+        Alcotest.test_case "abort compensates" `Quick test_undo_abort_compensates;
+        Alcotest.test_case "writer aborts reader" `Quick
+          test_undo_writer_aborts_reader;
+        Alcotest.test_case "parallel with retries" `Quick
+          test_undo_parallel_correct;
+        Alcotest.test_case "write-write serializes" `Quick
+          test_undo_write_write_waits;
+        Alcotest.test_case "model property" `Quick test_undo_model_property;
+      ] );
+  ]

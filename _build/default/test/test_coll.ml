@@ -1,0 +1,202 @@
+(* Model-based tests for the plain host data structures (lib/coll). *)
+
+module H = Coll.Chain_hashmap
+module O = Coll.Ordmap
+module Q = Coll.Fifo_deque
+
+(* ------------------------------------------------------------------ *)
+(* Chain_hashmap                                                       *)
+
+let test_hashmap_basic () =
+  let h = H.create () in
+  Alcotest.(check bool) "empty" true (H.is_empty h);
+  H.add h "a" 1;
+  H.add h "b" 2;
+  H.add h "a" 3;
+  Alcotest.(check int) "size counts keys once" 2 (H.size h);
+  Alcotest.(check (option int)) "replaced" (Some 3) (H.find h "a");
+  H.remove h "a";
+  Alcotest.(check (option int)) "removed" None (H.find h "a");
+  H.remove h "a";
+  Alcotest.(check int) "idempotent remove" 1 (H.size h)
+
+let test_hashmap_resize () =
+  let h = H.create ~initial_capacity:2 () in
+  for i = 0 to 999 do
+    H.add h i (i * i)
+  done;
+  Alcotest.(check int) "size after growth" 1000 (H.size h);
+  for i = 0 to 999 do
+    assert (H.find h i = Some (i * i))
+  done
+
+type map_op = Add of int * int | Remove of int | Clear
+
+let gen_map_op =
+  QCheck.Gen.(
+    frequency
+      [
+        (6, map2 (fun k v -> Add (k mod 32, v)) small_nat small_int);
+        (3, map (fun k -> Remove (k mod 32)) small_nat);
+        (1, return Clear);
+      ])
+
+let arb_map_ops =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (function
+             | Add (k, v) -> Printf.sprintf "add(%d,%d)" k v
+             | Remove k -> Printf.sprintf "rm(%d)" k
+             | Clear -> "clear")
+           ops))
+    QCheck.Gen.(list_size (int_bound 200) gen_map_op)
+
+let model_agrees apply_sut find_sut size_sut ops =
+  let model = Hashtbl.create 16 in
+  List.iter
+    (fun op ->
+      (match op with
+      | Add (k, v) -> Hashtbl.replace model k v
+      | Remove k -> Hashtbl.remove model k
+      | Clear -> Hashtbl.reset model);
+      apply_sut op)
+    ops;
+  Hashtbl.fold (fun k v ok -> ok && find_sut k = Some v) model true
+  && size_sut () = Hashtbl.length model
+
+let prop_hashmap_model =
+  QCheck.Test.make ~name:"hashmap agrees with model" ~count:200 arb_map_ops
+    (fun ops ->
+      let h = H.create ~initial_capacity:2 () in
+      let apply = function
+        | Add (k, v) -> H.add h k v
+        | Remove k -> H.remove h k
+        | Clear -> H.clear h
+      in
+      model_agrees apply (H.find h) (fun () -> H.size h) ops)
+
+(* ------------------------------------------------------------------ *)
+(* Ordmap                                                              *)
+
+let test_ordmap_basic () =
+  let m = O.create ~compare:Int.compare () in
+  List.iter (fun k -> O.add m k (string_of_int k)) [ 5; 1; 9; 3; 7 ];
+  Alcotest.(check int) "size" 5 (O.size m);
+  Alcotest.(check (option (pair int string)))
+    "min" (Some (1, "1")) (O.min_binding m);
+  Alcotest.(check (option (pair int string)))
+    "max" (Some (9, "9")) (O.max_binding m);
+  Alcotest.(check (list (pair int string)))
+    "sorted iteration"
+    [ (1, "1"); (3, "3"); (5, "5"); (7, "7"); (9, "9") ]
+    (O.to_list m);
+  O.remove m 5;
+  Alcotest.(check (option string)) "removed root-ish" None (O.find m 5);
+  O.check_balanced m
+
+let test_ordmap_range () =
+  let m = O.create ~compare:Int.compare () in
+  for i = 0 to 20 do
+    O.add m i i
+  done;
+  let collect lo hi =
+    let acc = ref [] in
+    O.iter_range (fun k _ -> acc := k :: !acc) m ~lo ~hi;
+    List.rev !acc
+  in
+  Alcotest.(check (list int)) "half-open range" [ 5; 6; 7; 8; 9 ]
+    (collect (Some 5) (Some 10));
+  Alcotest.(check (list int)) "head range" [ 0; 1; 2 ] (collect None (Some 3));
+  Alcotest.(check (list int)) "tail range" [ 18; 19; 20 ] (collect (Some 18) None)
+
+let test_ordmap_reverse_comparator () =
+  let m = O.create ~compare:(fun a b -> Int.compare b a) () in
+  List.iter (fun k -> O.add m k ()) [ 1; 2; 3 ];
+  Alcotest.(check (option (pair int unit)))
+    "min under reverse order" (Some (3, ())) (O.min_binding m)
+
+let prop_ordmap_model =
+  QCheck.Test.make ~name:"ordmap agrees with model and stays balanced"
+    ~count:200 arb_map_ops (fun ops ->
+      let m = O.create ~compare:Int.compare () in
+      let apply = function
+        | Add (k, v) -> O.add m k v
+        | Remove k -> O.remove m k
+        | Clear -> O.clear m
+      in
+      let ok = model_agrees apply (O.find m) (fun () -> O.size m) ops in
+      O.check_balanced m;
+      let sorted = O.to_list m in
+      ok
+      && sorted = List.sort (fun (a, _) (b, _) -> Int.compare a b) sorted)
+
+(* ------------------------------------------------------------------ *)
+(* Fifo_deque                                                          *)
+
+let test_deque_fifo () =
+  let q = Q.create ~initial_capacity:2 () in
+  for i = 1 to 100 do
+    Q.enqueue q i
+  done;
+  let out = List.init 100 (fun _ -> Option.get (Q.dequeue q)) in
+  Alcotest.(check (list int)) "fifo order" (List.init 100 (fun i -> i + 1)) out;
+  Alcotest.(check (option int)) "drained" None (Q.dequeue q)
+
+let test_deque_push_front () =
+  let q = Q.create () in
+  Q.enqueue q 2;
+  Q.enqueue q 3;
+  Q.push_front q 1;
+  Alcotest.(check (list int)) "front insert" [ 1; 2; 3 ] (Q.to_list q);
+  Alcotest.(check (option int)) "peek" (Some 1) (Q.peek q)
+
+let prop_deque_model =
+  QCheck.Test.make ~name:"deque agrees with two-list model" ~count:200
+    QCheck.(list (pair bool small_int))
+    (fun ops ->
+      let q = Q.create ~initial_capacity:1 () in
+      let model = ref ([] : int list) in
+      List.for_all
+        (fun (enq, v) ->
+          if enq then begin
+            Q.enqueue q v;
+            model := !model @ [ v ];
+            true
+          end
+          else
+            let expect =
+              match !model with
+              | [] -> None
+              | x :: rest ->
+                  model := rest;
+                  Some x
+            in
+            Q.dequeue q = expect)
+        ops
+      && Q.to_list q = !model)
+
+let suites =
+  [
+    ( "coll.hashmap",
+      [
+        Alcotest.test_case "basic" `Quick test_hashmap_basic;
+        Alcotest.test_case "resize" `Quick test_hashmap_resize;
+        QCheck_alcotest.to_alcotest prop_hashmap_model;
+      ] );
+    ( "coll.ordmap",
+      [
+        Alcotest.test_case "basic" `Quick test_ordmap_basic;
+        Alcotest.test_case "range iteration" `Quick test_ordmap_range;
+        Alcotest.test_case "reverse comparator" `Quick
+          test_ordmap_reverse_comparator;
+        QCheck_alcotest.to_alcotest prop_ordmap_model;
+      ] );
+    ( "coll.deque",
+      [
+        Alcotest.test_case "fifo" `Quick test_deque_fifo;
+        Alcotest.test_case "push front" `Quick test_deque_push_front;
+        QCheck_alcotest.to_alcotest prop_deque_model;
+      ] );
+  ]

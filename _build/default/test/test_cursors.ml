@@ -1,0 +1,229 @@
+(* Tests for cursor-style iterators: the Map iterator's two size-lock
+   policies and the SortedMap's incremental range-locking cursor. *)
+
+module Stm = Tcc_stm.Stm
+module IM = Txcoll.Host.Map (Txcoll.Host.Int_hashed)
+module SM = Txcoll.Host.Sorted_map (Txcoll.Host.Int_ordered)
+
+let drain_im c =
+  let rec go acc =
+    match IM.next c with Some kv -> go (kv :: acc) | None -> List.rev acc
+  in
+  go []
+
+let drain_sm c =
+  let rec go acc =
+    match SM.cursor_next c with Some kv -> go (kv :: acc) | None -> List.rev acc
+  in
+  go []
+
+(* Two-phase scenario: the reader runs [before] inside a transaction,
+   the writer commits, the reader runs [after]; returns reader attempts. *)
+let mid_iteration_scenario ~before ~writer ~after =
+  let phase = Atomic.make 0 in
+  let signal n = if Atomic.get phase < n then Atomic.set phase n in
+  let await n =
+    while Atomic.get phase < n do
+      Domain.cpu_relax ()
+    done
+  in
+  let attempts = ref 0 in
+  let d1 =
+    Domain.spawn (fun () ->
+        Stm.atomic (fun () ->
+            incr attempts;
+            let st = before () in
+            if !attempts = 1 then begin
+              signal 1;
+              await 2
+            end;
+            after st))
+  in
+  let d2 =
+    Domain.spawn (fun () ->
+        await 1;
+        Stm.atomic writer;
+        signal 2)
+  in
+  Domain.join d1;
+  Domain.join d2;
+  !attempts
+
+(* ---------------- Map cursor ---------------- *)
+
+let test_map_cursor_enumerates_merged_state () =
+  let m = IM.create () in
+  List.iter (fun k -> ignore (IM.put m k (10 * k))) [ 1; 2; 3 ];
+  Stm.atomic (fun () ->
+      ignore (IM.remove m 2);
+      ignore (IM.put m 4 40);
+      ignore (IM.put m 1 11);
+      let got = List.sort compare (drain_im (IM.cursor m)) in
+      Alcotest.(check (list (pair int int)))
+        "buffer merged" [ (1, 11); (3, 30); (4, 40) ] got)
+
+let test_map_cursor_outside_txn () =
+  let m = IM.create () in
+  ignore (IM.put m 5 50);
+  Alcotest.(check (list (pair int int))) "plain snapshot" [ (5, 50) ]
+    (drain_im (IM.cursor m))
+
+let test_map_cursor_locks_returned_keys () =
+  let m = IM.create () in
+  ignore (IM.put m 7 70);
+  Stm.atomic (fun () ->
+      let c = IM.cursor ~size_lock:`At_exhaustion m in
+      ignore (IM.next c);
+      Alcotest.(check bool) "key locked by next" true (IM.holds_key_lock m 7);
+      Alcotest.(check bool) "size not yet locked" false (IM.holds_size_lock m);
+      ignore (IM.next c);
+      Alcotest.(check bool) "size locked at exhaustion" true
+        (IM.holds_size_lock m))
+
+let test_map_cursor_eager_policy_aborts_on_insert () =
+  let m = IM.create () in
+  ignore (IM.put m 1 1);
+  let n =
+    mid_iteration_scenario
+      ~before:(fun () ->
+        let c = IM.cursor ~size_lock:`Eager m in
+        ignore (IM.next c);
+        c)
+      ~writer:(fun () -> ignore (IM.put m 99 99))
+      ~after:(fun c -> ignore (drain_im c))
+  in
+  Alcotest.(check int) "eager iterator aborted by insert" 2 n
+
+let test_map_cursor_lazy_policy_admits_insert () =
+  let m = IM.create () in
+  ignore (IM.put m 1 1);
+  let n =
+    mid_iteration_scenario
+      ~before:(fun () ->
+        let c = IM.cursor ~size_lock:`At_exhaustion m in
+        ignore (IM.next c);
+        c)
+      ~writer:(fun () -> ignore (IM.put m 99 99))
+      ~after:(fun c -> ignore (drain_im c))
+  in
+  (* Paper-faithful hasNext semantics: the insert lands after the size lock
+     would be taken only at exhaustion, so the iterator is not aborted. *)
+  Alcotest.(check int) "lazy iterator survives" 1 n
+
+let test_map_cursor_skips_concurrent_removal () =
+  (* A key removed by an earlier-serialized committer is skipped, and the
+     iterator (which never locked it) is aborted only per its own locks. *)
+  let m = IM.create () in
+  ignore (IM.put m 1 1);
+  ignore (IM.put m 2 2);
+  Stm.atomic (fun () ->
+      let c = IM.cursor m in
+      let all = drain_im c in
+      Alcotest.(check int) "iterated both" 2 (List.length all))
+
+(* ---------------- SortedMap cursor ---------------- *)
+
+let test_sm_cursor_ordered_merge () =
+  let m = SM.create () in
+  List.iter (fun k -> ignore (SM.put m k k)) [ 10; 20; 30; 40 ];
+  Stm.atomic (fun () ->
+      ignore (SM.put m 25 25);
+      ignore (SM.remove m 30);
+      let keys = List.map fst (drain_sm (SM.cursor m)) in
+      Alcotest.(check (list int)) "ordered merged" [ 10; 20; 25; 40 ] keys)
+
+let test_sm_cursor_bounded () =
+  let m = SM.create () in
+  List.iter (fun k -> ignore (SM.put m k k)) [ 10; 20; 30; 40; 50 ];
+  Stm.atomic (fun () ->
+      let keys =
+        List.map fst (drain_sm (SM.cursor ~lo:20 ~hi:45 m))
+      in
+      Alcotest.(check (list int)) "half-open bounds" [ 20; 30; 40 ] keys)
+
+let test_sm_cursor_insert_ahead_commutes () =
+  (* Insert ahead of the cursor position: the span is not yet locked, so the
+     writer commutes with the iterator — and the iterator sees the new key
+     live when it gets there. *)
+  let m = SM.create () in
+  List.iter (fun k -> ignore (SM.put m k k)) [ 10; 20; 30 ];
+  let seen = ref [] in
+  let n =
+    mid_iteration_scenario
+      ~before:(fun () ->
+        let c = SM.cursor m in
+        let first = SM.cursor_next c in
+        Alcotest.(check (option (pair int int))) "first" (Some (10, 10)) first;
+        c)
+      ~writer:(fun () -> ignore (SM.put m 25 25))
+      ~after:(fun c -> seen := List.map fst (drain_sm c))
+  in
+  Alcotest.(check int) "no abort for insert ahead" 1 n;
+  Alcotest.(check (list int)) "new key observed live" [ 20; 25; 30 ] !seen
+
+let test_sm_cursor_insert_behind_aborts () =
+  let m = SM.create () in
+  List.iter (fun k -> ignore (SM.put m k k)) [ 10; 20; 30 ];
+  let n =
+    mid_iteration_scenario
+      ~before:(fun () ->
+        let c = SM.cursor m in
+        ignore (SM.cursor_next c);
+        ignore (SM.cursor_next c);
+        c)
+      ~writer:(fun () -> ignore (SM.put m 15 15))
+      ~after:(fun c -> ignore (drain_sm c))
+  in
+  Alcotest.(check int) "insert behind cursor aborts iterator" 2 n
+
+let test_sm_cursor_exhaustion_locks_tail () =
+  let m = SM.create () in
+  ignore (SM.put m 10 10);
+  let n =
+    mid_iteration_scenario
+      ~before:(fun () ->
+        let c = SM.cursor m in
+        ignore (drain_sm c);
+        c)
+      ~writer:(fun () -> ignore (SM.put m 99 99))
+      ~after:(fun _ -> ())
+  in
+  (* The exhausted cursor observed "nothing above 10"; a new maximum
+     invalidates that (last lock / tail range). *)
+  Alcotest.(check int) "new max aborts exhausted iterator" 2 n
+
+let test_sm_cursor_outside_txn () =
+  let m = SM.create () in
+  List.iter (fun k -> ignore (SM.put m k (k * 2))) [ 3; 1; 2 ];
+  let keys = List.map fst (drain_sm (SM.cursor m)) in
+  Alcotest.(check (list int)) "sorted walk" [ 1; 2; 3 ] keys
+
+let suites =
+  [
+    ( "cursor.map",
+      [
+        Alcotest.test_case "merged enumeration" `Quick
+          test_map_cursor_enumerates_merged_state;
+        Alcotest.test_case "outside txn" `Quick test_map_cursor_outside_txn;
+        Alcotest.test_case "locks returned keys" `Quick
+          test_map_cursor_locks_returned_keys;
+        Alcotest.test_case "eager policy aborts" `Quick
+          test_map_cursor_eager_policy_aborts_on_insert;
+        Alcotest.test_case "lazy policy survives" `Quick
+          test_map_cursor_lazy_policy_admits_insert;
+        Alcotest.test_case "skips removals" `Quick
+          test_map_cursor_skips_concurrent_removal;
+      ] );
+    ( "cursor.sorted",
+      [
+        Alcotest.test_case "ordered merge" `Quick test_sm_cursor_ordered_merge;
+        Alcotest.test_case "bounded" `Quick test_sm_cursor_bounded;
+        Alcotest.test_case "insert ahead commutes" `Quick
+          test_sm_cursor_insert_ahead_commutes;
+        Alcotest.test_case "insert behind aborts" `Quick
+          test_sm_cursor_insert_behind_aborts;
+        Alcotest.test_case "exhaustion locks tail" `Quick
+          test_sm_cursor_exhaustion_locks_tail;
+        Alcotest.test_case "outside txn" `Quick test_sm_cursor_outside_txn;
+      ] );
+  ]

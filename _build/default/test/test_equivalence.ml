@@ -1,0 +1,128 @@
+(* Equivalence properties:
+   - cursor drains equal fold-based enumerations within one transaction;
+   - the two Map underlyings (chaining / open addressing) and the two
+     SortedMap underlyings (AVL / skip list) are observationally equal under
+     the wrapper, for random transactional programs. *)
+
+module Stm = Tcc_stm.Stm
+module IM = Txcoll.Host.Map (Txcoll.Host.Int_hashed)
+module SM = Txcoll.Host.Sorted_map (Txcoll.Host.Int_ordered)
+module OaM = Txcoll.Host.Map_over_open_addressing (Txcoll.Host.Int_hashed)
+module SkipM = Txcoll.Host.Sorted_map_over_skiplist (Txcoll.Host.Int_ordered)
+
+type op = Put of int * int | Remove of int | Abort_txn
+
+let arb_prog =
+  QCheck.make
+    ~print:(fun l ->
+      String.concat ";"
+        (List.map
+           (function
+             | Put (k, v) -> Printf.sprintf "+%d=%d" k v
+             | Remove k -> Printf.sprintf "-%d" k
+             | Abort_txn -> "abort")
+           (List.concat l)))
+    QCheck.Gen.(
+      list_size (int_bound 12)
+        (list_size (int_bound 8)
+           (frequency
+              [
+                (5, map2 (fun k v -> Put (k mod 20, v)) small_nat small_int);
+                (3, map (fun k -> Remove (k mod 20)) small_nat);
+                (1, return Abort_txn);
+              ])))
+
+let run_prog ~put ~remove prog =
+  List.iter
+    (fun txn_ops ->
+      try
+        Stm.atomic (fun () ->
+            List.iter
+              (function
+                | Put (k, v) -> put k v
+                | Remove k -> remove k
+                | Abort_txn -> Stm.self_abort ())
+              txn_ops)
+      with Stm.Aborted -> ())
+    prog
+
+let prop_cursor_equals_fold_map =
+  QCheck.Test.make ~name:"map cursor drain equals fold" ~count:80 arb_prog
+    (fun prog ->
+      let m = IM.create () in
+      run_prog ~put:(fun k v -> ignore (IM.put m k v))
+        ~remove:(fun k -> ignore (IM.remove m k))
+        prog;
+      Stm.atomic (fun () ->
+          ignore (IM.put m 999 0);
+          let by_fold =
+            List.sort compare (IM.fold (fun k v acc -> (k, v) :: acc) m [])
+          in
+          let c = IM.cursor m in
+          let rec drain acc =
+            match IM.next c with Some kv -> drain (kv :: acc) | None -> acc
+          in
+          List.sort compare (drain []) = by_fold))
+
+let prop_cursor_equals_fold_sorted =
+  QCheck.Test.make ~name:"sorted cursor drain equals ordered fold" ~count:80
+    arb_prog (fun prog ->
+      let m = SM.create () in
+      run_prog ~put:(fun k v -> ignore (SM.put m k v))
+        ~remove:(fun k -> ignore (SM.remove m k))
+        prog;
+      Stm.atomic (fun () ->
+          ignore (SM.put m 15 1);
+          ignore (SM.remove m 3);
+          let by_fold = List.rev (SM.fold (fun k v acc -> (k, v) :: acc) m []) in
+          let c = SM.cursor m in
+          let rec drain acc =
+            match SM.cursor_next c with
+            | Some kv -> drain (kv :: acc)
+            | None -> List.rev acc
+          in
+          drain [] = by_fold))
+
+let prop_underlyings_equivalent_map =
+  QCheck.Test.make ~name:"chaining and open addressing observationally equal"
+    ~count:80 arb_prog (fun prog ->
+      let a = IM.create () in
+      let b = OaM.create () in
+      run_prog ~put:(fun k v -> ignore (IM.put a k v))
+        ~remove:(fun k -> ignore (IM.remove a k))
+        prog;
+      run_prog ~put:(fun k v -> ignore (OaM.put b k v))
+        ~remove:(fun k -> ignore (OaM.remove b k))
+        prog;
+      IM.size a = OaM.size b
+      && List.sort compare (IM.to_list a) = List.sort compare (OaM.to_list b))
+
+let prop_underlyings_equivalent_sorted =
+  QCheck.Test.make ~name:"avl and skiplist observationally equal" ~count:80
+    arb_prog (fun prog ->
+      let a = SM.create () in
+      let b = SkipM.create () in
+      run_prog ~put:(fun k v -> ignore (SM.put a k v))
+        ~remove:(fun k -> ignore (SM.remove a k))
+        prog;
+      run_prog ~put:(fun k v -> ignore (SkipM.put b k v))
+        ~remove:(fun k -> ignore (SkipM.remove b k))
+        prog;
+      SM.to_list a = SkipM.to_list b
+      && SM.first_key a = SkipM.first_key b
+      && SM.last_key a = SkipM.last_key b
+      && SM.fold_range (fun k _ acc -> k :: acc) a [] ~lo:(Some 4) ~hi:(Some 15)
+         = SkipM.fold_range (fun k _ acc -> k :: acc) b [] ~lo:(Some 4)
+             ~hi:(Some 15))
+
+let suites =
+  [
+    ( "equivalence",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          prop_cursor_equals_fold_map;
+          prop_cursor_equals_fold_sorted;
+          prop_underlyings_equivalent_map;
+          prop_underlyings_equivalent_sorted;
+        ] );
+  ]

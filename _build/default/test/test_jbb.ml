@@ -1,0 +1,151 @@
+(* Tests for the SPECjbb2000 model: correctness of each variant's committed
+   state, determinism of the simulation, and the Figure 4 ordering. *)
+
+module Machine = Sim.Machine
+
+let small =
+  {
+    Jbb.Model.default_params with
+    Jbb.Model.total_tasks = 128;
+    base_work = 600;
+    item_work = 40;
+  }
+
+let run variant n = Jbb.Sim_jbb.run ~p:small ~variant ~n_cpus:n ()
+
+let test_all_variants_complete () =
+  List.iter
+    (fun v ->
+      let s = run v 4 in
+      Alcotest.(check bool)
+        (Jbb.Sim_jbb.variant_name v ^ " completes")
+        true
+        (s.Machine.cycles > 0))
+    [ `Java; `Atomos_baseline; `Atomos_open; `Atomos_txcoll ]
+
+let test_all_variants_consistent () =
+  (* End-to-end audit: for every variant and several CPU counts, committed
+     table contents and counters agree with the number of committed
+     operations — no lost or duplicated transactions despite violations,
+     retries and open nesting. *)
+  List.iter
+    (fun v ->
+      List.iter
+        (fun n ->
+          let _, consistent =
+            Jbb.Sim_jbb.run_with_audit ~p:small ~variant:v ~n_cpus:n ()
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s consistent at %d cpus"
+               (Jbb.Sim_jbb.variant_name v) n)
+            true consistent)
+        [ 1; 3; 8 ])
+    [ `Java; `Atomos_baseline; `Atomos_open; `Atomos_txcoll ]
+
+let test_deterministic () =
+  let s1 = run `Atomos_txcoll 8 in
+  let s2 = run `Atomos_txcoll 8 in
+  Alcotest.(check int) "same cycles" s1.Machine.cycles s2.Machine.cycles;
+  Alcotest.(check int) "same violations" s1.Machine.total_violations
+    s2.Machine.total_violations
+
+let test_baseline_violates_more_than_txcoll () =
+  let base = run `Atomos_baseline 8 in
+  let txc = run `Atomos_txcoll 8 in
+  Alcotest.(check bool) "baseline violates heavily" true
+    (base.Machine.total_violations > 2 * txc.Machine.total_violations);
+  Alcotest.(check bool) "txcoll faster" true
+    (txc.Machine.cycles < base.Machine.cycles)
+
+let test_multi_warehouse_baseline_scales () =
+  (* Standard SPECjbb2000 (one warehouse per thread) is embarrassingly
+     parallel: even the naive whole-operation-transaction Baseline scales,
+     confirming that the single-warehouse configuration — not transactions
+     per se — is what stresses the system (paper §6.3). *)
+  let cycles warehouses n =
+    (Jbb.Sim_jbb.run ~p:small ~warehouses ~variant:`Atomos_baseline ~n_cpus:n ())
+      .Machine.cycles
+  in
+  let single_speedup =
+    float_of_int (cycles `Single 1) /. float_of_int (cycles `Single 8)
+  in
+  let multi_speedup =
+    float_of_int (cycles `Per_cpu 1) /. float_of_int (cycles `Per_cpu 8)
+  in
+  Alcotest.(check bool) "multi-warehouse scales" true (multi_speedup > 5.0);
+  Alcotest.(check bool) "single warehouse is the bottleneck" true
+    (multi_speedup > 1.5 *. single_speedup)
+
+let test_figure4_ordering () =
+  let fig = Jbb.Sim_jbb.figure4 ~p:small ~cpus:[ 1; 8 ] () in
+  let at label = Option.get (Harness.Figures.value_at fig ~label ~cpus:8) in
+  let baseline = at "Atomos Baseline" in
+  let opened = at "Atomos Open" in
+  let txcoll = at "Atomos Transactional" in
+  Alcotest.(check bool) "open >= baseline" true (opened >= baseline *. 0.95);
+  Alcotest.(check bool) "transactional beats baseline" true
+    (txcoll > baseline *. 1.5);
+  Alcotest.(check bool) "transactional beats open" true (txcoll > opened)
+
+(* ---------------- host JBB ---------------- *)
+
+let test_host_jbb_audit () =
+  let w = Jbb.Host_jbb.create ~p:small () in
+  let new_orders, payments, _, _ =
+    Jbb.Host_jbb.run w ~n_domains:2 ~tasks_per_domain:300
+  in
+  Alcotest.(check bool) "ops ran" true (new_orders > 0 && payments > 0);
+  Alcotest.(check bool) "audit passes" true
+    (Jbb.Host_jbb.audit w ~new_orders_done:new_orders ~payments_done:payments)
+
+let test_host_jbb_all_variants_consistent () =
+  (* Every variant's committed tables must agree with its committed
+     operation counts.  For the open-nested variants this implies order IDs
+     stayed unique despite retries: a duplicate ID would overwrite an
+     existing table row and shrink the table below the audit's expectation. *)
+  List.iter
+    (fun v ->
+      let r =
+        Jbb.Host_jbb.run_variant ~p:small ~variant:v ~n_domains:2
+          ~tasks_per_domain:250 ()
+      in
+      Alcotest.(check bool)
+        (Jbb.Host_jbb.variant_name v ^ " consistent")
+        true r.Jbb.Host_jbb.consistent)
+    [ `Lock; `Baseline; `Open; `Txcoll ]
+
+let test_host_jbb_baseline_retries_most () =
+  let run v =
+    (Jbb.Host_jbb.run_variant ~p:small ~variant:v ~n_domains:2
+       ~tasks_per_domain:400 ())
+      .Jbb.Host_jbb.retries
+  in
+  let baseline = run `Baseline and txcoll = run `Txcoll in
+  Alcotest.(check bool) "baseline retries heavily" true (baseline > 0);
+  Alcotest.(check bool) "txcoll retries far less" true
+    (txcoll * 4 <= baseline || txcoll = 0)
+
+let suites =
+  [
+    ( "jbb.sim",
+      [
+        Alcotest.test_case "all variants complete" `Quick
+          test_all_variants_complete;
+        Alcotest.test_case "all variants consistent" `Quick
+          test_all_variants_consistent;
+        Alcotest.test_case "deterministic" `Quick test_deterministic;
+        Alcotest.test_case "baseline vs txcoll violations" `Quick
+          test_baseline_violates_more_than_txcoll;
+        Alcotest.test_case "multi-warehouse baseline scales" `Quick
+          test_multi_warehouse_baseline_scales;
+        Alcotest.test_case "figure 4 ordering" `Slow test_figure4_ordering;
+      ] );
+    ( "jbb.host",
+      [
+        Alcotest.test_case "audit" `Quick test_host_jbb_audit;
+        Alcotest.test_case "all variants consistent" `Quick
+          test_host_jbb_all_variants_consistent;
+        Alcotest.test_case "baseline retries most" `Quick
+          test_host_jbb_baseline_retries_most;
+      ] );
+  ]

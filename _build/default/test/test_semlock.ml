@@ -1,0 +1,101 @@
+(* Direct tests of the semantic lock manager: acquisition/release balance,
+   conflict targeting, range overlap, and a randomized consistency property
+   against a reference model. *)
+
+module L = Txcoll.Semlock.Make (Tcc_stm.Stm.Tm_ops)
+module Stm = Tcc_stm.Stm
+
+(* Fabricate distinct transaction handles (auto-commit handles are unique
+   per call). *)
+let handle () = Stm.current ()
+
+let test_acquire_release_balance () =
+  let t : int L.t = L.create () in
+  let a = handle () and b = handle () in
+  L.lock_key t a 1;
+  L.lock_key t b 1;
+  L.lock_key t a 2;
+  L.lock_size t a;
+  L.lock_range t b { L.lo = Some 0; hi = Some 10 };
+  Alcotest.(check int) "five locks held" 5 (L.total_lockers t);
+  L.release_all t a ~keys:[ 1; 2 ];
+  Alcotest.(check int) "a's locks gone" 2 (L.total_lockers t);
+  Alcotest.(check bool) "b still holds key 1" true (L.key_locked_by t b 1);
+  L.release_all t b ~keys:[ 1 ];
+  Alcotest.(check int) "empty" 0 (L.total_lockers t)
+
+let test_idempotent_acquire () =
+  let t : int L.t = L.create () in
+  let a = handle () in
+  L.lock_key t a 1;
+  L.lock_key t a 1;
+  L.lock_size t a;
+  L.lock_size t a;
+  Alcotest.(check int) "deduplicated" 2 (L.total_lockers t)
+
+let test_range_overlap_semantics () =
+  let t : int L.t = L.create () in
+  let a = handle () in
+  L.lock_range t a { L.lo = Some 10; hi = Some 20 };
+  let contains k = L.range_contains Int.compare { L.lo = Some 10; hi = Some 20 } k in
+  Alcotest.(check bool) "lo inclusive" true (contains 10);
+  Alcotest.(check bool) "hi exclusive" false (contains 20);
+  Alcotest.(check bool) "inside" true (contains 15);
+  Alcotest.(check bool) "below" false (contains 9);
+  let unbounded = { L.lo = None; hi = None } in
+  Alcotest.(check bool) "unbounded contains all" true
+    (L.range_contains Int.compare unbounded min_int)
+
+let test_writer_entry () =
+  let t : int L.t = L.create () in
+  let a = handle () and b = handle () in
+  L.lock_key_write t a 5;
+  Alcotest.(check bool) "writer recorded" true (L.key_writer t 5 <> None);
+  Alcotest.(check bool) "writer counts as locked_by" true (L.key_locked_by t a 5);
+  Alcotest.(check bool) "not for others" false (L.key_locked_by t b 5);
+  L.release_all t a ~keys:[ 5 ];
+  Alcotest.(check bool) "writer released" true (L.key_writer t 5 = None);
+  Alcotest.(check int) "table empty" 0 (L.total_lockers t)
+
+let prop_model_consistency =
+  QCheck.Test.make ~name:"lock table agrees with reference model" ~count:150
+    QCheck.(list (triple (int_bound 3) (int_bound 7) bool))
+    (fun script ->
+      let t : int L.t = L.create () in
+      let owners = Array.init 4 (fun _ -> handle ()) in
+      (* model: (owner_index, key) set for key locks *)
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (o, k, acquire) ->
+          if acquire then begin
+            L.lock_key t owners.(o) k;
+            Hashtbl.replace model (o, k) ()
+          end
+          else begin
+            (* release everything owner [o] holds *)
+            let keys =
+              Hashtbl.fold
+                (fun (o', k') () acc -> if o' = o then k' :: acc else acc)
+                model []
+            in
+            L.release_all t owners.(o) ~keys;
+            List.iter (fun k' -> Hashtbl.remove model (o, k')) keys
+          end)
+        script;
+      Hashtbl.length model = L.total_lockers t
+      && Hashtbl.fold
+           (fun (o, k) () ok -> ok && L.key_locked_by t owners.(o) k)
+           model true)
+
+let suites =
+  [
+    ( "semlock",
+      [
+        Alcotest.test_case "acquire/release balance" `Quick
+          test_acquire_release_balance;
+        Alcotest.test_case "idempotent acquire" `Quick test_idempotent_acquire;
+        Alcotest.test_case "range semantics" `Quick test_range_overlap_semantics;
+        Alcotest.test_case "writer entries" `Quick test_writer_entry;
+        QCheck_alcotest.to_alcotest prop_model_consistency;
+      ] );
+  ]

@@ -1,0 +1,130 @@
+(* Tests for the set wrappers (paper §5.1: sets as thin wrappers over the
+   maps), plus dump_state and CSV-rendering smoke checks. *)
+
+module Stm = Tcc_stm.Stm
+module S = Txcoll.Host.Set (Txcoll.Host.String_hashed)
+module SS = Txcoll.Host.Sorted_set (Txcoll.Host.Int_ordered)
+
+let test_set_basics () =
+  let s = S.create () in
+  Alcotest.(check bool) "newly added" true (S.add s "a");
+  Alcotest.(check bool) "duplicate" false (S.add s "a");
+  Alcotest.(check bool) "mem" true (S.mem s "a");
+  Alcotest.(check int) "size" 1 (S.size s);
+  Alcotest.(check bool) "remove present" true (S.remove s "a");
+  Alcotest.(check bool) "remove absent" false (S.remove s "a");
+  Alcotest.(check bool) "empty" true (S.is_empty s)
+
+let test_set_transactional () =
+  let s = S.create () in
+  (try
+     Stm.atomic (fun () ->
+         ignore (S.add s "x");
+         ignore (S.add s "y");
+         Stm.self_abort ())
+   with Stm.Aborted -> ());
+  Alcotest.(check int) "abort leaves nothing" 0 (S.size s);
+  Stm.atomic (fun () ->
+      ignore (S.add s "x");
+      S.add_blind s "y";
+      Alcotest.(check bool) "own adds visible" true (S.mem s "x" && S.mem s "y"));
+  Alcotest.(check int) "committed" 2 (S.size s)
+
+let test_set_conflicts () =
+  let s = S.create () in
+  ignore (S.add s "k");
+  let phase = Atomic.make 0 in
+  let signal n = if Atomic.get phase < n then Atomic.set phase n in
+  let await n =
+    while Atomic.get phase < n do
+      Domain.cpu_relax ()
+    done
+  in
+  let attempts = ref 0 in
+  let d1 =
+    Domain.spawn (fun () ->
+        Stm.atomic (fun () ->
+            incr attempts;
+            ignore (S.mem s "k");
+            signal 1;
+            if !attempts = 1 then await 2))
+  in
+  let d2 =
+    Domain.spawn (fun () ->
+        await 1;
+        Stm.atomic (fun () -> ignore (S.remove s "k"));
+        signal 2)
+  in
+  Domain.join d1;
+  Domain.join d2;
+  Alcotest.(check int) "membership reader aborted by removal" 2 !attempts
+
+let test_sorted_set () =
+  let s = SS.create () in
+  List.iter (fun k -> ignore (SS.add s k)) [ 5; 1; 9; 3 ];
+  Alcotest.(check (option int)) "min" (Some 1) (SS.min_elt s);
+  Alcotest.(check (option int)) "max" (Some 9) (SS.max_elt s);
+  Alcotest.(check (list int)) "ordered" [ 1; 3; 5; 9 ] (SS.to_list s);
+  let mid = SS.fold_range (fun k acc -> k :: acc) s [] ~lo:(Some 2) ~hi:(Some 8) in
+  Alcotest.(check (list int)) "range" [ 5; 3 ] mid;
+  Stm.atomic (fun () ->
+      ignore (SS.remove s 1);
+      ignore (SS.add s 0);
+      Alcotest.(check (option int)) "buffered min" (Some 0) (SS.min_elt s));
+  Alcotest.(check (option int)) "committed min" (Some 0) (SS.min_elt s)
+
+let test_dump_state_shapes () =
+  let module M = Txcoll.Host.Map (Txcoll.Host.Int_hashed) in
+  let m = M.create () in
+  ignore (M.put m 1 1);
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  (try
+     Stm.atomic (fun () ->
+         ignore (M.find m 1);
+         ignore (M.put m 2 2);
+         M.dump_state ppf m;
+         Format.pp_print_flush ppf ();
+         Stm.self_abort ())
+   with Stm.Aborted -> ());
+  let out = Buffer.contents buf in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "committed section" true (contains out "Committed state");
+  Alcotest.(check bool) "shared section" true (contains out "key2lockers");
+  Alcotest.(check bool) "local section" true (contains out "storeBuffer=1")
+
+let test_csv_render () =
+  let p = { Harness.Workloads.default_params with total_ops = 64 } in
+  let fig = Harness.Figures.figure1 ~p ~cpus:[ 1; 2 ] () in
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Harness.Figures.render_csv ppf fig;
+  Format.pp_print_flush ppf ();
+  let lines =
+    String.split_on_char '\n' (String.trim (Buffer.contents buf))
+  in
+  Alcotest.(check int) "header + one row per cpu count" 3 (List.length lines);
+  let cols s = List.length (String.split_on_char ',' s) in
+  List.iter
+    (fun l -> Alcotest.(check int) "consistent column count" (cols (List.hd lines)) (cols l))
+    lines
+
+let suites =
+  [
+    ( "sets",
+      [
+        Alcotest.test_case "basics" `Quick test_set_basics;
+        Alcotest.test_case "transactional" `Quick test_set_transactional;
+        Alcotest.test_case "conflicts" `Quick test_set_conflicts;
+        Alcotest.test_case "sorted set" `Quick test_sorted_set;
+      ] );
+    ( "rendering",
+      [
+        Alcotest.test_case "dump_state sections" `Quick test_dump_state_shapes;
+        Alcotest.test_case "csv shape" `Quick test_csv_render;
+      ] );
+  ]

@@ -1,0 +1,113 @@
+(* Soak test: a miniature application combining every collection class on
+   several domains, with injected aborts — run longer than the unit tests,
+   then audited for every invariant at once.
+
+   The application: a dispatch centre.
+   - [jobs]    : TransactionalQueue of work items (producers put, workers take)
+   - [status]  : TransactionalMap   job id -> state (0 queued, 1 done)
+   - [ledger]  : TransactionalSortedMap completion-stamp -> job id
+   - [billing] : tvar counter of completed work, open-nested w/ compensation
+
+   Each worker transaction takes a job, marks it done, appends a ledger
+   entry with a unique stamp, and bumps billing — all atomically.  Some
+   transactions self-abort after doing all of that; compensation must put
+   the job back and undo the billing. *)
+
+module Stm = Tcc_stm.Stm
+module Q = Txcoll.Host.Queue
+module StatusMap = Txcoll.Host.Map (Txcoll.Host.Int_hashed)
+module Ledger = Txcoll.Host.Sorted_map (Txcoll.Host.Int_ordered)
+module Counter = Stm_ds.Stm_counter
+module Uidgen = Stm_ds.Stm_uidgen
+
+let n_jobs = 600
+
+let test_dispatch_centre () =
+  let jobs = Q.create () in
+  let status = StatusMap.create () in
+  let ledger = Ledger.create () in
+  let billing = Counter.create () in
+  let stamps = Uidgen.create ~first:1 () in
+
+  let producer () =
+    for j = 1 to n_jobs do
+      Stm.atomic (fun () ->
+          ignore (StatusMap.put status j 0);
+          Q.put jobs j)
+    done
+  in
+
+  let completed = Atomic.make 0 in
+  let injected = Atomic.make 0 in
+  let worker seed () =
+    let rng = Random.State.make [| seed |] in
+    let idle = ref 0 in
+    while !idle < 3000 do
+      let progressed =
+        try
+          Stm.atomic (fun () ->
+              match Q.take jobs with
+              | None -> false
+              | Some j ->
+                  ignore (StatusMap.put status j 1);
+                  let stamp = Uidgen.next stamps in
+                  ignore (Ledger.put ledger stamp j);
+                  Counter.incr_open billing;
+                  if Random.State.int rng 12 = 0 then begin
+                    Atomic.incr injected;
+                    Stm.self_abort ()
+                  end;
+                  true)
+        with Stm.Aborted -> true
+      in
+      if progressed then begin
+        idle := 0;
+        Atomic.incr completed
+      end
+      else incr idle
+    done
+  in
+
+  let ds =
+    [ Domain.spawn producer; Domain.spawn (worker 31); Domain.spawn (worker 77) ]
+  in
+  List.iter Domain.join ds;
+  (* Drain anything still queued (jobs returned by aborted workers). *)
+  let rec drain () =
+    let more =
+      Stm.atomic (fun () ->
+          match Q.take jobs with
+          | None -> false
+          | Some j ->
+              ignore (StatusMap.put status j 1);
+              let stamp = Uidgen.next stamps in
+              ignore (Ledger.put ledger stamp j);
+              Counter.incr_open billing;
+              true)
+    in
+    if more then drain ()
+  in
+  drain ();
+
+  (* Invariants. *)
+  Alcotest.(check int) "every job has a status row" n_jobs (StatusMap.size status);
+  let done_jobs =
+    StatusMap.fold (fun _ st acc -> if st = 1 then acc + 1 else acc) status 0
+  in
+  Alcotest.(check int) "every job completed" n_jobs done_jobs;
+  Alcotest.(check int) "ledger rows equal completions" n_jobs (Ledger.size ledger);
+  Alcotest.(check int) "billing equals completions" n_jobs (Counter.get billing);
+  (* Each job appears in the ledger exactly once (aborted attempts left no
+     ledger rows). *)
+  let seen = Hashtbl.create 64 in
+  Ledger.iter (fun _stamp j -> Hashtbl.replace seen j ()) ledger;
+  Alcotest.(check int) "no duplicated ledger jobs" n_jobs (Hashtbl.length seen);
+  Alcotest.(check int) "no stale map locks" 0 (StatusMap.outstanding_locks status);
+  Alcotest.(check int) "no stale ledger locks" 0 (Ledger.outstanding_locks ledger);
+  Alcotest.(check bool) "aborts were injected" true (Atomic.get injected > 0)
+
+let suites =
+  [
+    ( "soak",
+      [ Alcotest.test_case "dispatch centre" `Slow test_dispatch_centre ] );
+  ]

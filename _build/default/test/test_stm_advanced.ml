@@ -1,0 +1,217 @@
+(* Advanced host-STM tests: read-version extension, opacity (no zombie
+   snapshots), deep nesting, handler interactions with remote aborts, and
+   failure injection against the collection classes. *)
+
+module Tvar = Tcc_stm.Tvar
+module Stm = Tcc_stm.Stm
+module IM = Txcoll.Host.Map (Txcoll.Host.Int_hashed)
+module Q = Txcoll.Host.Queue
+
+(* ------------------------------------------------------------------ *)
+(* Read-version extension: a long transaction reading many tvars must
+   survive concurrent commits to UNRELATED tvars without retrying. *)
+
+let test_rv_extension_survives_unrelated_commits () =
+  let mine = Array.init 64 (fun i -> Tvar.make i) in
+  let theirs = Tvar.make 0 in
+  let stop = Atomic.make false in
+  let writer () =
+    while not (Atomic.get stop) do
+      Stm.atomic (fun () -> Tvar.set theirs (Tvar.get theirs + 1));
+      Domain.cpu_relax ()
+    done
+  in
+  let d = Domain.spawn writer in
+  let attempts = ref 0 in
+  let total =
+    Stm.atomic (fun () ->
+        incr attempts;
+        (* Read slowly so the writer's clock advances between our reads,
+           forcing read-version extensions. *)
+        Array.fold_left
+          (fun acc tv ->
+            for _ = 1 to 100 do
+              Domain.cpu_relax ()
+            done;
+            acc + Tvar.get tv)
+          0 mine)
+  in
+  Atomic.set stop true;
+  Domain.join d;
+  Alcotest.(check int) "sum correct" (63 * 64 / 2) total;
+  Alcotest.(check int) "no retries despite clock movement" 1 !attempts
+
+(* Opacity: a transaction must never observe two tvars mid-update, even
+   transiently (before its commit-time validation). *)
+
+let test_opacity_no_torn_reads () =
+  let a = Tvar.make 0 and b = Tvar.make 0 in
+  let stop = Atomic.make false in
+  let torn = Atomic.make false in
+  let writer () =
+    let i = ref 0 in
+    while not (Atomic.get stop) do
+      incr i;
+      Stm.atomic (fun () ->
+          Tvar.set a !i;
+          Tvar.set b !i)
+    done
+  in
+  let reader () =
+    for _ = 1 to 3000 do
+      let x, y =
+        Stm.atomic (fun () ->
+            let x = Tvar.get a in
+            for _ = 1 to 50 do
+              Domain.cpu_relax ()
+            done;
+            (x, Tvar.get b))
+      in
+      if x <> y then Atomic.set torn true
+    done;
+    Atomic.set stop true
+  in
+  let d1 = Domain.spawn writer and d2 = Domain.spawn reader in
+  Domain.join d1;
+  Domain.join d2;
+  Alcotest.(check bool) "snapshots always consistent" false (Atomic.get torn)
+
+(* ------------------------------------------------------------------ *)
+(* Deep nesting *)
+
+let test_deep_closed_nesting () =
+  let v = Tvar.make 0 in
+  let rec nest d =
+    if d = 0 then Tvar.set v (Tvar.get v + 1)
+    else Stm.closed_nested (fun () -> nest (d - 1))
+  in
+  Stm.atomic (fun () -> nest 16);
+  Alcotest.(check int) "deeply nested write committed" 1 (Tvar.get v)
+
+let test_open_within_closed_within_open () =
+  let log = ref [] in
+  let v = Tvar.make 0 in
+  (try
+     Stm.atomic (fun () ->
+         Stm.closed_nested (fun () ->
+             Stm.open_nested (fun () ->
+                 Tvar.set v 1;
+                 Stm.on_abort (fun () -> log := "compensate" :: !log)));
+         Stm.self_abort ())
+   with Stm.Aborted -> ());
+  Alcotest.(check int) "open write survived" 1 (Tvar.get v);
+  Alcotest.(check (list string))
+    "compensation migrated through closed to top" [ "compensate" ] !log
+
+(* ------------------------------------------------------------------ *)
+(* Failure injection: random remote aborts against collection users.    *)
+
+let test_random_remote_aborts_against_collections () =
+  let m = IM.create () in
+  let q = Q.create () in
+  let victims : Stm.handle option Atomic.t = Atomic.make None in
+  let stop = Atomic.make false in
+  let committed = Atomic.make 0 in
+  let aborter () =
+    while not (Atomic.get stop) do
+      (match Atomic.get victims with
+      | Some h -> ignore (Stm.remote_abort h)
+      | None -> ());
+      Domain.cpu_relax ()
+    done
+  in
+  let worker () =
+    let rng = Random.State.make [| 0xF00 |] in
+    for i = 1 to 400 do
+      (try
+         Stm.atomic (fun () ->
+             Atomic.set victims (Some (Stm.current ()));
+             let k = Random.State.int rng 32 in
+             ignore (IM.put m k i);
+             Q.put q i;
+             ignore (IM.find m ((k + 1) mod 32));
+             Atomic.set victims None)
+       with Stm.Aborted -> ());
+      ignore (Atomic.fetch_and_add committed 1)
+    done;
+    Atomic.set stop true
+  in
+  let d1 = Domain.spawn aborter and d2 = Domain.spawn worker in
+  Domain.join d1;
+  Domain.join d2;
+  (* Consistency: everything the worker committed is observable and
+     internally consistent; no locks leak. *)
+  Alcotest.(check int) "no stale locks" 0 (IM.outstanding_locks m);
+  Alcotest.(check int) "map size equals distinct committed keys"
+    (List.length (IM.keys m))
+    (IM.size m);
+  (* Each committed transaction put exactly one queue element and one map
+     binding; the queue length can therefore never exceed commits. *)
+  Alcotest.(check bool) "queue contents bounded by commits" true
+    (Q.committed_length q <= 400)
+
+let test_put_if_absent_and_update () =
+  let m = IM.create () in
+  Stm.atomic (fun () ->
+      Alcotest.(check int) "installs when absent" 7 (IM.put_if_absent m 1 7);
+      Alcotest.(check int) "returns resident" 7 (IM.put_if_absent m 1 99);
+      IM.update m 1 (function Some v -> Some (v * 2) | None -> Some 0);
+      Alcotest.(check (option int)) "updated" (Some 14) (IM.find m 1);
+      IM.update m 1 (fun _ -> None);
+      Alcotest.(check (option int)) "removed via update" None (IM.find m 1))
+
+let test_keys_values () =
+  let m = IM.create () in
+  List.iter (fun k -> ignore (IM.put m k (k * 10))) [ 3; 1; 2 ];
+  Alcotest.(check (list int)) "keys" [ 1; 2; 3 ]
+    (List.sort Int.compare (IM.keys m));
+  Alcotest.(check (list int)) "values" [ 10; 20; 30 ]
+    (List.sort Int.compare (IM.values m))
+
+let suites =
+  [
+    ( "stm.advanced",
+      [
+        Alcotest.test_case "read-version extension" `Quick
+          test_rv_extension_survives_unrelated_commits;
+        Alcotest.test_case "opacity" `Quick test_opacity_no_torn_reads;
+        Alcotest.test_case "deep closed nesting" `Quick test_deep_closed_nesting;
+        Alcotest.test_case "open within closed" `Quick
+          test_open_within_closed_within_open;
+      ] );
+    ( "failure-injection",
+      [
+        Alcotest.test_case "random remote aborts" `Quick
+          test_random_remote_aborts_against_collections;
+      ] );
+    ( "txmap.api",
+      [
+        Alcotest.test_case "put_if_absent / update" `Quick
+          test_put_if_absent_and_update;
+        Alcotest.test_case "keys / values" `Quick test_keys_values;
+      ] );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Global statistics *)
+
+let test_global_stats () =
+  Stm.reset_stats ();
+  let v = Tvar.make 0 in
+  Stm.atomic (fun () -> Tvar.set v 1);
+  (try Stm.atomic (fun () -> Stm.self_abort ()) with Stm.Aborted -> ());
+  let tries = ref 0 in
+  Stm.atomic (fun () ->
+      incr tries;
+      if !tries = 1 then Stm.retry_now () |> ignore);
+  let s = Stm.global_stats () in
+  Alcotest.(check int) "commits" 2 s.Stm.commits;
+  Alcotest.(check int) "explicit aborts" 1 s.Stm.explicit_aborts;
+  Alcotest.(check bool) "conflict aborts counted" true (s.Stm.conflict_aborts >= 1)
+
+let suites =
+  suites
+  @ [
+      ( "stm.stats",
+        [ Alcotest.test_case "global counters" `Quick test_global_stats ] );
+    ]

@@ -1,0 +1,369 @@
+(* Tests for TransactionalSortedMap over the host STM. *)
+
+module Stm = Tcc_stm.Stm
+module SM = Txcoll.Host.Sorted_map (Txcoll.Host.Int_ordered)
+
+let conflict_scenario ~reader ~writer =
+  let phase = Atomic.make 0 in
+  let signal n = if Atomic.get phase < n then Atomic.set phase n in
+  let await n =
+    while Atomic.get phase < n do
+      Domain.cpu_relax ()
+    done
+  in
+  let attempts = ref 0 in
+  let d1 =
+    Domain.spawn (fun () ->
+        Stm.atomic (fun () ->
+            incr attempts;
+            reader ();
+            signal 1;
+            if !attempts = 1 then await 2))
+  in
+  let d2 =
+    Domain.spawn (fun () ->
+        await 1;
+        Stm.atomic writer;
+        signal 2)
+  in
+  Domain.join d1;
+  Domain.join d2;
+  !attempts
+
+let seeded () =
+  let m = SM.create () in
+  List.iter (fun k -> ignore (SM.put m k (string_of_int k))) [ 10; 20; 30; 40; 50 ];
+  m
+
+(* ---------------- single-transaction semantics ---------------- *)
+
+let test_ordered_iteration_merges_buffer () =
+  let m = seeded () in
+  Stm.atomic (fun () ->
+      ignore (SM.put m 25 "25");
+      ignore (SM.remove m 40);
+      ignore (SM.put m 10 "ten");
+      Alcotest.(check (list (pair int string)))
+        "merged in order"
+        [ (10, "ten"); (20, "20"); (25, "25"); (30, "30"); (50, "50") ]
+        (SM.to_list m));
+  Alcotest.(check (list (pair int string)))
+    "committed in order"
+    [ (10, "ten"); (20, "20"); (25, "25"); (30, "30"); (50, "50") ]
+    (SM.to_list m)
+
+let test_first_last_with_buffer () =
+  let m = seeded () in
+  Stm.atomic (fun () ->
+      ignore (SM.put m 5 "new min");
+      ignore (SM.remove m 50);
+      Alcotest.(check (option int)) "buffered min" (Some 5) (SM.first_key m);
+      Alcotest.(check (option int)) "max after buffered remove" (Some 40)
+        (SM.last_key m));
+  Alcotest.(check (option int)) "committed min" (Some 5) (SM.first_key m)
+
+let test_range_fold () =
+  let m = seeded () in
+  Stm.atomic (fun () ->
+      ignore (SM.put m 25 "25");
+      let keys =
+        List.rev
+          (SM.fold_range (fun k _ acc -> k :: acc) m [] ~lo:(Some 20)
+             ~hi:(Some 40))
+      in
+      Alcotest.(check (list int)) "half-open merged range" [ 20; 25; 30 ] keys)
+
+let test_views () =
+  let m = seeded () in
+  let v = SM.sub_map m ~lo:20 ~hi:45 in
+  Alcotest.(check (list int)) "subMap keys" [ 20; 30; 40 ]
+    (List.map fst (SM.View.to_list v));
+  Alcotest.(check (option int)) "view first" (Some 20) (SM.View.first_key v);
+  Alcotest.(check (option int)) "view last" (Some 40) (SM.View.last_key v);
+  Alcotest.(check int) "view size" 3 (SM.View.size v);
+  Alcotest.check_raises "put outside bounds rejected"
+    (Invalid_argument "TransactionalSortedMap.View.put") (fun () ->
+      ignore (SM.View.put v 50 "no"));
+  let h = SM.head_map m ~hi:30 in
+  Alcotest.(check (list int)) "headMap" [ 10; 20 ]
+    (List.map fst (SM.View.to_list h));
+  let t = SM.tail_map m ~lo:30 in
+  Alcotest.(check (list int)) "tailMap" [ 30; 40; 50 ]
+    (List.map fst (SM.View.to_list t))
+
+let test_empty_map_endpoints () =
+  let m = SM.create () in
+  Stm.atomic (fun () ->
+      Alcotest.(check (option int)) "first of empty" None (SM.first_key m);
+      Alcotest.(check (option int)) "last of empty" None (SM.last_key m))
+
+let test_abort_restores () =
+  let m = seeded () in
+  let before = SM.to_list m in
+  (try
+     Stm.atomic (fun () ->
+         ignore (SM.put m 1 "x");
+         ignore (SM.remove m 30);
+         Stm.self_abort ())
+   with Stm.Aborted -> ());
+  Alcotest.(check (list (pair int string))) "unchanged" before (SM.to_list m);
+  Alcotest.(check int) "no stale locks" 0 (SM.outstanding_locks m)
+
+(* ---------------- Table 5 lock footprints ---------------- *)
+
+let test_lock_footprints () =
+  let m = seeded () in
+  Stm.atomic (fun () ->
+      ignore (SM.first_key m);
+      Alcotest.(check bool) "firstKey takes first lock" true (SM.holds_first_lock m);
+      Alcotest.(check bool) "no last lock yet" false (SM.holds_last_lock m);
+      ignore (SM.last_key m);
+      Alcotest.(check bool) "lastKey takes last lock" true (SM.holds_last_lock m));
+  Stm.atomic (fun () ->
+      ignore (SM.fold_range (fun _ _ acc -> acc) m () ~lo:(Some 20) ~hi:(Some 40));
+      Alcotest.(check bool) "range iteration takes range lock" true
+        (SM.holds_range_lock m);
+      Alcotest.(check bool) "bounded range takes no first lock" false
+        (SM.holds_first_lock m));
+  Stm.atomic (fun () ->
+      ignore (SM.to_list m);
+      Alcotest.(check bool) "full iteration takes first lock" true
+        (SM.holds_first_lock m);
+      Alcotest.(check bool) "full iteration takes last lock" true
+        (SM.holds_last_lock m))
+
+(* ---------------- semantic conflicts ---------------- *)
+
+let test_range_conflict_inside () =
+  let m = seeded () in
+  let n =
+    conflict_scenario
+      ~reader:(fun () ->
+        ignore (SM.fold_range (fun _ _ acc -> acc) m [] ~lo:(Some 20) ~hi:(Some 40)))
+      ~writer:(fun () -> ignore (SM.put m 25 "inside iterated range"))
+  in
+  Alcotest.(check int) "insert inside range aborts iterator" 2 n
+
+let test_range_no_conflict_outside () =
+  let m = seeded () in
+  let n =
+    conflict_scenario
+      ~reader:(fun () ->
+        ignore (SM.fold_range (fun _ _ acc -> acc) m [] ~lo:(Some 20) ~hi:(Some 40)))
+      ~writer:(fun () -> ignore (SM.put m 45 "outside range"))
+  in
+  Alcotest.(check int) "insert outside range commutes" 1 n
+
+let test_first_key_conflict_new_min () =
+  let m = seeded () in
+  let n =
+    conflict_scenario
+      ~reader:(fun () -> ignore (SM.first_key m))
+      ~writer:(fun () -> ignore (SM.put m 1 "new minimum"))
+  in
+  Alcotest.(check int) "new minimum aborts firstKey reader" 2 n
+
+let test_first_key_no_conflict_middle_insert () =
+  let m = seeded () in
+  let n =
+    conflict_scenario
+      ~reader:(fun () -> ignore (SM.first_key m))
+      ~writer:(fun () -> ignore (SM.put m 25 "middle"))
+  in
+  Alcotest.(check int) "middle insert commutes with firstKey" 1 n
+
+let test_last_key_conflict_remove_max () =
+  let m = seeded () in
+  let n =
+    conflict_scenario
+      ~reader:(fun () -> ignore (SM.last_key m))
+      ~writer:(fun () -> ignore (SM.remove m 50))
+  in
+  Alcotest.(check int) "removing max aborts lastKey reader" 2 n
+
+let test_remove_min_conflicts_first () =
+  let m = seeded () in
+  let n =
+    conflict_scenario
+      ~reader:(fun () -> ignore (SM.first_key m))
+      ~writer:(fun () -> ignore (SM.remove m 10))
+  in
+  Alcotest.(check int) "removing min aborts firstKey reader" 2 n
+
+let test_view_first_conflict_prefix_insert () =
+  let m = seeded () in
+  let n =
+    conflict_scenario
+      ~reader:(fun () ->
+        ignore (SM.View.first_key (SM.tail_map m ~lo:15)))
+      ~writer:(fun () -> ignore (SM.put m 17 "between lo and found"))
+  in
+  (* tailMap(15).firstKey returned 20; inserting 17 invalidates it. *)
+  Alcotest.(check int) "prefix insert aborts view firstKey" 2 n
+
+let test_view_first_no_conflict_suffix_insert () =
+  let m = seeded () in
+  let n =
+    conflict_scenario
+      ~reader:(fun () ->
+        ignore (SM.View.first_key (SM.tail_map m ~lo:15)))
+      ~writer:(fun () -> ignore (SM.put m 35 "beyond found key"))
+  in
+  Alcotest.(check int) "suffix insert commutes with view firstKey" 1 n
+
+(* ---------------- property tests ---------------- *)
+
+module IntMap = Map.Make (Int)
+
+type op = Put of int * int | Remove of int | Range of int * int
+
+let arb_ops =
+  QCheck.make
+    ~print:(fun l ->
+      String.concat ";"
+        (List.map
+           (function
+             | Put (k, v) -> Printf.sprintf "put(%d,%d)" k v
+             | Remove k -> Printf.sprintf "rm(%d)" k
+             | Range (a, b) -> Printf.sprintf "range(%d,%d)" a b)
+           l))
+    QCheck.Gen.(
+      list_size (int_bound 80)
+        (frequency
+           [
+             (4, map2 (fun k v -> Put (k mod 32, v)) small_nat small_int);
+             (2, map (fun k -> Remove (k mod 32)) small_nat);
+             (2, map2 (fun a b -> Range (a mod 32, b mod 32)) small_nat small_nat);
+           ]))
+
+module IntSM = Txcoll.Host.Sorted_map (Txcoll.Host.Int_ordered)
+
+let prop_sorted_matches_model =
+  QCheck.Test.make
+    ~name:"sorted map in-transaction views match Stdlib.Map model" ~count:100
+    arb_ops (fun ops ->
+      let m = IntSM.create () in
+      ignore (IntSM.put m 7 70);
+      ignore (IntSM.put m 19 190);
+      let model = ref (IntMap.of_list [ (7, 70); (19, 190) ]) in
+      let ok = ref true in
+      Stm.atomic (fun () ->
+          List.iter
+            (fun op ->
+              match op with
+              | Put (k, v) ->
+                  ignore (IntSM.put m k v);
+                  model := IntMap.add k v !model
+              | Remove k ->
+                  ignore (IntSM.remove m k);
+                  model := IntMap.remove k !model
+              | Range (a, b) ->
+                  let lo = min a b and hi = max a b in
+                  let got =
+                    List.rev
+                      (IntSM.fold_range
+                         (fun k v acc -> (k, v) :: acc)
+                         m [] ~lo:(Some lo) ~hi:(Some hi))
+                  in
+                  let expect =
+                    IntMap.bindings
+                      (IntMap.filter (fun k _ -> k >= lo && k < hi) !model)
+                  in
+                  if got <> expect then ok := false)
+            ops;
+          if IntSM.to_list m <> IntMap.bindings !model then ok := false;
+          if IntSM.first_key m <> Option.map fst (IntMap.min_binding_opt !model)
+          then ok := false;
+          if IntSM.last_key m <> Option.map fst (IntMap.max_binding_opt !model)
+          then ok := false);
+      (* And the committed state agrees too. *)
+      !ok
+      && IntSM.to_list m = IntMap.bindings !model
+      && IntSM.outstanding_locks m = 0)
+
+let suites =
+  [
+    ( "txsorted.single",
+      [
+        Alcotest.test_case "ordered merge" `Quick
+          test_ordered_iteration_merges_buffer;
+        Alcotest.test_case "first/last with buffer" `Quick
+          test_first_last_with_buffer;
+        Alcotest.test_case "range fold" `Quick test_range_fold;
+        Alcotest.test_case "views" `Quick test_views;
+        Alcotest.test_case "empty endpoints" `Quick test_empty_map_endpoints;
+        Alcotest.test_case "abort restores" `Quick test_abort_restores;
+      ] );
+    ( "txsorted.locks",
+      [ Alcotest.test_case "Table 5 footprints" `Quick test_lock_footprints ] );
+    ( "txsorted.conflicts",
+      [
+        Alcotest.test_case "insert inside range" `Quick test_range_conflict_inside;
+        Alcotest.test_case "insert outside range" `Quick
+          test_range_no_conflict_outside;
+        Alcotest.test_case "new min vs firstKey" `Quick
+          test_first_key_conflict_new_min;
+        Alcotest.test_case "middle insert vs firstKey" `Quick
+          test_first_key_no_conflict_middle_insert;
+        Alcotest.test_case "remove max vs lastKey" `Quick
+          test_last_key_conflict_remove_max;
+        Alcotest.test_case "remove min vs firstKey" `Quick
+          test_remove_min_conflicts_first;
+        Alcotest.test_case "view firstKey prefix insert" `Quick
+          test_view_first_conflict_prefix_insert;
+        Alcotest.test_case "view firstKey suffix insert" `Quick
+          test_view_first_no_conflict_suffix_insert;
+      ] );
+    ( "txsorted.properties",
+      [ QCheck_alcotest.to_alcotest prop_sorted_matches_model ] );
+  ]
+
+(* ---------------- pessimistic policies on the sorted map -------------- *)
+
+let test_sorted_pessimistic_aggressive () =
+  let m = SM.create ~write_policy:SM.Pessimistic_aggressive () in
+  ignore (SM.put m 10 "seed");
+  let n =
+    conflict_scenario
+      ~reader:(fun () -> ignore (SM.find m 10))
+      ~writer:(fun () -> ignore (SM.put m 10 "w"))
+  in
+  Alcotest.(check int) "reader aborted at write time" 2 n
+
+let test_sorted_pessimistic_range_conflict () =
+  (* Aggressive writes also abort range lockers at operation time. *)
+  let m = SM.create ~write_policy:SM.Pessimistic_aggressive () in
+  List.iter (fun k -> ignore (SM.put m k "s")) [ 10; 20; 30 ];
+  let n =
+    conflict_scenario
+      ~reader:(fun () ->
+        ignore (SM.fold_range (fun _ _ a -> a) m () ~lo:(Some 5) ~hi:(Some 25)))
+      ~writer:(fun () -> ignore (SM.put m 15 "w"))
+  in
+  Alcotest.(check int) "range locker aborted early" 2 n
+
+let test_sorted_pessimistic_parallel_correct () =
+  let m = SM.create ~write_policy:SM.Pessimistic_timid () in
+  let worker base () =
+    for i = 0 to 99 do
+      Stm.atomic (fun () -> ignore (SM.put m (base + i) "v"))
+    done
+  in
+  let ds = [ Domain.spawn (worker 0); Domain.spawn (worker 1000) ] in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "all inserts" 200 (SM.size m);
+  Alcotest.(check int) "no leaks" 0 (SM.outstanding_locks m)
+
+let suites =
+  suites
+  @ [
+      ( "txsorted.pessimistic",
+        [
+          Alcotest.test_case "aggressive key conflict" `Quick
+            test_sorted_pessimistic_aggressive;
+          Alcotest.test_case "aggressive range conflict" `Quick
+            test_sorted_pessimistic_range_conflict;
+          Alcotest.test_case "timid parallel correctness" `Quick
+            test_sorted_pessimistic_parallel_correct;
+        ] );
+    ]
