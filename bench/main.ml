@@ -189,6 +189,120 @@ let micro () =
     results
 
 (* ------------------------------------------------------------------ *)
+(* STM commit-throughput scaling: transactions committing into per-domain
+   collections (disjoint: each commit holds only its own collection's
+   region) versus one shared collection (commits serialise on its region).
+   Results go to BENCH_stm.json so every later perf PR has a recorded
+   trajectory. *)
+
+type stmscale_row = {
+  workload : string;
+  domains : int;
+  total_txns : int;
+  elapsed_s : float;
+  commits_per_s : float;
+  region_waits : int;
+}
+
+let stmscale_run ~workload ~domains ~txns_per_domain =
+  let shared = if workload = "shared" then Some (IM.create ()) else None in
+  let body d (m : int IM.t) =
+    for i = 1 to txns_per_domain do
+      Stm.atomic (fun () ->
+          let k = (d * txns_per_domain) + i in
+          ignore (IM.put m k i);
+          if i > 1 then ignore (IM.find m (k - 1)))
+    done
+  in
+  Stm.reset_stats ();
+  let waits_before = Stm.commit_region_waits () in
+  let t0 = Unix.gettimeofday () in
+  let ds =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            let m =
+              match shared with Some m -> m | None -> IM.create ()
+            in
+            body d m))
+  in
+  List.iter Domain.join ds;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let total = domains * txns_per_domain in
+  {
+    workload;
+    domains;
+    total_txns = total;
+    elapsed_s = elapsed;
+    commits_per_s = float_of_int total /. elapsed;
+    region_waits = Stm.commit_region_waits () - waits_before;
+  }
+
+let stmscale_json ~cores rows =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf "  \"cores\": %d,\n" cores);
+  Buffer.add_string b
+    "  \"note\": \"region_waits = commit-region acquisitions that blocked; \
+     0 on the disjoint workload at any domain count means sharded commits \
+     never serialise. Wall-clock scaling requires cores >= domains.\",\n";
+  let ratio w d1 d2 =
+    let find d =
+      List.find_opt (fun r -> r.workload = w && r.domains = d) rows
+    in
+    match (find d1, find d2) with
+    | Some a, Some bx -> bx.commits_per_s /. a.commits_per_s
+    | _ -> 0.
+  in
+  Buffer.add_string b
+    (Printf.sprintf "  \"disjoint_scaling_1_to_4\": %.3f,\n"
+       (ratio "disjoint" 1 4));
+  Buffer.add_string b
+    (Printf.sprintf "  \"shared_scaling_1_to_4\": %.3f,\n" (ratio "shared" 1 4));
+  Buffer.add_string b "  \"configs\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"workload\": \"%s\", \"domains\": %d, \"txns\": %d, \
+            \"elapsed_s\": %.4f, \"commits_per_s\": %.1f, \"region_waits\": \
+            %d}%s\n"
+           r.workload r.domains r.total_txns r.elapsed_s r.commits_per_s
+           r.region_waits
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let stmscale () =
+  let txns_per_domain = 20_000 in
+  let cores = Domain.recommended_domain_count () in
+  (* Warm-up pass so the first timed configuration is not paying one-time
+     initialisation costs. *)
+  ignore (stmscale_run ~workload:"disjoint" ~domains:1 ~txns_per_domain:1_000);
+  let rows =
+    List.concat_map
+      (fun workload ->
+        List.map
+          (fun domains -> stmscale_run ~workload ~domains ~txns_per_domain)
+          [ 1; 2; 4; 8 ])
+      [ "disjoint"; "shared" ]
+  in
+  Fmt.pf ppf "@.STM commit scaling (host STM, %d core%s available)@." cores
+    (if cores = 1 then "" else "s");
+  Fmt.pf ppf "  %-9s %7s %10s %14s %13s@." "workload" "domains" "txns"
+    "commits/s" "region_waits";
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "  %-9s %7d %10d %14.0f %13d@." r.workload r.domains
+        r.total_txns r.commits_per_s r.region_waits)
+    rows;
+  let json = stmscale_json ~cores rows in
+  let oc = open_out "BENCH_stm.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pf ppf "  wrote BENCH_stm.json@."
+
+(* ------------------------------------------------------------------ *)
 
 let targets : (string * (unit -> unit)) list =
   [
@@ -210,6 +324,7 @@ let targets : (string * (unit -> unit)) list =
     ("jbbhost", jbbhost);
     ("queue", queue);
     ("micro", micro);
+    ("stmscale", stmscale);
   ]
 
 let () =

@@ -227,7 +227,10 @@ module Tm_ops : Tm_intf.TM_OPS with type txn = txn = struct
   let critical r f =
     if machine_running () then Ops.critical r ~cost:0 f else f ()
 
-  let on_commit = on_commit
+  (* Commit handlers on the simulated machine already run inside the
+     CPU's hardware commit (which holds the commit token), so the region
+     only scopes conflict detection, not handler serialisation. *)
+  let on_commit _region h = on_commit h
   let on_abort = on_abort
   let remote_abort = remote_abort
   let self_abort () = self_abort ()

@@ -6,25 +6,33 @@ type handle = txn
 
 let context = context
 
+(* Auto-commit context: an already-committed handle so that semantic lock
+   owners recorded outside transactions never block anyone (remote_abort
+   on it reports "already committed").  One per domain, cached in DLS —
+   handles are only compared by txn_id and status, so sharing is safe. *)
+let autocommit_handle_key : handle Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let t = make_top () in
+      Atomic.set t.top_status Committed;
+      t)
+
 let current () =
   match !(context ()) with
   | Some t -> t.top
-  | None ->
-      (* Auto-commit context: a fresh, already-committed handle so that
-         semantic lock owners recorded outside transactions never block
-         anyone (remote_abort on it reports "already committed"). *)
-      let t = make_top () in
-      Atomic.set t.top_status Committed;
-      t
+  | None -> Domain.DLS.get autocommit_handle_key
 
 let in_txn () = Option.is_some !(context ())
 let same_txn (a : handle) (b : handle) = a.txn_id = b.txn_id
 let txn_id (t : handle) = t.txn_id
 
-let on_commit h =
+(* Handlers carry the commit region they operate on; [None] means the
+   process-wide fallback region (plain [on_commit] callers). *)
+let on_commit_in region h =
   match !(context ()) with
   | None -> h () (* auto-commit: the operation is its own transaction *)
-  | Some t -> t.commit_handlers <- h :: t.commit_handlers
+  | Some t -> t.commit_handlers <- (region, h) :: t.commit_handlers
+
+let on_commit h = on_commit_in None h
 
 let on_abort h =
   match !(context ()) with
@@ -34,12 +42,14 @@ let on_abort h =
 (* Handler registration targeting the top-level transaction regardless of
    the current nesting depth: what the collection classes need, since lock
    ownership and compensation belong to the top-level outcome. *)
-let on_top_commit h =
+let on_top_commit_in region h =
   match !(context ()) with
   | None -> h ()
   | Some t ->
       let top = t.top in
-      top.commit_handlers <- h :: top.commit_handlers
+      top.commit_handlers <- (region, h) :: top.commit_handlers
+
+let on_top_commit h = on_top_commit_in None h
 
 let on_top_abort h =
   match !(context ()) with
@@ -76,15 +86,13 @@ let remote_abort (t : handle) =
 let release_locks acquired = List.iter (fun (vl, old) -> Atomic.set vl old) acquired
 
 (* Acquire write locks in tv_id order (no deadlock), spinning a bounded
-   number of times on each before declaring a conflict. *)
+   number of times on each before declaring a conflict.  [wids_sorted] is
+   maintained at insertion, so no per-attempt fold+sort is needed. *)
 let lock_writes top =
-  let entries = Hashtbl.fold (fun _ w acc -> w :: acc) top.writes [] in
-  let entries =
-    List.sort (fun (W (a, _)) (W (b, _)) -> compare a.tv_id b.tv_id) entries
-  in
   let rec acquire acc = function
     | [] -> acc
-    | W (tv, _) :: rest ->
+    | id :: rest ->
+        let (W (tv, _)) = Hashtbl.find top.writes id in
         let rec try_lock spins =
           let cur = Atomic.get tv.vlock in
           if locked cur then
@@ -102,10 +110,27 @@ let lock_writes top =
             raise Conflict_exn
         | Some old -> acquire ((tv.vlock, old) :: acc) rest)
   in
-  acquire [] entries
+  acquire [] top.wids_sorted
 
 let validate_reads top =
-  List.for_all (fun r -> rentry_valid ~self:(Some top) r) top.reads
+  let rs = top.reads in
+  let ok = ref true in
+  let i = ref 0 in
+  while !ok && !i < rs.r_len do
+    if not (rentry_valid ~self:(Some top) rs.r_arr.(!i)) then ok := false;
+    incr i
+  done;
+  !ok
+
+(* The rid-sorted, deduplicated set of commit regions the transaction's
+   handlers touch.  Handlers registered without a region serialise on the
+   process-wide fallback. *)
+let commit_regions handlers =
+  let add acc r = if List.exists (fun r' -> r'.rid = r.rid) acc then acc else r :: acc in
+  List.fold_left
+    (fun acc (r, _) -> add acc (Option.value r ~default:global_commit_region))
+    [] handlers
+  |> List.sort (fun a b -> compare a.rid b.rid)
 
 (* Commit a top-level transaction.  When [run_handlers] is set and the
    transaction registered handlers, the whole sequence
@@ -113,11 +138,15 @@ let validate_reads top =
      lock write set -> validate reads -> flip to Committing ->
      run commit handlers -> publish memory writes -> Committed
 
-   executes under the global semantic-commit token, making the handlers'
-   semantic conflict checks and buffer application atomic with the
-   memory-level commit (multi-level transaction commit).  Commit handlers
-   must not access tvars: the collection classes operate on their wrapped
-   structures inside [critical] regions instead. *)
+   executes while holding the commit regions of every collection the
+   handlers touch (acquired in rid order, hence deadlock-free), making the
+   handlers' semantic conflict checks and buffer application atomic with
+   the memory-level commit (multi-level transaction commit).  Commits whose
+   handlers touch disjoint collections hold disjoint regions and proceed in
+   parallel.  Commit handlers must not access tvars: the collection classes
+   operate on their wrapped structures inside [critical] regions instead
+   (the region locks are reentrant, so a handler re-entering its own
+   region's [critical] is fine). *)
 let commit_top ?(run_handlers = true) top =
   let attempt () =
     let acquired = lock_writes top in
@@ -129,17 +158,25 @@ let commit_top ?(run_handlers = true) top =
       release_locks acquired;
       raise Remote_aborted_exn
     end;
-    if run_handlers then List.iter (fun h -> h ()) (List.rev top.commit_handlers);
-    let wv = Atomic.fetch_and_add clock 2 + 2 in
-    Hashtbl.iter (fun _ (W (tv, v)) -> Atomic.set tv.value v) top.writes;
-    List.iter (fun (vl, _) -> Atomic.set vl wv) acquired;
+    if run_handlers then
+      List.iter (fun (_, h) -> h ()) (List.rev top.commit_handlers);
+    (* Transactions with no memory writes need no write version: skipping
+       the clock bump keeps pure-semantic commits off the shared clock
+       cache line entirely. *)
+    if top.wids_sorted <> [] then begin
+      let wv = Atomic.fetch_and_add clock 2 + 2 in
+      Hashtbl.iter (fun _ (W (tv, v)) -> Atomic.set tv.value v) top.writes;
+      List.iter (fun (vl, _) -> Atomic.set vl wv) acquired;
+      ring_publish wv (Array.of_list top.wids_sorted)
+    end;
     Atomic.set top.top_status Committed;
     Atomic.incr stat_commits
   in
   if run_handlers && top.commit_handlers <> [] then begin
-    Mutex.lock semantic_commit_token;
+    let regions = commit_regions top.commit_handlers in
+    List.iter region_lock regions;
     Fun.protect
-      ~finally:(fun () -> Mutex.unlock semantic_commit_token)
+      ~finally:(fun () -> List.iter region_unlock (List.rev regions))
       attempt
   end
   else attempt ()
@@ -203,8 +240,15 @@ let closed_nested_in parent f =
     ctx := Some child;
     match f () with
     | r ->
-        parent.reads <- child.reads @ parent.reads;
+        (* Index-aware bulk append: entries the parent already holds are
+           skipped in O(1). *)
+        rs_append parent.reads child.reads;
+        let new_ids =
+          List.filter (fun id -> not (Hashtbl.mem parent.writes id)) child.wids_sorted
+        in
         Hashtbl.iter (fun k w -> Hashtbl.replace parent.writes k w) child.writes;
+        if new_ids <> [] then
+          parent.wids_sorted <- List.merge compare parent.wids_sorted new_ids;
         parent.commit_handlers <- child.commit_handlers @ parent.commit_handlers;
         parent.abort_handlers <- child.abort_handlers @ parent.abort_handlers;
         ctx := Some parent;
@@ -249,6 +293,19 @@ let open_nested f =
 
 let retries () = match !(context ()) with None -> 0 | Some t -> t.top.retries
 
+(* Total number of distinct read entries across the current nesting stack
+   (0 outside a transaction).  Deduplication makes this the number of
+   distinct tvars read, not the number of [Tvar.get] calls. *)
+let read_set_cardinal () =
+  match !(context ()) with
+  | None -> 0
+  | Some t ->
+      let rec go acc t =
+        let acc = acc + t.reads.r_len in
+        match t.parent with None -> acc | Some p -> go acc p
+      in
+      go 0 t
+
 (* ------------------------------------------------------------------ *)
 (* Global statistics                                                    *)
 
@@ -267,11 +324,14 @@ let global_stats () =
     explicit_aborts = Atomic.get stat_explicit_aborts;
   }
 
+let commit_region_waits () = Atomic.get stat_region_waits
+
 let reset_stats () =
   Atomic.set stat_commits 0;
   Atomic.set stat_conflict_aborts 0;
   Atomic.set stat_remote_aborts 0;
-  Atomic.set stat_explicit_aborts 0
+  Atomic.set stat_explicit_aborts 0;
+  Atomic.set stat_region_waits 0
 
 (* ------------------------------------------------------------------ *)
 (* TM_OPS instance for the transactional collection classes            *)
@@ -284,11 +344,11 @@ module Tm_ops : Tm_intf.TM_OPS with type txn = handle = struct
   let same_txn = same_txn
   let txn_id = txn_id
 
-  type region = Mutex.t
+  type region = Types.region
 
-  let new_region () = Mutex.create ()
-  let critical m f = Mutex.protect m f
-  let on_commit = on_top_commit
+  let new_region () = make_region ()
+  let critical r f = region_critical r f
+  let on_commit r h = on_top_commit_in (Some r) h
   let on_abort = on_top_abort
   let remote_abort = remote_abort
   let self_abort () = self_abort ()

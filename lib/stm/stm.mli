@@ -6,7 +6,15 @@
     The implementation is a TL2-style optimistic STM: a global version
     clock, versioned write-locks on {!Tvar.t}s, redo logging and commit-time
     read-set validation, with read-version extension so that long-running
-    transactions survive unrelated concurrent commits. *)
+    transactions survive unrelated concurrent commits.
+
+    Hot-path representation: the read set is a deduplicating growable array
+    (re-reading a tvar is an O(1) no-op), read-version extension validates
+    incrementally from a per-level high-water mark using a global ring of
+    recently committed write sets (falling back to a full rescan whenever
+    the ring cannot prove the validated prefix untouched), and semantic
+    commit phases are serialised per collection region rather than under
+    one global token. *)
 
 exception Aborted
 (** Raised out of {!atomic} when the transaction aborted itself via
@@ -36,9 +44,12 @@ val open_nested : (unit -> 'a) -> 'a
 
 val on_commit : (unit -> unit) -> unit
 (** Register a commit handler on the current nesting level.  Handlers run
-    during the top-level commit, after validation, serialised against all
-    other handler-running commits; they must not access {!Tvar.t}s. Outside
-    a transaction the handler runs immediately (auto-commit). *)
+    during the top-level commit, after validation; they must not access
+    {!Tvar.t}s.  Handlers registered through this region-less entry point
+    serialise on a process-wide fallback region; collection classes
+    register through {!Tm_ops.on_commit} with their own region instead, so
+    their commits only serialise per collection.  Outside a transaction the
+    handler runs immediately (auto-commit). *)
 
 val on_abort : (unit -> unit) -> unit
 (** Register a compensating abort handler, run (newest first) if the
@@ -60,8 +71,11 @@ val retry_now : unit -> 'a
     (after contention backoff). *)
 
 val current : unit -> handle
-(** The calling thread's top-level transaction (a fresh already-committed
-    handle outside any transaction). *)
+(** The calling thread's top-level transaction.  Outside any transaction,
+    a per-domain cached already-committed handle (auto-commit context):
+    remote aborts on it report "already committed" and it never owns
+    semantic locks, so sharing it across auto-commit operations is safe
+    and allocation-free. *)
 
 val in_txn : unit -> bool
 val same_txn : handle -> handle -> bool
@@ -76,6 +90,11 @@ val remote_abort : handle -> bool
 val retries : unit -> int
 (** Number of times the current top-level transaction has been retried. *)
 
+val read_set_cardinal : unit -> int
+(** Number of distinct read entries recorded across the current nesting
+    stack (0 outside a transaction).  Deduplication makes this the number
+    of distinct tvars read, not the number of {!Tvar.get} calls. *)
+
 (** {1 Global statistics} — process-wide monotonic counters. *)
 
 type stats = {
@@ -87,6 +106,12 @@ type stats = {
 
 val global_stats : unit -> stats
 val reset_stats : unit -> unit
+
+val commit_region_waits : unit -> int
+(** Number of semantic-commit region acquisitions that had to block on a
+    contended region since the last {!reset_stats} — the contention probe
+    for commit sharding: disjoint-collection workloads should keep it at
+    zero while shared-collection workloads accumulate waits. *)
 
 (** {!Tm_intf.TM_OPS} instance: plugs this STM into the transactional
     collection classes. *)

@@ -19,6 +19,10 @@ let pending_value : type a. a t -> wentry -> a =
   assert (Obj.repr tv' == Obj.repr tv);
   (Obj.magic v : a)
 
+(* Re-reads are O(1) no-ops on the read set: if any level of the nesting
+   stack already recorded this tvar, the committed value we observe now is
+   necessarily at the recorded version (a later committed write would carry
+   wv > top.rv and take the extension branch), so no new entry is needed. *)
 let rec read_in_txn txn tv =
   check_not_aborted txn;
   match find_write txn tv.tv_id with
@@ -29,7 +33,7 @@ let rec read_in_txn txn tv =
         if extend_read_version txn then read_in_txn txn tv
         else raise Conflict_exn
       else begin
-        txn.reads <- R (tv, ver) :: txn.reads;
+        if not (stack_has_read txn tv.tv_id) then rs_push txn.reads (R (tv, ver));
         v
       end
 
@@ -48,7 +52,8 @@ let rec nontx_set tv v =
   else begin
     let wv = Atomic.fetch_and_add clock 2 + 2 in
     Atomic.set tv.value v;
-    Atomic.set tv.vlock wv
+    Atomic.set tv.vlock wv;
+    ring_publish wv [| tv.tv_id |]
   end
 
 let set tv v =
@@ -56,6 +61,6 @@ let set tv v =
   | None -> nontx_set tv v
   | Some txn ->
       check_not_aborted txn;
-      Hashtbl.replace txn.writes tv.tv_id (W (tv, v))
+      record_write txn tv.tv_id (W (tv, v))
 
 let modify tv f = set tv (f (get tv))

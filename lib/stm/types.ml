@@ -9,10 +9,26 @@
      abort) by CASing its status word, which is the mechanism semantic
      conflict detection uses to abort readers holding conflicting locks.
 
+   Hot-path representation choices:
+   - the read set is a deduplicating growable array plus a tv_id -> slot
+     table, so re-reading a tvar is an O(1) no-op and nested-transaction
+     merges are index-aware bulk appends;
+   - read-version extension is incremental: a global ring of recently
+     committed write sets lets a transaction prove that its
+     already-validated prefix is untouched by the commits that advanced the
+     clock, so only entries recorded since the last validation are
+     re-checked per-tvar (with a conservative full rescan whenever the ring
+     window is insufficient);
+   - the write set keeps a sorted list of tv_ids maintained at insertion,
+     so commit-time lock acquisition needs no fold+sort.
+
    Semantic commit phases (commits that run commit handlers) are serialised
-   by a global token so that the paper's lock-based conflict check, the
-   application of store buffers and the memory-level commit form one atomic
-   unit with respect to other semantic commits. *)
+   per [region]: each collection owns a region, handlers are registered
+   against it, and a committing transaction acquires the (rid-sorted, hence
+   deadlock-free) set of regions its handlers touch.  Commits into disjoint
+   collections therefore proceed in parallel; handlers registered with no
+   region fall back to a process-wide region, preserving the old global
+   serialisation for them. *)
 
 type status = Active | Committing | Committed | Aborted
 
@@ -37,27 +53,126 @@ type 'a tvar_repr = {
 type rentry = R : 'a tvar_repr * int -> rentry
 type wentry = W : 'a tvar_repr * 'a -> wentry
 
+(* ------------------------------------------------------------------ *)
+(* Deduplicated read set: growable array + tv_id -> slot index.        *)
+
+type read_set = {
+  mutable r_arr : rentry array;
+  mutable r_len : int;
+  r_idx : (int, int) Hashtbl.t; (* tv_id -> index into [r_arr] *)
+}
+
+let dummy_rentry =
+  R ({ tv_id = 0; value = Atomic.make 0; vlock = Atomic.make 0 }, 0)
+
+let rs_create () = { r_arr = [||]; r_len = 0; r_idx = Hashtbl.create 16 }
+let rs_mem rs tv_id = Hashtbl.mem rs.r_idx tv_id
+
+let rs_push rs (R (tv, _) as e) =
+  if not (Hashtbl.mem rs.r_idx tv.tv_id) then begin
+    let cap = Array.length rs.r_arr in
+    if rs.r_len = cap then begin
+      let arr = Array.make (max 8 (2 * cap)) dummy_rentry in
+      Array.blit rs.r_arr 0 arr 0 rs.r_len;
+      rs.r_arr <- arr
+    end;
+    rs.r_arr.(rs.r_len) <- e;
+    Hashtbl.add rs.r_idx tv.tv_id rs.r_len;
+    rs.r_len <- rs.r_len + 1
+  end
+
+(* Index-aware bulk append (closed-nested merge): entries already present
+   in [dst] are skipped in O(1) via the index. *)
+let rs_append dst src =
+  for i = 0 to src.r_len - 1 do
+    rs_push dst src.r_arr.(i)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Commit regions: reentrant mutexes with a total order, owned by the
+   collection classes and acquired as a set during semantic commits.    *)
+
+type region = {
+  rid : int; (* acquisition order, preventing deadlock *)
+  rmx : Mutex.t;
+  rowner : int Atomic.t; (* Domain id of the holder; -1 = unowned *)
+  mutable rdepth : int; (* reentrancy depth, owner-modified only *)
+}
+
+let next_region_id = Atomic.make 1
+
+(* Commit-token acquisitions that had to block (contention probe for the
+   scaling benchmarks; reset via Stm.reset_stats). *)
+let stat_region_waits = Atomic.make 0
+
+let make_region () =
+  {
+    rid = Atomic.fetch_and_add next_region_id 1;
+    rmx = Mutex.create ();
+    rowner = Atomic.make (-1);
+    rdepth = 0;
+  }
+
+(* Reentrancy: [rowner] is only ever set to a domain's own id by that
+   domain while it holds [rmx], so reading our own id proves we hold the
+   lock; any other value (including a torn impossibility) sends us to the
+   real Mutex.lock. *)
+let region_lock r =
+  let me = (Domain.self () :> int) in
+  if Atomic.get r.rowner = me then r.rdepth <- r.rdepth + 1
+  else begin
+    if not (Mutex.try_lock r.rmx) then begin
+      Atomic.incr stat_region_waits;
+      Mutex.lock r.rmx
+    end;
+    Atomic.set r.rowner me;
+    r.rdepth <- 1
+  end
+
+let region_unlock r =
+  if r.rdepth > 1 then r.rdepth <- r.rdepth - 1
+  else begin
+    r.rdepth <- 0;
+    Atomic.set r.rowner (-1);
+    Mutex.unlock r.rmx
+  end
+
+let region_critical r f =
+  region_lock r;
+  Fun.protect ~finally:(fun () -> region_unlock r) f
+
+(* Fallback region for commit handlers registered without one. *)
+let global_commit_region = make_region ()
+
+(* ------------------------------------------------------------------ *)
+
 type txn = {
   txn_id : int;
   top_status : status Atomic.t; (* physically shared with [top] *)
   mutable rv : int; (* read version; meaningful on the top level *)
-  mutable reads : rentry list;
+  reads : read_set;
+  mutable validated : int;
+      (* entries [0, validated) of [reads] were valid at [top.validated_rv];
+         read-version extension re-checks only [validated, r_len) per-tvar
+         when the commit ring proves the prefix untouched *)
   writes : (int, wentry) Hashtbl.t;
-  mutable commit_handlers : (unit -> unit) list; (* newest first *)
+  mutable wids_sorted : int list;
+      (* tv_ids of [writes] in ascending order, maintained at insertion:
+         the commit-time lock-acquisition order *)
+  mutable commit_handlers : (region option * (unit -> unit)) list;
+      (* newest first; the region is what the handler operates on *)
   mutable abort_handlers : (unit -> unit) list; (* newest first *)
   parent : txn option;
   mutable top : txn;
   mutable retries : int;
+  mutable validated_rv : int;
+      (* top level only: the clock value against which every level's
+         validated prefix was last known valid *)
 }
 
 let clock : int Atomic.t = Atomic.make 0
 let next_txn_id : int Atomic.t = Atomic.make 1
 let next_tv_id : int Atomic.t = Atomic.make 1
-
-(* Serialises commit phases that execute commit handlers (semantic
-   commits), so lock-table conflict checks and buffer application are
-   atomic across transactions. *)
-let semantic_commit_token = Mutex.create ()
 
 let ctx_key : txn option ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref None)
@@ -65,18 +180,22 @@ let ctx_key : txn option ref Domain.DLS.key =
 let context () = Domain.DLS.get ctx_key
 
 let make_top () =
+  let rv = Atomic.get clock in
   let rec t =
     {
       txn_id = Atomic.fetch_and_add next_txn_id 1;
       top_status = Atomic.make Active;
-      rv = Atomic.get clock;
-      reads = [];
+      rv;
+      reads = rs_create ();
+      validated = 0;
       writes = Hashtbl.create 16;
+      wids_sorted = [];
       commit_handlers = [];
       abort_handlers = [];
       parent = None;
       top = t;
       retries = 0;
+      validated_rv = rv;
     }
   in
   t
@@ -86,13 +205,16 @@ let make_child parent =
     txn_id = Atomic.fetch_and_add next_txn_id 1;
     top_status = parent.top_status;
     rv = parent.top.rv;
-    reads = [];
+    reads = rs_create ();
+    validated = 0;
     writes = Hashtbl.create 8;
+    wids_sorted = [];
     commit_handlers = [];
     abort_handlers = [];
     parent = Some parent;
     top = parent.top;
     retries = 0;
+    validated_rv = 0;
   }
 
 let check_not_aborted txn =
@@ -103,6 +225,26 @@ let rec find_write txn tv_id =
   match Hashtbl.find_opt txn.writes tv_id with
   | Some _ as w -> w
   | None -> ( match txn.parent with None -> None | Some p -> find_write p tv_id)
+
+(* [true] iff some level of the nesting stack already recorded a read of
+   [tv_id]; makes re-reads O(1) no-ops on the read-set. *)
+let rec stack_has_read txn tv_id =
+  rs_mem txn.reads tv_id
+  ||
+  match txn.parent with None -> false | Some p -> stack_has_read p tv_id
+
+(* Record a (first) write of [tv_id], keeping the sorted id list current. *)
+let record_write txn tv_id w =
+  if Hashtbl.mem txn.writes tv_id then Hashtbl.replace txn.writes tv_id w
+  else begin
+    Hashtbl.add txn.writes tv_id w;
+    let rec insert = function
+      | [] -> [ tv_id ]
+      | x :: _ as l when tv_id < x -> tv_id :: l
+      | x :: rest -> x :: insert rest
+    in
+    txn.wids_sorted <- insert txn.wids_sorted
+  end
 
 let locked v = v land 1 = 1
 
@@ -133,33 +275,84 @@ let rentry_valid ?(self = None) (R (tv, ver)) =
     | None -> false
   else false
 
-(* Validate every level of the nesting stack rooted at [innermost].
-   Returns [`Ok] when all reads are valid, [`Child_only] when the only
-   invalid entries live in [innermost] (and it has a parent, enabling
-   partial rollback), and [`Top] otherwise. *)
-let validate_stack innermost =
-  let rec level_ok txn = List.for_all (fun r -> rentry_valid r) txn.reads
-  and check txn acc =
-    let ok = level_ok txn in
-    match txn.parent with
-    | None -> if ok then acc else `Top
-    | Some p ->
-        let acc =
-          if ok then acc
-          else if txn == innermost && acc = `Ok then `Child_only
-          else `Top
-        in
-        check p acc
-  in
-  check innermost `Ok
+(* Per-tvar check of one level's entries from index [from]. *)
+let level_valid ?(from = 0) txn =
+  let rs = txn.reads in
+  let ok = ref true in
+  let i = ref from in
+  while !ok && !i < rs.r_len do
+    if not (rentry_valid rs.r_arr.(!i)) then ok := false;
+    incr i
+  done;
+  !ok
+
+(* ------------------------------------------------------------------ *)
+(* Commit ring: the write sets of recent commits, indexed by write
+   version.  Read-version extension consults it to prove that commits in
+   (validated_rv, new_rv] touched none of the transaction's reads, making
+   prefix revalidation O(commits in window) instead of O(read set).  Any
+   doubt (slot overwritten by wraparound, commit still in flight) falls
+   back to the exact per-tvar scan, so the ring is purely an accelerator. *)
+
+let ring_size = 1024 (* power of two; commits covered before wraparound *)
+
+type ring_slot = { slot_wv : int; slot_ids : int array }
+
+let empty_slot = { slot_wv = 0; slot_ids = [||] }
+let commit_ring = Array.init ring_size (fun _ -> Atomic.make empty_slot)
+
+let ring_publish wv ids =
+  Atomic.set commit_ring.((wv lsr 1) land (ring_size - 1)) { slot_wv = wv; slot_ids = ids }
+
+(* [true] when every commit in (from_v, to_v] is present in the ring and
+   wrote no tvar read by any level in [stack]. *)
+let ring_window_clean stack ~from_v ~to_v =
+  to_v <= from_v
+  || to_v - from_v < 2 * ring_size
+     &&
+     let clean = ref true in
+     let v = ref (from_v + 2) in
+     while !clean && !v <= to_v do
+       let slot = Atomic.get commit_ring.((!v lsr 1) land (ring_size - 1)) in
+       if slot.slot_wv <> !v then clean := false
+       else
+         Array.iter
+           (fun id ->
+             if List.exists (fun lvl -> rs_mem lvl.reads id) stack then
+               clean := false)
+           slot.slot_ids;
+       v := !v + 2
+     done;
+     !clean
 
 (* Try to extend the top-level read version to the current clock, as TL2
-   does, so long transactions survive concurrent unrelated commits. *)
+   does, so long transactions survive concurrent unrelated commits.  The
+   validated prefix of each level is cleared through the commit ring when
+   possible; otherwise every entry is re-checked (the seed behaviour). *)
 let extend_read_version innermost =
+  let top = innermost.top in
   let new_rv = Atomic.get clock in
-  match validate_stack innermost with
+  let rec stack_of t =
+    t :: (match t.parent with None -> [] | Some p -> stack_of p)
+  in
+  let stack = stack_of innermost in
+  let incremental =
+    ring_window_clean stack ~from_v:top.validated_rv ~to_v:new_rv
+  in
+  let result = ref `Ok in
+  List.iter
+    (fun lvl ->
+      let from = if incremental then lvl.validated else 0 in
+      if not (level_valid ~from lvl) then
+        if lvl == innermost && lvl.parent <> None && !result = `Ok then
+          result := `Child_only
+        else result := `Top)
+    stack;
+  match !result with
   | `Ok ->
-      innermost.top.rv <- new_rv;
+      top.rv <- new_rv;
+      top.validated_rv <- new_rv;
+      List.iter (fun lvl -> lvl.validated <- lvl.reads.r_len) stack;
       true
   | `Child_only -> raise Child_conflict_exn
   | `Top -> false

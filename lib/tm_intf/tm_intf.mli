@@ -43,11 +43,15 @@ module type TM_OPS = sig
       rolled back if the enclosing transaction later aborts (compensation is
       the job of abort handlers). *)
 
-  val on_commit : (unit -> unit) -> unit
-  (** Register a commit handler on the current top-level transaction.  Commit
-      handlers run during the commit phase, after validation, serialised
-      against all other semantic commit phases; they apply buffered changes,
-      perform semantic conflict detection and release semantic locks. *)
+  val on_commit : region -> (unit -> unit) -> unit
+  (** [on_commit r h] registers commit handler [h], operating on region [r],
+      on the current top-level transaction.  Commit handlers run during the
+      commit phase, after validation; they apply buffered changes, perform
+      semantic conflict detection and release semantic locks.  The commit
+      phase holds the (deduplicated, deadlock-free ordered) set of regions
+      of all registered handlers, so commits whose handlers touch disjoint
+      collections proceed in parallel while commits into the same collection
+      serialise on its region. *)
 
   val on_abort : (unit -> unit) -> unit
   (** Register an abort handler: a compensating action that releases semantic

@@ -6,6 +6,12 @@
    which provides the open-nested atomicity; the tables themselves therefore
    need no internal synchronisation.
 
+   Membership structures are keyed by [TM.txn_id] — which coincides with
+   [TM.same_txn] equality on both TM implementations — so acquiring,
+   releasing and re-checking a lock are O(1) instead of list scans, and
+   [any_other_writer] is O(1) via a maintained per-transaction write-lock
+   count instead of a full-table fold.
+
    Conflict detection is optimistic (paper §5.1): writers examine these
    tables at commit time and abort conflicting readers through
    program-directed abort.  [remote_abort] returning [false] means the
@@ -16,8 +22,11 @@ module Make (TM : Tm_intf.TM_OPS) = struct
   type 'k range = { lo : 'k option; hi : 'k option }
   (* Half-open interval [lo, hi); [None] = unbounded on that side. *)
 
+  type lockers = (int, TM.txn) Hashtbl.t
+  (* txn_id -> owner; Hashtbl.replace makes acquisition idempotent. *)
+
   type key_entry = {
-    mutable readers : TM.txn list;
+    readers : lockers;
     mutable writer : TM.txn option;
         (* Exclusive writer, used only by the pessimistic/undo-logging
            variants (§5.1); the optimistic wrapper never sets it. *)
@@ -25,26 +34,46 @@ module Make (TM : Tm_intf.TM_OPS) = struct
 
   type 'k t = {
     key_lockers : ('k, key_entry) Coll.Chain_hashmap.t;
-    mutable size_lockers : TM.txn list;
-    mutable isempty_lockers : TM.txn list;
-    mutable first_lockers : TM.txn list;
-    mutable last_lockers : TM.txn list;
-    mutable range_lockers : ('k range * TM.txn) list;
+    writers : (int, int) Hashtbl.t;
+        (* txn_id -> number of key write-locks held: [any_other_writer]
+           in O(1) *)
+    size_lockers : lockers;
+    isempty_lockers : lockers;
+    first_lockers : lockers;
+    last_lockers : lockers;
+    range_lockers : (int, 'k range list * TM.txn) Hashtbl.t;
+        (* txn_id -> ranges read (newest first, duplicates kept) *)
+    mutable range_count : int; (* total (range, owner) pairs *)
   }
 
   let create () =
     {
       key_lockers = Coll.Chain_hashmap.create ();
-      size_lockers = [];
-      isempty_lockers = [];
-      first_lockers = [];
-      last_lockers = [];
-      range_lockers = [];
+      writers = Hashtbl.create 8;
+      size_lockers = Hashtbl.create 8;
+      isempty_lockers = Hashtbl.create 8;
+      first_lockers = Hashtbl.create 8;
+      last_lockers = Hashtbl.create 8;
+      range_lockers = Hashtbl.create 8;
+      range_count = 0;
     }
 
-  let mem_txn txn txns = List.exists (TM.same_txn txn) txns
-  let add_txn txn txns = if mem_txn txn txns then txns else txn :: txns
-  let drop_txn txn txns = List.filter (fun t -> not (TM.same_txn txn t)) txns
+  let add_locker tbl txn = Hashtbl.replace tbl (TM.txn_id txn) txn
+  let drop_locker tbl txn = Hashtbl.remove tbl (TM.txn_id txn)
+  let locker_mem tbl txn = Hashtbl.mem tbl (TM.txn_id txn)
+  let lockers_list tbl = Hashtbl.fold (fun _ txn acc -> txn :: acc) tbl []
+
+  let writer_incr t txn =
+    let id = TM.txn_id txn in
+    Hashtbl.replace t.writers id
+      (1 + Option.value (Hashtbl.find_opt t.writers id) ~default:0)
+
+  let writer_decr t txn =
+    let id = TM.txn_id txn in
+    match Hashtbl.find_opt t.writers id with
+    | None -> ()
+    | Some 1 -> Hashtbl.remove t.writers id
+    | Some n -> Hashtbl.replace t.writers id (n - 1)
 
   (* -------------------- acquisition (read operations) ------------------ *)
 
@@ -52,22 +81,28 @@ module Make (TM : Tm_intf.TM_OPS) = struct
     match Coll.Chain_hashmap.find t.key_lockers k with
     | Some e -> e
     | None ->
-        let e = { readers = []; writer = None } in
+        let e = { readers = Hashtbl.create 4; writer = None } in
         Coll.Chain_hashmap.add t.key_lockers k e;
         e
 
   let lock_key t txn k =
     let e = entry_for t k in
-    e.readers <- add_txn txn e.readers
+    add_locker e.readers txn
 
   let lock_key_write t txn k =
     let e = entry_for t k in
+    (match e.writer with
+    | Some w when TM.same_txn w txn -> ()
+    | Some w ->
+        writer_decr t w;
+        writer_incr t txn
+    | None -> writer_incr t txn);
     e.writer <- Some txn
 
   let key_readers t k =
     match Coll.Chain_hashmap.find t.key_lockers k with
     | None -> []
-    | Some e -> e.readers
+    | Some e -> lockers_list e.readers
 
   let key_writer t k =
     match Coll.Chain_hashmap.find t.key_lockers k with
@@ -75,19 +110,23 @@ module Make (TM : Tm_intf.TM_OPS) = struct
     | Some e -> e.writer
 
   let any_other_writer t ~self =
-    Coll.Chain_hashmap.fold
-      (fun _ e acc ->
-        acc
-        || match e.writer with Some w -> not (TM.same_txn w self) | None -> false)
-      t.key_lockers false
+    let n = Hashtbl.length t.writers in
+    n > 1 || (n = 1 && not (Hashtbl.mem t.writers (TM.txn_id self)))
 
-  let lock_size t txn = t.size_lockers <- add_txn txn t.size_lockers
-  let lock_isempty t txn = t.isempty_lockers <- add_txn txn t.isempty_lockers
-  let lock_first t txn = t.first_lockers <- add_txn txn t.first_lockers
-  let lock_last t txn = t.last_lockers <- add_txn txn t.last_lockers
+  let lock_size t txn = add_locker t.size_lockers txn
+  let lock_isempty t txn = add_locker t.isempty_lockers txn
+  let lock_first t txn = add_locker t.first_lockers txn
+  let lock_last t txn = add_locker t.last_lockers txn
 
   let lock_range t txn range =
-    t.range_lockers <- (range, txn) :: t.range_lockers
+    let id = TM.txn_id txn in
+    let ranges =
+      match Hashtbl.find_opt t.range_lockers id with
+      | None -> []
+      | Some (rs, _) -> rs
+    in
+    Hashtbl.replace t.range_lockers id (range :: ranges, txn);
+    t.range_count <- t.range_count + 1
 
   (* -------------------- release (commit/abort handlers) ---------------- *)
 
@@ -95,37 +134,41 @@ module Make (TM : Tm_intf.TM_OPS) = struct
     match Coll.Chain_hashmap.find t.key_lockers k with
     | None -> ()
     | Some e ->
-        e.readers <- drop_txn txn e.readers;
+        drop_locker e.readers txn;
         (match e.writer with
-        | Some w when TM.same_txn w txn -> e.writer <- None
+        | Some w when TM.same_txn w txn ->
+            writer_decr t w;
+            e.writer <- None
         | _ -> ());
-        if e.readers = [] && e.writer = None then
+        if Hashtbl.length e.readers = 0 && e.writer = None then
           Coll.Chain_hashmap.remove t.key_lockers k
 
   let release_all t txn ~keys =
     List.iter (release_key t txn) keys;
-    t.size_lockers <- drop_txn txn t.size_lockers;
-    t.isempty_lockers <- drop_txn txn t.isempty_lockers;
-    t.first_lockers <- drop_txn txn t.first_lockers;
-    t.last_lockers <- drop_txn txn t.last_lockers;
-    t.range_lockers <-
-      List.filter (fun (_, owner) -> not (TM.same_txn txn owner)) t.range_lockers
+    drop_locker t.size_lockers txn;
+    drop_locker t.isempty_lockers txn;
+    drop_locker t.first_lockers txn;
+    drop_locker t.last_lockers txn;
+    let id = TM.txn_id txn in
+    (match Hashtbl.find_opt t.range_lockers id with
+    | None -> ()
+    | Some (rs, _) ->
+        t.range_count <- t.range_count - List.length rs;
+        Hashtbl.remove t.range_lockers id)
 
   (* -------------------- conflict detection (write commit) -------------- *)
 
-  let abort_others ~self txns =
-    List.iter
-      (fun owner -> if not (TM.same_txn self owner) then ignore (TM.remote_abort owner))
-      txns
+  let abort_other ~self owner =
+    if not (TM.same_txn self owner) then ignore (TM.remote_abort owner)
+
+  let abort_others ~self tbl = Hashtbl.iter (fun _ owner -> abort_other ~self owner) tbl
 
   let conflict_key t ~self k =
     match Coll.Chain_hashmap.find t.key_lockers k with
     | None -> ()
     | Some e ->
         abort_others ~self e.readers;
-        (match e.writer with
-        | Some w when not (TM.same_txn self w) -> ignore (TM.remote_abort w)
-        | _ -> ())
+        (match e.writer with Some w -> abort_other ~self w | None -> ())
 
   let conflict_size t ~self = abort_others ~self t.size_lockers
   let conflict_isempty t ~self = abort_others ~self t.isempty_lockers
@@ -137,10 +180,12 @@ module Make (TM : Tm_intf.TM_OPS) = struct
     && match hi with None -> true | Some b -> compare k b < 0
 
   let conflict_range t ~self ~compare k =
-    List.iter
-      (fun (range, owner) ->
-        if (not (TM.same_txn self owner)) && range_contains compare range k then
-          ignore (TM.remote_abort owner))
+    Hashtbl.iter
+      (fun _ (ranges, owner) ->
+        if
+          (not (TM.same_txn self owner))
+          && List.exists (fun r -> range_contains compare r k) ranges
+        then ignore (TM.remote_abort owner))
       t.range_lockers
 
   (* -------------------- introspection (tests, Table 2/5 traces) -------- *)
@@ -149,25 +194,32 @@ module Make (TM : Tm_intf.TM_OPS) = struct
     match Coll.Chain_hashmap.find t.key_lockers k with
     | None -> false
     | Some e -> (
-        mem_txn txn e.readers
+        locker_mem e.readers txn
         || match e.writer with Some w -> TM.same_txn w txn | None -> false)
 
-  let size_locked_by t txn = mem_txn txn t.size_lockers
-  let isempty_locked_by t txn = mem_txn txn t.isempty_lockers
-  let first_locked_by t txn = mem_txn txn t.first_lockers
-  let last_locked_by t txn = mem_txn txn t.last_lockers
+  let size_locked_by t txn = locker_mem t.size_lockers txn
+  let isempty_locked_by t txn = locker_mem t.isempty_lockers txn
+  let first_locked_by t txn = locker_mem t.first_lockers txn
+  let last_locked_by t txn = locker_mem t.last_lockers txn
+  let range_locked_by t txn = Hashtbl.mem t.range_lockers (TM.txn_id txn)
 
-  let range_locked_by t txn =
-    List.exists (fun (_, owner) -> TM.same_txn txn owner) t.range_lockers
+  (* Entry counts for state dumps (the tables themselves are abstract). *)
+  let key_entry_count t = Coll.Chain_hashmap.size t.key_lockers
+  let size_locker_count t = Hashtbl.length t.size_lockers
+  let isempty_locker_count t = Hashtbl.length t.isempty_lockers
+  let first_locker_count t = Hashtbl.length t.first_lockers
+  let last_locker_count t = Hashtbl.length t.last_lockers
+  let range_locker_count t = t.range_count
 
   let total_lockers t =
     Coll.Chain_hashmap.fold
       (fun _ e acc ->
-        acc + List.length e.readers + match e.writer with Some _ -> 1 | None -> 0)
+        acc + Hashtbl.length e.readers
+        + match e.writer with Some _ -> 1 | None -> 0)
       t.key_lockers 0
-    + List.length t.size_lockers
-    + List.length t.isempty_lockers
-    + List.length t.first_lockers
-    + List.length t.last_lockers
-    + List.length t.range_lockers
+    + Hashtbl.length t.size_lockers
+    + Hashtbl.length t.isempty_lockers
+    + Hashtbl.length t.first_lockers
+    + Hashtbl.length t.last_lockers
+    + t.range_count
 end

@@ -129,7 +129,7 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) = struct
     | None ->
         let l = { txn; buffer = Coll.Chain_hashmap.create (); key_locks = [] } in
         Hashtbl.add t.locals id l;
-        TM.on_commit (commit_handler t l);
+        TM.on_commit t.region (commit_handler t l);
         TM.on_abort (abort_handler t l);
         l
 
@@ -417,11 +417,11 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) = struct
         Format.fprintf ppf "  map                 %d bindings@." (M.size t.map);
         Format.fprintf ppf "Shared transactional state (open-nested):@.";
         Format.fprintf ppf "  key2lockers         %d entries@."
-          (Coll.Chain_hashmap.size t.locks.L.key_lockers);
+          (L.key_entry_count t.locks);
         Format.fprintf ppf "  sizeLockers         %d@."
-          (List.length t.locks.L.size_lockers);
+          (L.size_locker_count t.locks);
         Format.fprintf ppf "  isEmptyLockers      %d@."
-          (List.length t.locks.L.isempty_lockers);
+          (L.isempty_locker_count t.locks);
         Format.fprintf ppf "Local transactional state (%d active txns):@."
           (Hashtbl.length t.locals);
         Hashtbl.iter

@@ -98,7 +98,7 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) = struct
           }
         in
         Hashtbl.add t.locals id l;
-        TM.on_commit (commit_handler t l);
+        TM.on_commit t.region (commit_handler t l);
         TM.on_abort (abort_handler t l);
         l
 

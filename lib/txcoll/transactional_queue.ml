@@ -83,7 +83,7 @@ module Make (TM : Tm_intf.TM_OPS) (Q : Tm_intf.QUEUE_OPS) = struct
           }
         in
         Hashtbl.add t.locals id l;
-        TM.on_commit (commit_handler t l);
+        TM.on_commit t.region (commit_handler t l);
         TM.on_abort (abort_handler t l);
         l
 
@@ -145,7 +145,7 @@ module Make (TM : Tm_intf.TM_OPS) (Q : Tm_intf.QUEUE_OPS) = struct
         Format.fprintf ppf "  queue               %d elements@." (Q.length t.queue);
         Format.fprintf ppf "Shared transactional state (open-nested):@.";
         Format.fprintf ppf "  emptyLockers        %d@."
-          (List.length t.locks.L.isempty_lockers);
+          (L.isempty_locker_count t.locks);
         Format.fprintf ppf "Local transactional state (%d active txns):@."
           (Hashtbl.length t.locals);
         Hashtbl.iter

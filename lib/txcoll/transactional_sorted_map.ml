@@ -138,7 +138,7 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
           }
         in
         Hashtbl.add t.locals id l;
-        TM.on_commit (commit_handler t l);
+        TM.on_commit t.region (commit_handler t l);
         TM.on_abort (abort_handler t l);
         l
 
@@ -559,15 +559,15 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
         Format.fprintf ppf "  comparator          (read-only)@.";
         Format.fprintf ppf "Shared transactional state (open-nested):@.";
         Format.fprintf ppf "  key2lockers         %d entries@."
-          (Coll.Chain_hashmap.size t.locks.L.key_lockers);
+          (L.key_entry_count t.locks);
         Format.fprintf ppf "  sizeLockers         %d@."
-          (List.length t.locks.L.size_lockers);
+          (L.size_locker_count t.locks);
         Format.fprintf ppf "  firstLockers        %d@."
-          (List.length t.locks.L.first_lockers);
+          (L.first_locker_count t.locks);
         Format.fprintf ppf "  lastLockers         %d@."
-          (List.length t.locks.L.last_lockers);
+          (L.last_locker_count t.locks);
         Format.fprintf ppf "  rangeLockers        %d@."
-          (List.length t.locks.L.range_lockers);
+          (L.range_locker_count t.locks);
         Format.fprintf ppf "Local transactional state (%d active txns):@."
           (Hashtbl.length t.locals);
         Hashtbl.iter

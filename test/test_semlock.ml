@@ -5,9 +5,10 @@
 module L = Txcoll.Semlock.Make (Tcc_stm.Stm.Tm_ops)
 module Stm = Tcc_stm.Stm
 
-(* Fabricate distinct transaction handles (auto-commit handles are unique
-   per call). *)
-let handle () = Stm.current ()
+(* Fabricate distinct transaction handles.  [Stm.current] outside a
+   transaction returns a per-domain cached auto-commit handle, so mint a
+   real (immediately committed) transaction per call instead. *)
+let handle () = Stm.atomic (fun () -> Stm.current ())
 
 let test_acquire_release_balance () =
   let t : int L.t = L.create () in
