@@ -189,6 +189,85 @@ let micro () =
     results
 
 (* ------------------------------------------------------------------ *)
+(* Robustness: chaos soak matrix and forced-starvation comparison.  Both
+   print a table, feed the robustness sections of BENCH_stm.json, and are
+   run standalone by the CI chaos-soak job (non-zero exit on failure).  *)
+
+let chaos_probs = [ 0.01; 0.05; 0.2 ]
+
+(* CI runs the soak over an explicit seed matrix (CHAOS_SEEDS="1 2 3") so a
+   red cell names the exact seed to replay locally. *)
+let chaos_seeds =
+  match Sys.getenv_opt "CHAOS_SEEDS" with
+  | None | Some "" -> [ 1; 2; 3 ]
+  | Some s ->
+      String.split_on_char ' ' s
+      |> List.filter (fun tok -> tok <> "")
+      |> List.map int_of_string
+
+let chaos_matrix ~ops_per_domain =
+  List.concat_map
+    (fun p ->
+      List.concat_map
+        (fun seed ->
+          List.map
+            (fun policy ->
+              let r =
+                Harness.Chaos.run_soak
+                  (Harness.Chaos.default_soak ~policy ~domains:2
+                     ~ops_per_domain ~seed p)
+              in
+              (p, seed, policy, r))
+            [ Stm.Contention.default; Stm.Contention.Greedy ])
+        chaos_seeds)
+    chaos_probs
+
+let chaos () =
+  let rows = chaos_matrix ~ops_per_domain:800 in
+  Fmt.pf ppf "@.Chaos soak (2 domains, map+sorted+queue, seeded injection)@.";
+  Fmt.pf ppf "  %5s %5s %-8s %6s %-10s %s@." "p" "seed" "policy" "ok"
+    "committed" "injections (conflict/remote/handler/delay)";
+  let failed = ref false in
+  List.iter
+    (fun (p, seed, policy, (r : Harness.Chaos.soak_report)) ->
+      if not r.ok then failed := true;
+      let c, ra, hf, d = r.injections in
+      Fmt.pf ppf "  %5.2f %5d %-8s %6b %10d %d/%d/%d/%d@." p seed
+        (Stm.Contention.name policy)
+        r.ok r.committed c ra hf d;
+      List.iter (fun e -> Fmt.pf ppf "        FAILED: %s@." e) r.errors)
+    rows;
+  if !failed then begin
+    Fmt.pf ppf "  CHAOS SOAK FAILED@.";
+    exit 1
+  end
+  else Fmt.pf ppf "  all runs converged; no leaked locks or regions@."
+
+let starve_rows () =
+  let budget = { Stm.max_retries = Some 12; max_seconds = None } in
+  [
+    Harness.Starvation.run ~policy:Stm.Contention.default ~budget ~rounds:20 ();
+    Harness.Starvation.run ~policy:Stm.Contention.Karma ~budget ~rounds:20 ();
+    Harness.Starvation.run ~policy:Stm.Contention.Greedy ~rounds:20 ();
+  ]
+
+let starve () =
+  Fmt.pf ppf
+    "@.Forced starvation (1 long writer vs 3 short writers, same keys)@.";
+  let rows = starve_rows () in
+  List.iter (fun r -> Fmt.pf ppf "  %a@." Harness.Starvation.pp_report r) rows;
+  match List.rev rows with
+  | greedy :: _ ->
+      if greedy.Harness.Starvation.completed <> greedy.Harness.Starvation.rounds
+         || greedy.Harness.Starvation.starved <> 0
+      then begin
+        Fmt.pf ppf "  GREEDY POLICY FAILED TO PREVENT STARVATION@.";
+        exit 1
+      end
+      else Fmt.pf ppf "  greedy: starvation-free as required@."
+  | [] -> ()
+
+(* ------------------------------------------------------------------ *)
 (* STM commit-throughput scaling: transactions committing into per-domain
    collections (disjoint: each commit holds only its own collection's
    region) versus one shared collection (commits serialise on its region).
@@ -237,7 +316,7 @@ let stmscale_run ~workload ~domains ~txns_per_domain =
     region_waits = Stm.commit_region_waits () - waits_before;
   }
 
-let stmscale_json ~cores rows =
+let stmscale_json ~cores ~chaos_rows ~starvation_rows rows =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
   Buffer.add_string b (Printf.sprintf "  \"cores\": %d,\n" cores);
@@ -270,6 +349,33 @@ let stmscale_json ~cores rows =
            r.region_waits
            (if i = List.length rows - 1 then "" else ",")))
     rows;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b "  \"chaos\": [\n";
+  List.iteri
+    (fun i (p, seed, policy, (r : Harness.Chaos.soak_report)) ->
+      let c, ra, hf, d = r.injections in
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"p\": %.2f, \"seed\": %d, \"policy\": \"%s\", \"ok\": %b, \
+            \"committed\": %d, \"injected_conflicts\": %d, \
+            \"injected_remote_aborts\": %d, \"injected_handler_faults\": %d, \
+            \"injected_delays\": %d}%s\n"
+           p seed
+           (Tcc_stm.Stm.Contention.name policy)
+           r.ok r.committed c ra hf d
+           (if i = List.length chaos_rows - 1 then "" else ",")))
+    chaos_rows;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b "  \"starvation\": [\n";
+  List.iteri
+    (fun i (r : Harness.Starvation.report) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"policy\": \"%s\", \"rounds\": %d, \"completed\": %d, \
+            \"starved\": %d, \"long_retries\": %d, \"elapsed_s\": %.3f}%s\n"
+           r.policy r.rounds r.completed r.starved r.long_retries r.elapsed_s
+           (if i = List.length starvation_rows - 1 then "" else ",")))
+    starvation_rows;
   Buffer.add_string b "  ]\n}\n";
   Buffer.contents b
 
@@ -296,7 +402,11 @@ let stmscale () =
       Fmt.pf ppf "  %-9s %7d %10d %14.0f %13d@." r.workload r.domains
         r.total_txns r.commits_per_s r.region_waits)
     rows;
-  let json = stmscale_json ~cores rows in
+  (* Robustness columns: a lighter chaos matrix plus the three-policy
+     starvation comparison ride along into the same JSON record. *)
+  let chaos_rows = chaos_matrix ~ops_per_domain:400 in
+  let starvation_rows = starve_rows () in
+  let json = stmscale_json ~cores ~chaos_rows ~starvation_rows rows in
   let oc = open_out "BENCH_stm.json" in
   output_string oc json;
   close_out oc;
@@ -325,6 +435,8 @@ let targets : (string * (unit -> unit)) list =
     ("queue", queue);
     ("micro", micro);
     ("stmscale", stmscale);
+    ("chaos", chaos);
+    ("starve", starve);
   ]
 
 let () =

@@ -1,0 +1,456 @@
+(* Seeded fault-injection (chaos) harness for the host STM and the
+   transactional collection classes.
+
+   A deterministic splitmix64 stream per worker domain drives injection
+   through the {!Stm.Chaos} hook points:
+
+   - [Chaos_attempt] (start of every top-level attempt): with probability
+     [p_handler_fail], register a commit handler that raises; with the
+     same probability, an abort handler that raises.  These exercise the
+     protected handler execution: real collection handlers must still run
+     and release their locks, and the failure must surface as
+     [Stm.Handler_failure] with the right [committed] flag.
+   - [Chaos_before_commit] (after the transaction body): with probability
+     [p_delay], spin — widening the window for real conflicts; with
+     probability [p_conflict], force a transparent retry.
+   - [Chaos_in_commit] (inside the commit, after read validation, before
+     the commit point): with probability [p_remote_abort], deliver a
+     remote abort to the committing transaction itself — the
+     Active/Committing status race of §4's program-directed abort; with
+     probability [p_conflict], force a validation-style conflict.
+
+   The soak runs workers over a TransactionalMap, a TransactionalSortedMap
+   and a TransactionalQueue (plus one shared tvar counter) under
+   injection, then checks linearizability against per-worker oracle models
+   and asserts zero leaked semantic locks and zero held commit regions.
+   On a single domain the whole schedule is deterministic: same seed,
+   same injection counts, same final contents ({!fingerprint}). *)
+
+module Stm = Tcc_stm.Stm
+module Tvar = Tcc_stm.Tvar
+module Map = Txcoll.Host.Map (Txcoll.Host.Int_hashed)
+module Sorted = Txcoll.Host.Sorted_map (Txcoll.Host.Int_ordered)
+module Queue = Txcoll.Host.Queue
+
+exception Chaos_fault of string
+(* The only exception the injected handlers raise; anything else escaping
+   a soak transaction is a real bug and fails the run. *)
+
+type config = {
+  seed : int;
+  p_conflict : float;
+  p_remote_abort : float;
+  p_handler_fail : float;
+  p_delay : float;
+  delay_spins : int;
+}
+
+let uniform ?(delay_spins = 200) ~seed p =
+  {
+    seed;
+    p_conflict = p;
+    p_remote_abort = p;
+    p_handler_fail = p;
+    p_delay = p;
+    delay_spins;
+  }
+
+(* ---------------- deterministic RNG (splitmix64) ---------------- *)
+
+let sm_next st =
+  st := Int64.add !st 0x9E3779B97F4A7C15L;
+  let z = !st in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let rand_float st =
+  Int64.to_float (Int64.shift_right_logical (sm_next st) 11) /. 9007199254740992.
+
+let rand_int st n =
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (sm_next st) 1) (Int64.of_int n))
+
+let stream_of_seed seed index =
+  ref (Int64.logxor (Int64.of_int ((seed * 0x9E3779B1) + index)) 0x5DEECE66DL)
+
+(* Per-domain injection stream, set by [register_worker]; a domain that
+   never registered (e.g. the checking main domain while the hook is still
+   installed) gets a fixed seed-independent-of-identity stream, keeping
+   single-domain runs fully deterministic. *)
+let stream_key : int64 ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0L)
+
+(* ---------------- injection counters ---------------- *)
+
+let injected_conflicts = Atomic.make 0
+let injected_remote_aborts = Atomic.make 0
+let injected_handler_faults = Atomic.make 0
+let injected_delays = Atomic.make 0
+
+let reset_counters () =
+  Atomic.set injected_conflicts 0;
+  Atomic.set injected_remote_aborts 0;
+  Atomic.set injected_handler_faults 0;
+  Atomic.set injected_delays 0
+
+let register_worker cfg ~index =
+  Domain.DLS.get stream_key := !(stream_of_seed cfg.seed (index + 1))
+
+let hook cfg ev =
+  let st = Domain.DLS.get stream_key in
+  if Int64.equal !st 0L then st := !(stream_of_seed cfg.seed 0);
+  match (ev : Stm.Chaos.event) with
+  | Chaos_attempt ->
+      if rand_float st < cfg.p_handler_fail then begin
+        Atomic.incr injected_handler_faults;
+        Stm.on_commit (fun () -> raise (Chaos_fault "commit-handler"))
+      end;
+      if rand_float st < cfg.p_handler_fail then begin
+        Atomic.incr injected_handler_faults;
+        Stm.on_abort (fun () -> raise (Chaos_fault "abort-handler"))
+      end
+  | Chaos_before_commit ->
+      if rand_float st < cfg.p_delay then begin
+        Atomic.incr injected_delays;
+        for _ = 1 to cfg.delay_spins do
+          Domain.cpu_relax ()
+        done
+      end;
+      if rand_float st < cfg.p_conflict then begin
+        Atomic.incr injected_conflicts;
+        ignore (Stm.retry_now ())
+      end
+  | Chaos_in_commit ->
+      if rand_float st < cfg.p_remote_abort then begin
+        Atomic.incr injected_remote_aborts;
+        (* Self-directed remote abort: lands exactly in the
+           Active/Committing window the status-race fix covers. *)
+        ignore (Stm.remote_abort (Stm.current ()))
+      end
+      else if rand_float st < cfg.p_conflict then begin
+        Atomic.incr injected_conflicts;
+        ignore (Stm.retry_now ())
+      end
+
+let install cfg =
+  reset_counters ();
+  Domain.DLS.get stream_key := !(stream_of_seed cfg.seed 0);
+  Stm.Chaos.set_hook (Some (hook cfg))
+
+let uninstall () = Stm.Chaos.set_hook None
+
+(* ---------------- linearizability-checked soak ---------------- *)
+
+type soak_config = {
+  chaos : config;
+  policy : Stm.Contention.policy;
+  domains : int;
+  ops_per_domain : int;
+  key_space : int;  (* per-worker partition width *)
+}
+
+let default_soak ?(policy = Stm.Contention.default) ?(domains = 2)
+    ?(ops_per_domain = 1500) ?(key_space = 64) ~seed p =
+  { chaos = uniform ~seed p; policy; domains; ops_per_domain; key_space }
+
+type soak_report = {
+  ok : bool;
+  errors : string list;
+  committed : int;
+  injections : int * int * int * int;
+      (* conflicts, remote aborts, handler faults, delays *)
+  map_size : int;
+  sorted_size : int;
+  queue_remaining : int;
+  fingerprint : string;
+}
+
+(* Per-worker oracle: the effects of every transaction this worker saw
+   commit.  Workers write disjoint key partitions, so the union of the
+   models is the linearizable outcome for the maps; queue tokens are
+   globally unique, so conservation is checked as a multiset equation. *)
+type model = {
+  m_map : (int, int) Hashtbl.t;
+  m_sorted : (int, int) Hashtbl.t;
+  mutable m_enq : int list;
+  mutable m_deq : int list;
+  mutable m_committed : int;
+  mutable m_errors : string list;
+}
+
+let worker_loop sc ~index ~map ~sorted ~queue ~counter =
+  register_worker sc.chaos ~index;
+  let rng = stream_of_seed (sc.chaos.seed lxor 0x5afe) (index + 1) in
+  let md =
+    {
+      m_map = Hashtbl.create 64;
+      m_sorted = Hashtbl.create 64;
+      m_enq = [];
+      m_deq = [];
+      m_committed = 0;
+      m_errors = [];
+    }
+  in
+  let base = index * sc.key_space in
+  let seq = ref 0 in
+  (* Run one op transactionally; [apply_model] records its effects iff the
+     transaction committed — including commits surfaced through
+     [Handler_failure { committed = true }] from an injected fault. *)
+  let run_txn body apply_model =
+    match Stm.atomic ~policy:sc.policy body with
+    | () ->
+        md.m_committed <- md.m_committed + 1;
+        apply_model ()
+    | exception Stm.Handler_failure { committed; failures } ->
+        List.iter
+          (fun e ->
+            match e with
+            | Chaos_fault _ -> ()
+            | e ->
+                md.m_errors <-
+                  ("unexpected handler failure: " ^ Printexc.to_string e)
+                  :: md.m_errors)
+          failures;
+        if committed then begin
+          md.m_committed <- md.m_committed + 1;
+          apply_model ()
+        end
+    | exception e ->
+        md.m_errors <-
+          ("transaction raised: " ^ Printexc.to_string e) :: md.m_errors
+  in
+  let bump () = Tvar.modify counter succ in
+  for i = 1 to sc.ops_per_domain do
+    let dice = rand_int rng 100 in
+    if dice < 30 then begin
+      (* Point ops on the hash map, own partition; a cross-partition read
+         creates inter-worker key-lock traffic. *)
+      let k = base + rand_int rng sc.key_space in
+      let probe = rand_int rng (sc.domains * sc.key_space) in
+      if rand_int rng 3 < 2 then
+        run_txn
+          (fun () ->
+            ignore (Map.put map k i);
+            ignore (Map.find map probe);
+            bump ())
+          (fun () -> Hashtbl.replace md.m_map k i)
+      else
+        run_txn
+          (fun () ->
+            ignore (Map.remove map k);
+            bump ())
+          (fun () -> Hashtbl.remove md.m_map k)
+    end
+    else if dice < 55 then begin
+      (* Sorted map: point writes plus occasional endpoint reads. *)
+      let k = base + rand_int rng sc.key_space in
+      if rand_int rng 3 < 2 then
+        run_txn
+          (fun () ->
+            ignore (Sorted.put sorted k i);
+            if rand_int rng 4 = 0 then ignore (Sorted.first_key sorted);
+            bump ())
+          (fun () -> Hashtbl.replace md.m_sorted k i)
+      else
+        run_txn
+          (fun () ->
+            ignore (Sorted.remove sorted k);
+            if rand_int rng 4 = 0 then ignore (Sorted.last_key sorted);
+            bump ())
+          (fun () -> Hashtbl.remove md.m_sorted k)
+    end
+    else if dice < 80 then begin
+      (* Work queue: globally unique tokens, conservation-checked. *)
+      if rand_int rng 2 = 0 then begin
+        let token = (index * 1_000_000) + !seq in
+        incr seq;
+        run_txn
+          (fun () ->
+            Queue.put queue token;
+            bump ())
+          (fun () -> md.m_enq <- token :: md.m_enq)
+      end
+      else begin
+        (* The dequeued token is captured in a cell set during the body:
+           when the commit is reported via [Handler_failure
+           { committed = true }] the return value is lost, but the cell
+           holds the committed (last) attempt's token. *)
+        let got = ref None in
+        run_txn
+          (fun () ->
+            got := Queue.poll queue;
+            bump ())
+          (fun () ->
+            match !got with
+            | Some tok -> md.m_deq <- tok :: md.m_deq
+            | None -> ())
+      end
+    end
+    else if dice < 90 then begin
+      (* Cross-collection transaction: two regions at commit. *)
+      let k = base + rand_int rng sc.key_space in
+      run_txn
+        (fun () ->
+          ignore (Map.put map k (-i));
+          ignore (Sorted.put sorted k (-i));
+          bump ())
+        (fun () ->
+          Hashtbl.replace md.m_map k (-i);
+          Hashtbl.replace md.m_sorted k (-i))
+    end
+    else begin
+      (* Abstract-state reads: size/isEmpty/endpoint/empty locks make this
+         worker a remote-abort victim. *)
+      let body () =
+        (match rand_int rng 4 with
+        | 0 -> ignore (Map.size map)
+        | 1 -> ignore (Map.is_empty map)
+        | 2 -> ignore (Sorted.first_key sorted)
+        | _ -> ignore (Queue.peek queue));
+        bump ()
+      in
+      run_txn body (fun () -> ())
+    end
+  done;
+  md
+
+let check name cond errors = if not cond then errors := name :: !errors
+
+let run_soak sc =
+  install sc.chaos;
+  let map = Map.create () in
+  let sorted = Sorted.create () in
+  let queue = Queue.create () in
+  let counter = Tvar.make 0 in
+  let doms =
+    List.init sc.domains (fun index ->
+        Domain.spawn (fun () ->
+            worker_loop sc ~index ~map ~sorted ~queue ~counter))
+  in
+  let models = List.map Domain.join doms in
+  uninstall ();
+  let errors = ref [] in
+  List.iter
+    (fun md -> List.iter (fun e -> errors := e :: !errors) md.m_errors)
+    models;
+  (* Map and sorted map: contents must equal the union of the per-worker
+     models (partitions are disjoint). *)
+  let union of_model =
+    let u = Hashtbl.create 256 in
+    List.iter
+      (fun md -> Hashtbl.iter (fun k v -> Hashtbl.replace u k v) (of_model md))
+      models;
+    u
+  in
+  let expect_map = union (fun md -> md.m_map) in
+  let actual_map = Map.to_list map in
+  check "map size vs model"
+    (List.length actual_map = Hashtbl.length expect_map)
+    errors;
+  List.iter
+    (fun (k, v) ->
+      check
+        (Printf.sprintf "map binding %d agrees with model" k)
+        (Hashtbl.find_opt expect_map k = Some v)
+        errors)
+    actual_map;
+  let expect_sorted = union (fun md -> md.m_sorted) in
+  let actual_sorted = Sorted.to_list sorted in
+  check "sorted size vs model"
+    (List.length actual_sorted = Hashtbl.length expect_sorted)
+    errors;
+  List.iter
+    (fun (k, v) ->
+      check
+        (Printf.sprintf "sorted binding %d agrees with model" k)
+        (Hashtbl.find_opt expect_sorted k = Some v)
+        errors)
+    actual_sorted;
+  check "sorted iteration ordered"
+    (let rec ordered = function
+       | (a, _) :: ((b, _) :: _ as rest) -> a < b && ordered rest
+       | _ -> true
+     in
+     ordered actual_sorted)
+    errors;
+  (* Queue conservation: every token enqueued-and-committed is either in a
+     committed dequeue or still in the queue, exactly once. *)
+  let remaining = ref [] in
+  let rec drain () =
+    match Queue.poll queue with
+    | Some tok ->
+        remaining := tok :: !remaining;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  let enq = List.concat_map (fun md -> md.m_enq) models in
+  let deq = List.concat_map (fun md -> md.m_deq) models in
+  let out = deq @ !remaining in
+  check "queue token conservation (count)"
+    (List.length enq = List.length out)
+    errors;
+  let module IS = Set.Make (Int) in
+  let enq_set = IS.of_list enq in
+  check "queue tokens unique" (IS.cardinal enq_set = List.length enq) errors;
+  check "queue no duplicated delivery"
+    (IS.cardinal (IS.of_list out) = List.length out)
+    errors;
+  check "queue no invented tokens"
+    (List.for_all (fun t -> IS.mem t enq_set) out)
+    errors;
+  (* Counter: one increment per committed worker transaction. *)
+  let committed = List.fold_left (fun a md -> a + md.m_committed) 0 models in
+  check "counter equals committed transactions"
+    (Tvar.get counter = committed)
+    errors;
+  (* Leak probes: no semantic lock survives its transaction, no commit
+     region is held once all domains are quiescent. *)
+  check "no leaked map locks" (Map.outstanding_locks map = 0) errors;
+  check "no leaked sorted-map locks" (Sorted.outstanding_locks sorted = 0) errors;
+  check "no leaked queue locks" (Queue.outstanding_locks queue = 0) errors;
+  check "no held commit regions" (Stm.regions_held () = 0) errors;
+  let injections =
+    ( Atomic.get injected_conflicts,
+      Atomic.get injected_remote_aborts,
+      Atomic.get injected_handler_faults,
+      Atomic.get injected_delays )
+  in
+  let fingerprint =
+    let buf = Buffer.create 1024 in
+    List.iter
+      (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "m%d=%d;" k v))
+      (List.sort compare actual_map);
+    List.iter
+      (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "s%d=%d;" k v))
+      actual_sorted;
+    List.iter
+      (fun t -> Buffer.add_string buf (Printf.sprintf "q%d;" t))
+      (List.rev !remaining);
+    let c, r, h, d = injections in
+    Buffer.add_string buf
+      (Printf.sprintf "counter=%d;inj=%d,%d,%d,%d" (Tvar.get counter) c r h d);
+    Digest.to_hex (Digest.string (Buffer.contents buf))
+  in
+  {
+    ok = !errors = [];
+    errors = List.rev !errors;
+    committed;
+    injections;
+    map_size = List.length actual_map;
+    sorted_size = List.length actual_sorted;
+    queue_remaining = List.length !remaining;
+    fingerprint;
+  }
+
+let pp_report ppf r =
+  let c, ra, hf, d = r.injections in
+  Format.fprintf ppf
+    "ok=%b committed=%d injected(conflict=%d remote=%d handler=%d delay=%d) \
+     map=%d sorted=%d queue=%d fp=%s"
+    r.ok r.committed c ra hf d r.map_size r.sorted_size r.queue_remaining
+    r.fingerprint;
+  List.iter (fun e -> Format.fprintf ppf "@.  FAILED: %s" e) r.errors

@@ -231,6 +231,15 @@ module Tm_ops : Tm_intf.TM_OPS with type txn = txn = struct
      CPU's hardware commit (which holds the commit token), so the region
      only scopes conflict detection, not handler serialisation. *)
   let on_commit _region h = on_commit h
+
+  (* No separate prepare phase on the simulated machine: the hardware
+     commit is already atomic under the commit token, so the two halves
+     run back-to-back inside it. *)
+  let on_commit_prepared region ~prepare ~apply =
+    on_commit region (fun () ->
+        prepare ();
+        apply ())
+
   let on_abort = on_abort
   let remote_abort = remote_abort
   let self_abort () = self_abort ()

@@ -1,10 +1,29 @@
 open Types
 
 exception Aborted
+exception Starved of { attempts : int; elapsed : float }
+exception Handler_failure of { committed : bool; failures : exn list }
 
 type handle = txn
 
 let context = context
+
+(* ------------------------------------------------------------------ *)
+(* Contention management *)
+
+module Contention = struct
+  type policy = Types.cm_policy =
+    | Backoff of { base : int; max_exp : int; jitter : bool }
+    | Karma
+    | Greedy
+
+  let default = default_cm
+  let set_global p = Atomic.set global_cm p
+  let global () = Atomic.get global_cm
+  let name = policy_name
+end
+
+type budget = { max_retries : int option; max_seconds : float option }
 
 (* Auto-commit context: an already-committed handle so that semantic lock
    owners recorded outside transactions never block anyone (remote_abort
@@ -30,7 +49,10 @@ let txn_id (t : handle) = t.txn_id
 let on_commit_in region h =
   match !(context ()) with
   | None -> h () (* auto-commit: the operation is its own transaction *)
-  | Some t -> t.commit_handlers <- (region, h) :: t.commit_handlers
+  | Some t ->
+      t.commit_handlers <-
+        { ch_region = region; ch_prepare = None; ch_apply = h }
+        :: t.commit_handlers
 
 let on_commit h = on_commit_in None h
 
@@ -47,9 +69,26 @@ let on_top_commit_in region h =
   | None -> h ()
   | Some t ->
       let top = t.top in
-      top.commit_handlers <- (region, h) :: top.commit_handlers
+      top.commit_handlers <-
+        { ch_region = region; ch_prepare = None; ch_apply = h }
+        :: top.commit_handlers
 
 let on_top_commit h = on_top_commit_in None h
+
+(* Two-phase registration used by the collection classes: [prepare] runs
+   before the commit point (semantic conflict detection; may raise to
+   retry or defer), [apply] after it (buffer application + lock release;
+   protected, never skipped). *)
+let on_top_commit_prepared region ~prepare ~apply =
+  match !(context ()) with
+  | None ->
+      prepare ();
+      apply ()
+  | Some t ->
+      let top = t.top in
+      top.commit_handlers <-
+        { ch_region = Some region; ch_prepare = Some prepare; ch_apply = apply }
+        :: top.commit_handlers
 
 let on_top_abort h =
   match !(context ()) with
@@ -69,16 +108,58 @@ let retry_now () =
   | None -> invalid_arg "Stm.retry_now: no enclosing transaction"
   | Some _ -> raise Conflict_exn
 
-let remote_abort (t : handle) =
+type remote_abort_outcome = Delivered | Already_aborted | Too_late
+
+(* Program-directed abort with contention-manager arbitration.  When the
+   caller is a transaction inside its own prepare phase (semantic conflict
+   detection at commit), the caller's policy may decide to *defer* to the
+   target instead of aborting it: Greedy yields to older start tickets,
+   Karma to higher accumulated retry counts.  Deferring raises
+   [Deferred_exn], unwinding the caller's commit attempt (nothing has been
+   applied yet — prepare runs before the commit point) so it retries while
+   the elder proceeds.  The oldest transaction in the system is never
+   deferred-out and never aborted by a Greedy committer: starvation
+   freedom for semantic conflicts.
+
+   The status race against a target that is concurrently entering its own
+   commit is resolved deterministically by the CAS loop below, and every
+   outcome is counted: [Delivered] (we won the race, the target will
+   observe the abort), [Already_aborted], or [Too_late] (the target passed
+   its commit point first and serialises before the caller). *)
+let remote_abort_outcome (t : handle) =
+  (match !(context ()) with
+  | Some self when self.top.in_prepare && self.top.txn_id <> t.txn_id ->
+      let defer =
+        Atomic.get t.top_status = Active
+        && (match self.top.cm with
+           | Greedy -> t.prio < self.top.prio
+           | Karma -> t.retries > self.top.retries
+           | Backoff _ -> false)
+      in
+      if defer then begin
+        Atomic.incr stat_deferrals;
+        raise Deferred_exn
+      end
+  | _ -> ());
   let rec go () =
     match Atomic.get t.top_status with
     | Active ->
-        if Atomic.compare_and_set t.top_status Active Aborted then true
+        if Atomic.compare_and_set t.top_status Active Aborted then begin
+          Atomic.incr stat_ra_delivered;
+          Delivered
+        end
         else go ()
-    | Aborted -> true
-    | Committing | Committed -> false
+    | Aborted -> Already_aborted
+    | Committing | Committed ->
+        Atomic.incr stat_ra_late;
+        Too_late
   in
   go ()
+
+let remote_abort t =
+  match remote_abort_outcome t with
+  | Delivered | Already_aborted -> true
+  | Too_late -> false
 
 (* ------------------------------------------------------------------ *)
 (* Commit machinery                                                    *)
@@ -128,107 +209,217 @@ let validate_reads top =
 let commit_regions handlers =
   let add acc r = if List.exists (fun r' -> r'.rid = r.rid) acc then acc else r :: acc in
   List.fold_left
-    (fun acc (r, _) -> add acc (Option.value r ~default:global_commit_region))
+    (fun acc h -> add acc (Option.value h.ch_region ~default:global_commit_region))
     [] handlers
   |> List.sort (fun a b -> compare a.rid b.rid)
 
-(* Commit a top-level transaction.  When [run_handlers] is set and the
-   transaction registered handlers, the whole sequence
+(* Run every apply handler even if some raise; failures are aggregated
+   (in registration order) and surfaced after the commit completes.  A
+   raising handler can therefore never skip another collection's buffer
+   application or semantic lock release. *)
+let run_applies handlers =
+  List.rev
+    (List.fold_left
+       (fun acc h ->
+         try
+           h.ch_apply ();
+           acc
+         with e ->
+           Atomic.incr stat_handler_failures;
+           e :: acc)
+       [] handlers)
 
-     lock write set -> validate reads -> flip to Committing ->
-     run commit handlers -> publish memory writes -> Committed
+(* Publish the redo log and finish the commit.  Transactions with no
+   memory writes need no write version: skipping the clock bump keeps
+   pure-semantic commits off the shared clock cache line entirely. *)
+let publish_and_finish top acquired =
+  if top.wids_sorted <> [] then begin
+    let wv = Atomic.fetch_and_add clock 2 + 2 in
+    Hashtbl.iter (fun _ (W (tv, v)) -> Atomic.set tv.value v) top.writes;
+    List.iter (fun (vl, _) -> Atomic.set vl wv) acquired;
+    ring_publish wv (Array.of_list top.wids_sorted)
+  end;
+  Atomic.set top.top_status Committed;
+  Atomic.incr stat_commits
+
+(* Commit a top-level transaction.  When the transaction registered
+   handlers, the whole sequence
+
+     acquire commit regions -> lock write set -> validate reads ->
+     run prepare handlers (semantic conflict detection) ->
+     flip to Committing -> run apply handlers -> publish memory writes ->
+     Committed
 
    executes while holding the commit regions of every collection the
    handlers touch (acquired in rid order, hence deadlock-free), making the
    handlers' semantic conflict checks and buffer application atomic with
    the memory-level commit (multi-level transaction commit).  Commits whose
    handlers touch disjoint collections hold disjoint regions and proceed in
-   parallel.  Commit handlers must not access tvars: the collection classes
-   operate on their wrapped structures inside [critical] regions instead
-   (the region locks are reentrant, so a handler re-entering its own
-   region's [critical] is fine). *)
+   parallel.
+
+   Prepare handlers run *before* the commit point: an exception there
+   (lost semantic race, contention-manager deferral, injected fault)
+   releases the write locks and regions with nothing applied and retries
+   the transaction.  Apply handlers run after the commit point under the
+   aggregating wrapper.  Commit handlers must not access tvars: the
+   collection classes operate on their wrapped structures inside
+   [critical] regions instead (the region locks are reentrant, so a
+   handler re-entering its own region's [critical] is fine). *)
 let commit_top ?(run_handlers = true) top =
-  let attempt () =
+  let handlers = if run_handlers then List.rev top.commit_handlers else [] in
+  if handlers = [] then begin
     let acquired = lock_writes top in
-    if not (validate_reads top) then begin
-      release_locks acquired;
-      raise Conflict_exn
-    end;
-    if not (Atomic.compare_and_set top.top_status Active Committing) then begin
-      release_locks acquired;
-      raise Remote_aborted_exn
-    end;
-    if run_handlers then
-      List.iter (fun (_, h) -> h ()) (List.rev top.commit_handlers);
-    (* Transactions with no memory writes need no write version: skipping
-       the clock bump keeps pure-semantic commits off the shared clock
-       cache line entirely. *)
-    if top.wids_sorted <> [] then begin
-      let wv = Atomic.fetch_and_add clock 2 + 2 in
-      Hashtbl.iter (fun _ (W (tv, v)) -> Atomic.set tv.value v) top.writes;
-      List.iter (fun (vl, _) -> Atomic.set vl wv) acquired;
-      ring_publish wv (Array.of_list top.wids_sorted)
-    end;
-    Atomic.set top.top_status Committed;
-    Atomic.incr stat_commits
-  in
-  if run_handlers && top.commit_handlers <> [] then begin
-    let regions = commit_regions top.commit_handlers in
+    (try
+       if not (validate_reads top) then raise Conflict_exn;
+       chaos Chaos_in_commit;
+       if not (Atomic.compare_and_set top.top_status Active Committing) then
+         raise Remote_aborted_exn
+     with e ->
+       release_locks acquired;
+       raise e);
+    publish_and_finish top acquired
+  end
+  else begin
+    let regions = commit_regions handlers in
     List.iter region_lock regions;
     Fun.protect
       ~finally:(fun () -> List.iter region_unlock (List.rev regions))
-      attempt
+      (fun () ->
+        let acquired = lock_writes top in
+        (try
+           if not (validate_reads top) then raise Conflict_exn;
+           chaos Chaos_in_commit;
+           top.in_prepare <- true;
+           List.iter
+             (fun h ->
+               match h.ch_prepare with Some p -> p () | None -> ())
+             handlers;
+           top.in_prepare <- false;
+           if not (Atomic.compare_and_set top.top_status Active Committing)
+           then raise Remote_aborted_exn
+         with e ->
+           top.in_prepare <- false;
+           release_locks acquired;
+           raise e);
+        (* Commit point passed. *)
+        let failures = run_applies handlers in
+        publish_and_finish top acquired;
+        if failures <> [] then
+          raise (Handler_failure { committed = true; failures }))
   end
-  else attempt ()
 
+(* Newest-first: compensations undo in reverse registration order.  Every
+   handler runs even if one raises; failures are counted and returned for
+   the caller to surface as [Handler_failure]. *)
 let run_abort_handlers t =
-  (* Newest-first: compensations undo in reverse registration order. *)
-  List.iter (fun h -> h ()) t.abort_handlers
+  List.rev
+    (List.fold_left
+       (fun acc h ->
+         try
+           h ();
+           acc
+         with e ->
+           Atomic.incr stat_handler_failures;
+           e :: acc)
+       [] t.abort_handlers)
 
 let mark_aborted t = ignore (Atomic.compare_and_set t.top_status Active Aborted)
 
 (* Run [f] as a fresh top-level transaction, retrying on conflicts and
-   remote aborts with exponential backoff.  With [defer_handlers], commit
-   handlers are not executed at commit; the caller (open nesting) migrates
-   them to the suspended parent instead. *)
-let run_top ?(defer_handlers = false) f =
+   remote aborts under the contention policy until it commits or the
+   budget (max retries / wall-clock deadline) is exhausted, which raises
+   [Starved].  With [defer_handlers], commit handlers are not executed at
+   commit; the caller (open nesting) migrates them to the suspended parent
+   instead. *)
+let run_top ?(defer_handlers = false) ?cm ?budget f =
   let ctx = context () in
+  let cm = match cm with Some c -> c | None -> Atomic.get global_cm in
+  let prio = Atomic.fetch_and_add next_prio 1 in
+  let t0 =
+    match budget with
+    | Some { max_seconds = Some _; _ } -> Unix.gettimeofday ()
+    | _ -> 0.
+  in
+  (* [n] is the index of the attempt that would run next; called after
+     attempt [n - 1] failed. *)
+  let check_budget n =
+    match budget with
+    | None -> ()
+    | Some b ->
+        let elapsed =
+          match b.max_seconds with
+          | Some _ -> Unix.gettimeofday () -. t0
+          | None -> 0.
+        in
+        let over_retries =
+          match b.max_retries with Some m -> n > m | None -> false
+        in
+        let over_time =
+          match b.max_seconds with Some s -> elapsed > s | None -> false
+        in
+        if over_retries || over_time then begin
+          Atomic.incr stat_starved;
+          record_retries cm n;
+          raise (Starved { attempts = n; elapsed })
+        end
+  in
+  let abort_and_compensate t =
+    mark_aborted t;
+    if defer_handlers then []
+      (* Handlers registered inside an aborting open-nested transaction
+         are discarded without running (paper §4); only a transaction that
+         owns its handlers compensates. *)
+    else run_abort_handlers t
+  in
   let rec attempt n =
-    let t = make_top () in
+    let t = make_top ~cm ~prio () in
     t.retries <- n;
     ctx := Some t;
     match
+      chaos Chaos_attempt;
       let r = f () in
+      chaos Chaos_before_commit;
       commit_top ~run_handlers:(not defer_handlers) t;
       r
     with
     | r ->
         ctx := None;
+        record_retries cm n;
         (r, t)
-    | exception ((Conflict_exn | Child_conflict_exn | Remote_aborted_exn) as e)
-      ->
+    | exception
+        ((Conflict_exn | Child_conflict_exn | Remote_aborted_exn | Deferred_exn)
+         as e) ->
         (match e with
         | Remote_aborted_exn -> Atomic.incr stat_remote_aborts
+        | Deferred_exn -> () (* counted at the deferral site *)
         | _ -> Atomic.incr stat_conflict_aborts);
         ctx := None;
-        mark_aborted t;
-        (* Handlers registered inside an aborting open-nested transaction
-           are discarded without running (paper §4); only a transaction that
-           owns its handlers compensates. *)
-        if not defer_handlers then run_abort_handlers t;
-        backoff n;
+        let failures = abort_and_compensate t in
+        if failures <> [] then
+          raise (Handler_failure { committed = false; failures });
+        check_budget (n + 1);
+        cm_wait cm n;
         attempt (n + 1)
+    | exception (Handler_failure _ as e)
+      when Atomic.get t.top_status = Committed ->
+        (* Our own commit completed; apply-handler failures surface after
+           the fact, with the transaction's effects in place. *)
+        ctx := None;
+        record_retries cm n;
+        raise e
     | exception Explicit_abort_exn ->
         Atomic.incr stat_explicit_aborts;
         ctx := None;
-        mark_aborted t;
-        if not defer_handlers then run_abort_handlers t;
+        let failures = abort_and_compensate t in
+        if failures <> [] then
+          raise (Handler_failure { committed = false; failures });
         raise Aborted
     | exception e ->
-        (* Any other exception aborts the transaction and propagates. *)
+        (* Any other exception aborts the transaction and propagates; a
+           failure raised by a compensation handler is counted but the
+           original exception wins. *)
         ctx := None;
-        mark_aborted t;
-        if not defer_handlers then run_abort_handlers t;
+        ignore (abort_and_compensate t);
         raise e
   in
   attempt 0
@@ -256,7 +447,7 @@ let closed_nested_in parent f =
     | exception Child_conflict_exn ->
         (* Partial rollback: only the child's tentative state is dropped. *)
         ctx := Some parent;
-        backoff n;
+        cm_wait parent.top.cm n;
         attempt (n + 1)
     | exception e ->
         ctx := Some parent;
@@ -264,12 +455,31 @@ let closed_nested_in parent f =
   in
   attempt 0
 
-let atomic f =
+let atomic ?policy ?budget ?on_starved f =
   match !(context ()) with
-  | None -> fst (run_top f)
+  | None -> (
+      match on_starved with
+      | None -> fst (run_top ?cm:policy ?budget f)
+      | Some fallback -> (
+          try fst (run_top ?cm:policy ?budget f)
+          with Starved _ -> fallback ()))
   | Some parent -> closed_nested_in parent f
 
-let closed_nested = atomic
+let closed_nested f = atomic f
+
+(* Starvation fallback: run [f] as a transaction while holding the
+   process-wide fallback commit region for the whole attempt, so
+   serialised fallbacks never contend with each other.  The fallback
+   region has the smallest rid, so holding it while the commit acquires
+   collection regions preserves the global acquisition order. *)
+let serialised f =
+  if in_txn () then f ()
+  else begin
+    region_lock global_commit_region;
+    Fun.protect
+      ~finally:(fun () -> region_unlock global_commit_region)
+      (fun () -> fst (run_top f))
+  end
 
 let open_nested f =
   let ctx = context () in
@@ -307,6 +517,18 @@ let read_set_cardinal () =
       go 0 t
 
 (* ------------------------------------------------------------------ *)
+(* Fault injection *)
+
+module Chaos = struct
+  type event = Types.chaos_event =
+    | Chaos_attempt
+    | Chaos_before_commit
+    | Chaos_in_commit
+
+  let set_hook h = Atomic.set chaos_hook h
+end
+
+(* ------------------------------------------------------------------ *)
 (* Global statistics                                                    *)
 
 type stats = {
@@ -314,6 +536,11 @@ type stats = {
   conflict_aborts : int;
   remote_aborts : int;
   explicit_aborts : int;
+  starved : int;
+  deferrals : int;
+  remote_aborts_delivered : int;
+  remote_aborts_late : int;
+  handler_failures : int;
 }
 
 let global_stats () =
@@ -322,16 +549,34 @@ let global_stats () =
     conflict_aborts = Atomic.get stat_conflict_aborts;
     remote_aborts = Atomic.get stat_remote_aborts;
     explicit_aborts = Atomic.get stat_explicit_aborts;
+    starved = Atomic.get stat_starved;
+    deferrals = Atomic.get stat_deferrals;
+    remote_aborts_delivered = Atomic.get stat_ra_delivered;
+    remote_aborts_late = Atomic.get stat_ra_late;
+    handler_failures = Atomic.get stat_handler_failures;
   }
 
 let commit_region_waits () = Atomic.get stat_region_waits
+let regions_held () = Atomic.get stat_regions_held
+
+let retry_histogram () =
+  [ Contention.default; Karma; Greedy ]
+  |> List.map (fun p ->
+         ( policy_name p,
+           Array.map Atomic.get retry_hist.(policy_index p) ))
 
 let reset_stats () =
   Atomic.set stat_commits 0;
   Atomic.set stat_conflict_aborts 0;
   Atomic.set stat_remote_aborts 0;
   Atomic.set stat_explicit_aborts 0;
-  Atomic.set stat_region_waits 0
+  Atomic.set stat_region_waits 0;
+  Atomic.set stat_starved 0;
+  Atomic.set stat_deferrals 0;
+  Atomic.set stat_ra_delivered 0;
+  Atomic.set stat_ra_late 0;
+  Atomic.set stat_handler_failures 0;
+  Array.iter (fun row -> Array.iter (fun c -> Atomic.set c 0) row) retry_hist
 
 (* ------------------------------------------------------------------ *)
 (* TM_OPS instance for the transactional collection classes            *)
@@ -349,6 +594,8 @@ module Tm_ops : Tm_intf.TM_OPS with type txn = handle = struct
   let new_region () = make_region ()
   let critical r f = region_critical r f
   let on_commit r h = on_top_commit_in (Some r) h
+  let on_commit_prepared r ~prepare ~apply =
+    on_top_commit_prepared r ~prepare ~apply
   let on_abort = on_top_abort
   let remote_abort = remote_abort
   let self_abort () = self_abort ()

@@ -14,22 +14,93 @@
     recently committed write sets (falling back to a full rescan whenever
     the ring cannot prove the validated prefix untouched), and semantic
     commit phases are serialised per collection region rather than under
-    one global token. *)
+    one global token.
+
+    Robustness layer: pluggable contention management ({!Contention}),
+    transaction budgets with a typed {!Starved} outcome and a serialised
+    fallback ({!serialised}), exception-safe handler execution aggregating
+    failures into {!Handler_failure}, and seeded fault-injection hooks
+    ({!Chaos}) — see DESIGN.md "Robustness". *)
 
 exception Aborted
 (** Raised out of {!atomic} when the transaction aborted itself via
     {!self_abort} (program-directed self-abort). *)
 
+exception Starved of { attempts : int; elapsed : float }
+(** Raised out of {!atomic} when a transaction budget is exhausted before
+    the transaction could commit: [attempts] executions were aborted and
+    [elapsed] seconds passed (0. when no deadline was set).  Never raised
+    unless a {!budget} was supplied. *)
+
+exception Handler_failure of { committed : bool; failures : exn list }
+(** One or more commit/abort handlers raised.  Every handler still ran —
+    a raising handler cannot skip the rest, so semantic locks and buffers
+    of other collections are still applied/released — and the exceptions
+    are aggregated here in registration order.  [committed] tells whether
+    the transaction's effects are in place ([true]: commit handlers raised
+    after the commit point) or rolled back ([false]: abort handlers raised
+    during compensation). *)
+
 type handle
 (** Identity of a top-level transaction; the owner recorded in semantic lock
     tables. *)
 
-val atomic : (unit -> 'a) -> 'a
+(** {1 Contention management} *)
+
+module Contention : sig
+  type policy = Types.cm_policy =
+    | Backoff of { base : int; max_exp : int; jitter : bool }
+        (** Jittered (or plain) exponential backoff: wait
+            [~ base * 2^min(retries, max_exp)] cpu-relax spins between
+            attempts.  The default, matching the seed behaviour plus
+            jitter. *)
+    | Karma
+        (** Priority accumulation: a committer defers (retries itself)
+            rather than remote-aborting a transaction that has accumulated
+            more retries than it — work done is karma.  Linear, bounded
+            backoff between attempts. *)
+    | Greedy
+        (** Timestamp priority: every top-level [atomic] call draws one
+            monotonic start ticket kept across its retries; a committer
+            defers to any older transaction instead of remote-aborting it.
+            The oldest transaction in the system is never deferred-to nor
+            semantically aborted, so it eventually commits: starvation
+            freedom for semantic conflicts. *)
+
+  val default : policy
+  (** [Backoff { base = 1; max_exp = 12; jitter = true }]. *)
+
+  val set_global : policy -> unit
+  (** Set the policy used by {!atomic} calls that do not pass [?policy].
+      Affects transactions started after the call. *)
+
+  val global : unit -> policy
+
+  val name : policy -> string
+  (** ["backoff"], ["karma"] or ["greedy"] — the keys of
+      {!retry_histogram}. *)
+end
+
+type budget = { max_retries : int option; max_seconds : float option }
+(** Progress budget for one {!atomic} call.  [max_retries = Some m] allows
+    [m] retries ([m + 1] executions in total); [max_seconds] is a
+    wall-clock deadline checked after each aborted attempt.  Exhaustion
+    raises {!Starved} (or runs the [?on_starved] fallback). *)
+
+val atomic :
+  ?policy:Contention.policy ->
+  ?budget:budget ->
+  ?on_starved:(unit -> 'a) ->
+  (unit -> 'a) ->
+  'a
 (** [atomic f] runs [f] transactionally.  At top level it retries [f] on
-    memory conflicts and remote aborts (with exponential backoff) until it
-    commits; nested inside another transaction it is a closed-nested
-    transaction.  Exceptions raised by [f] abort the transaction and
-    propagate. *)
+    memory conflicts and remote aborts — waiting between attempts per the
+    contention [?policy] (default: the global policy) — until it commits
+    or the [?budget] is exhausted, which raises {!Starved} or, when
+    [?on_starved] is given, returns [on_starved ()] instead (typically
+    {!serialised}[ f]).  Nested inside another transaction it is a
+    closed-nested transaction and the options are ignored.  Exceptions
+    raised by [f] abort the transaction and propagate. *)
 
 val closed_nested : (unit -> 'a) -> 'a
 (** Alias of {!atomic}: nested transactions are closed by default.  A
@@ -42,6 +113,14 @@ val open_nested : (unit -> 'a) -> 'a
     view.  Commit/abort handlers registered inside migrate to the parent
     when the open transaction commits. *)
 
+val serialised : (unit -> 'a) -> 'a
+(** Starvation fallback: run [f] as a top-level transaction while holding
+    the process-wide fallback commit region for the whole attempt, so
+    serialised fallbacks never contend with each other (they still conflict
+    with — and win against or retry on — ordinary optimistic
+    transactions).  Intended as [~on_starved:(fun () -> serialised f)].
+    Inside a transaction it just runs [f] in the enclosing transaction. *)
+
 val on_commit : (unit -> unit) -> unit
 (** Register a commit handler on the current nesting level.  Handlers run
     during the top-level commit, after validation; they must not access
@@ -49,12 +128,16 @@ val on_commit : (unit -> unit) -> unit
     serialise on a process-wide fallback region; collection classes
     register through {!Tm_ops.on_commit} with their own region instead, so
     their commits only serialise per collection.  Outside a transaction the
-    handler runs immediately (auto-commit). *)
+    handler runs immediately (auto-commit).  If handlers raise, all of them
+    still run and {!Handler_failure}[ { committed = true; _ }] is raised
+    after the commit completes. *)
 
 val on_abort : (unit -> unit) -> unit
 (** Register a compensating abort handler, run (newest first) if the
     top-level transaction aborts.  Discarded if the registering nested
-    transaction aborts, per the paper's handler semantics. *)
+    transaction aborts, per the paper's handler semantics.  If handlers
+    raise, all of them still run and {!Handler_failure}
+    [{ committed = false; _ }] is raised in place of the retry. *)
 
 val on_top_commit : (unit -> unit) -> unit
 (** Like {!on_commit}, but always registers on the top-level transaction
@@ -81,11 +164,28 @@ val in_txn : unit -> bool
 val same_txn : handle -> handle -> bool
 val txn_id : handle -> int
 
-val remote_abort : handle -> bool
+type remote_abort_outcome =
+  | Delivered  (** the abort won the status race; the target will observe it *)
+  | Already_aborted  (** the target was already aborting *)
+  | Too_late
+      (** the target passed its commit point first and serialises before
+          the caller *)
+
+val remote_abort_outcome : handle -> remote_abort_outcome
 (** Program-directed abort of another transaction, used when semantic
-    conflict detection finds a reader holding a conflicting lock.  Returns
-    [false] if the target already passed its commit point, in which case it
-    serialises before the caller. *)
+    conflict detection finds a conflicting lock holder.  The
+    [Active]/[Committing] status race is resolved deterministically by a
+    CAS loop and every outcome is counted in {!global_stats}.
+
+    Contention-manager arbitration: when the caller is itself inside its
+    commit's prepare phase, its policy may instead {e defer} — Greedy to an
+    older target, Karma to a target with more accumulated retries — by
+    raising an internal exception that retries the caller with nothing
+    applied.  Callers that hold resources across this call must release
+    them in an abort/[Fun.protect] path. *)
+
+val remote_abort : handle -> bool
+(** [remote_abort t] is [true] unless the outcome was [Too_late]. *)
 
 val retries : unit -> int
 (** Number of times the current top-level transaction has been retried. *)
@@ -95,6 +195,25 @@ val read_set_cardinal : unit -> int
     stack (0 outside a transaction).  Deduplication makes this the number
     of distinct tvars read, not the number of {!Tvar.get} calls. *)
 
+(** {1 Fault injection} *)
+
+(** Seeded fault-injection hook points; see {!Tcc_harness.Chaos} for the
+    deterministic injector built on them.  The hook is process-global and
+    called from STM internals: [Chaos_attempt] at the start of every
+    top-level attempt, [Chaos_before_commit] after the transaction body
+    and before the commit, [Chaos_in_commit] inside the commit after
+    read-set validation (before the commit point — an exception there
+    aborts cleanly).  Hooks may raise (e.g. {!retry_now}), spin, register
+    handlers or deliver {!remote_abort}s; they must not block. *)
+module Chaos : sig
+  type event = Types.chaos_event =
+    | Chaos_attempt
+    | Chaos_before_commit
+    | Chaos_in_commit
+
+  val set_hook : (event -> unit) option -> unit
+end
+
 (** {1 Global statistics} — process-wide monotonic counters. *)
 
 type stats = {
@@ -102,6 +221,12 @@ type stats = {
   conflict_aborts : int;  (** retries from memory-level validation/locking *)
   remote_aborts : int;  (** retries from program-directed (semantic) abort *)
   explicit_aborts : int;  (** {!self_abort} occurrences *)
+  starved : int;  (** budget exhaustions ({!Starved} raised or fallback run) *)
+  deferrals : int;
+      (** committer-side contention-manager deferrals (Greedy/Karma) *)
+  remote_aborts_delivered : int;  (** {!remote_abort_outcome} = [Delivered] *)
+  remote_aborts_late : int;  (** {!remote_abort_outcome} = [Too_late] *)
+  handler_failures : int;  (** commit/abort handlers that raised *)
 }
 
 val global_stats : unit -> stats
@@ -112,6 +237,17 @@ val commit_region_waits : unit -> int
     contended region since the last {!reset_stats} — the contention probe
     for commit sharding: disjoint-collection workloads should keep it at
     zero while shared-collection workloads accumulate waits. *)
+
+val regions_held : unit -> int
+(** Number of commit regions currently held across all domains.  Must be 0
+    whenever no commit/critical section is executing — the leak probe the
+    chaos soak asserts after every run. *)
+
+val retry_histogram : unit -> (string * int array) list
+(** Per-policy histogram of retries-to-completion: entry [(name, h)] gives,
+    for policy [name] ({!Contention.name}), [h.(b)] completions (commit or
+    starvation) whose retry count fell in bucket [b] (bucket 0 = 0 retries,
+    then power-of-two buckets).  Reset by {!reset_stats}. *)
 
 (** {!Tm_intf.TM_OPS} instance: plugs this STM into the transactional
     collection classes. *)

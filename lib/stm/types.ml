@@ -44,6 +44,51 @@ exception Remote_aborted_exn
 exception Explicit_abort_exn
 (* The program requested its own abort. *)
 
+exception Deferred_exn
+(* The committing transaction's contention manager chose to yield to an
+   older (or higher-karma) lock holder instead of aborting it; retry. *)
+
+(* ------------------------------------------------------------------ *)
+(* Contention management.  The policy decides two things: how long an
+   aborted transaction waits before retrying, and — during the semantic
+   prepare phase — whether a committer aborts a conflicting lock holder or
+   defers to it (see [Stm.remote_abort]).  [Backoff] is the seed behaviour
+   (always abort the other, jittered exponential wait); [Karma] defers to
+   transactions that have accumulated more retries; [Greedy] defers to
+   transactions with an older start ticket, which totally orders
+   transactions and therefore guarantees the oldest transaction in the
+   system is never deferred-out or aborted semantically: starvation
+   freedom for semantic conflicts. *)
+
+type cm_policy =
+  | Backoff of { base : int; max_exp : int; jitter : bool }
+  | Karma
+  | Greedy
+
+let default_cm = Backoff { base = 1; max_exp = 12; jitter = true }
+let global_cm : cm_policy Atomic.t = Atomic.make default_cm
+
+(* Priority tickets: process-wide monotonic; one per top-level [atomic]
+   call, preserved across that call's retries, so age accumulates. *)
+let next_prio : int Atomic.t = Atomic.make 1
+
+(* Per-domain splitmix64 state for backoff jitter: avoids a shared Random
+   state (contention) and keeps single-domain runs deterministic. *)
+let jitter_key : int64 ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      ref (Int64.of_int ((7919 * ((Domain.self () :> int) + 1)) lxor 0x5bf03635)))
+
+let rand_bits () =
+  let r = Domain.DLS.get jitter_key in
+  let open Int64 in
+  r := add !r 0x9E3779B97F4A7C15L;
+  let z = !r in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  to_int (shift_right_logical (logxor z (shift_right_logical z 31)) 1)
+
+let rand_int bound = if bound <= 0 then 0 else rand_bits () mod bound
+
 type 'a tvar_repr = {
   tv_id : int;
   value : 'a Atomic.t;
@@ -105,6 +150,11 @@ let next_region_id = Atomic.make 1
    scaling benchmarks; reset via Stm.reset_stats). *)
 let stat_region_waits = Atomic.make 0
 
+(* Regions currently held (outermost acquisitions only): the chaos soak
+   asserts this returns to zero after every run — a leaked commit region
+   would deadlock the next semantic commit on that collection. *)
+let stat_regions_held = Atomic.make 0
+
 let make_region () =
   {
     rid = Atomic.fetch_and_add next_region_id 1;
@@ -126,7 +176,8 @@ let region_lock r =
       Mutex.lock r.rmx
     end;
     Atomic.set r.rowner me;
-    r.rdepth <- 1
+    r.rdepth <- 1;
+    Atomic.incr stat_regions_held
   end
 
 let region_unlock r =
@@ -134,6 +185,7 @@ let region_unlock r =
   else begin
     r.rdepth <- 0;
     Atomic.set r.rowner (-1);
+    Atomic.decr stat_regions_held;
     Mutex.unlock r.rmx
   end
 
@@ -145,6 +197,21 @@ let region_critical r f =
 let global_commit_region = make_region ()
 
 (* ------------------------------------------------------------------ *)
+
+(* A commit handler has up to two phases.  [ch_prepare] (semantic conflict
+   detection) runs before the commit point, while the transaction is still
+   Active and abortable, so it may raise — a contention-manager deferral
+   or an injected conflict there simply retries the transaction, with
+   nothing applied.  [ch_apply] (buffer application + semantic lock
+   release) runs after the commit point; apply handlers are executed under
+   a protective wrapper that never skips the remaining handlers and
+   aggregates anything raised into [Stm.Handler_failure]. *)
+type commit_handler = {
+  ch_region : region option;
+      (* the region the handler operates on; [None] = process-wide fallback *)
+  ch_prepare : (unit -> unit) option;
+  ch_apply : unit -> unit;
+}
 
 type txn = {
   txn_id : int;
@@ -159,8 +226,7 @@ type txn = {
   mutable wids_sorted : int list;
       (* tv_ids of [writes] in ascending order, maintained at insertion:
          the commit-time lock-acquisition order *)
-  mutable commit_handlers : (region option * (unit -> unit)) list;
-      (* newest first; the region is what the handler operates on *)
+  mutable commit_handlers : commit_handler list; (* newest first *)
   mutable abort_handlers : (unit -> unit) list; (* newest first *)
   parent : txn option;
   mutable top : txn;
@@ -168,6 +234,13 @@ type txn = {
   mutable validated_rv : int;
       (* top level only: the clock value against which every level's
          validated prefix was last known valid *)
+  cm : cm_policy; (* contention policy governing this top-level txn *)
+  prio : int;
+      (* start ticket of the owning [atomic] call; constant across its
+         retries, so age (and with it Greedy priority) accumulates *)
+  mutable in_prepare : bool;
+      (* top level only: inside the prepare phase of its own commit —
+         the only point where remote_abort may decide to defer *)
 }
 
 let clock : int Atomic.t = Atomic.make 0
@@ -179,8 +252,12 @@ let ctx_key : txn option ref Domain.DLS.key =
 
 let context () = Domain.DLS.get ctx_key
 
-let make_top () =
+let make_top ?cm ?prio () =
   let rv = Atomic.get clock in
+  let cm = match cm with Some c -> c | None -> Atomic.get global_cm in
+  let prio =
+    match prio with Some p -> p | None -> Atomic.fetch_and_add next_prio 1
+  in
   let rec t =
     {
       txn_id = Atomic.fetch_and_add next_txn_id 1;
@@ -196,6 +273,9 @@ let make_top () =
       top = t;
       retries = 0;
       validated_rv = rv;
+      cm;
+      prio;
+      in_prepare = false;
     }
   in
   t
@@ -215,6 +295,9 @@ let make_child parent =
     top = parent.top;
     retries = 0;
     validated_rv = 0;
+    cm = parent.top.cm;
+    prio = parent.top.prio;
+    in_prepare = false;
   }
 
 let check_not_aborted txn =
@@ -362,9 +445,65 @@ let stat_commits = Atomic.make 0
 let stat_conflict_aborts = Atomic.make 0
 let stat_remote_aborts = Atomic.make 0
 let stat_explicit_aborts = Atomic.make 0
+let stat_starved = Atomic.make 0
+let stat_deferrals = Atomic.make 0
+let stat_ra_delivered = Atomic.make 0
+let stat_ra_late = Atomic.make 0
+let stat_handler_failures = Atomic.make 0
 
-let backoff n =
-  let spins = 1 lsl min n 12 in
+(* ------------------------------------------------------------------ *)
+(* Per-policy retry histograms: bucket 0 = committed first try, bucket k
+   = retry count with k significant bits (1, 2-3, 4-7, ...).  Recorded at
+   commit and at starvation, per policy of the finishing transaction. *)
+
+let hist_buckets = 16
+
+let policy_index = function Backoff _ -> 0 | Karma -> 1 | Greedy -> 2
+let policy_name = function
+  | Backoff _ -> "backoff"
+  | Karma -> "karma"
+  | Greedy -> "greedy"
+
+let retry_hist =
+  Array.init 3 (fun _ -> Array.init hist_buckets (fun _ -> Atomic.make 0))
+
+let record_retries cm n =
+  let rec bits n = if n <= 0 then 0 else 1 + bits (n lsr 1) in
+  let b = if n = 0 then 0 else min (hist_buckets - 1) (bits n) in
+  Atomic.incr retry_hist.(policy_index cm).(b)
+
+(* Policy-directed wait before the next attempt.  Backoff is the seed's
+   exponential spin, now jittered per-domain; Karma grows only linearly
+   (the retry count itself is the priority that will eventually win);
+   Greedy relies on priority for progress and pauses briefly. *)
+let cm_wait cm n =
+  let spins =
+    match cm with
+    | Backoff { base; max_exp; jitter } ->
+        let s = base lsl min n max_exp in
+        if jitter then (s / 2) + 1 + rand_int (s + 1) else s
+    | Karma ->
+        let s = 16 * (min n 256 + 1) in
+        (s / 2) + 1 + rand_int (s + 1)
+    | Greedy -> 64 + rand_int 256
+  in
   for _ = 1 to spins do
     Domain.cpu_relax ()
   done
+
+(* ------------------------------------------------------------------ *)
+(* Fault-injection (chaos) hook points.  When installed, the hook is
+   called at deterministic points of every top-level transaction; it may
+   raise a retryable exception (injected conflict), deliver a remote
+   abort, register failing handlers, or spin (delay-before-commit).  One
+   Atomic.get when disabled — negligible on the hot path. *)
+
+type chaos_event =
+  | Chaos_attempt (* start of each top-level attempt, context installed *)
+  | Chaos_before_commit (* body done, before the commit sequence *)
+  | Chaos_in_commit (* inside commit: write locks held, reads validated *)
+
+let chaos_hook : (chaos_event -> unit) option Atomic.t = Atomic.make None
+
+let chaos ev =
+  match Atomic.get chaos_hook with None -> () | Some f -> f ev

@@ -53,6 +53,20 @@ module type TM_OPS = sig
       collections proceed in parallel while commits into the same collection
       serialise on its region. *)
 
+  val on_commit_prepared :
+    region -> prepare:(unit -> unit) -> apply:(unit -> unit) -> unit
+  (** Two-phase commit handler on region [r], registered on the current
+      top-level transaction.  [prepare] runs {e before} the commit point:
+      it performs semantic conflict detection only (no mutation) and may
+      raise — e.g. {!retry} after losing a semantic race, or defer to a
+      higher-priority victim — in which case the transaction aborts cleanly
+      with nothing applied.  [apply] runs after the commit point: it
+      applies buffered changes and releases semantic locks, and is executed
+      under a protective wrapper so that a raising handler can never skip
+      another handler's application or leak locks.  On TMs without a
+      prepare phase the two halves run back-to-back as a single commit
+      handler. *)
+
   val on_abort : (unit -> unit) -> unit
   (** Register an abort handler: a compensating action that releases semantic
       locks and clears local buffers when the top-level transaction aborts. *)

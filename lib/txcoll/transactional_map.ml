@@ -94,21 +94,27 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) = struct
         else acc)
       l.buffer 0
 
-  let commit_handler t l () =
+  (* Prepare phase: conflict detection per Table 2 — aborting holders of
+     key locks on written keys, size lockers when the size changes, and
+     isEmpty lockers when emptiness flips.  Read-only on the map and may
+     raise (remote-abort deferral, injected fault): it runs before the
+     TM's commit point so an exception here aborts with nothing applied. *)
+  let prepare_handler t l () =
     critical t (fun () ->
         let self = l.txn in
         let was_size = M.size t.map in
         let delta = presence_changes t l in
-        (* Conflict detection per Table 2: aborting holders of key locks on
-           written keys, size lockers when the size changes, and isEmpty
-           lockers when emptiness flips. *)
         Coll.Chain_hashmap.iter
           (fun k _ -> L.conflict_key t.locks ~self k)
           l.buffer;
         if delta <> 0 then L.conflict_size t.locks ~self;
         let now_size = was_size + delta in
-        if (was_size = 0) <> (now_size = 0) then L.conflict_isempty t.locks ~self;
-        (* Apply the store buffer (redo log) to the underlying map. *)
+        if (was_size = 0) <> (now_size = 0) then L.conflict_isempty t.locks ~self)
+
+  (* Apply phase, after the commit point: flush the store buffer (redo
+     log) to the underlying map and release semantic locks. *)
+  let apply_handler t l () =
+    critical t (fun () ->
         Coll.Chain_hashmap.iter
           (fun k w ->
             match w.pending with
@@ -129,7 +135,8 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) = struct
     | None ->
         let l = { txn; buffer = Coll.Chain_hashmap.create (); key_locks = [] } in
         Hashtbl.add t.locals id l;
-        TM.on_commit t.region (commit_handler t l);
+        TM.on_commit_prepared t.region ~prepare:(prepare_handler t l)
+          ~apply:(apply_handler t l);
         TM.on_abort (abort_handler t l);
         l
 

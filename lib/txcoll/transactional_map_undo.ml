@@ -54,17 +54,19 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) = struct
     L.release_all t.locks l.txn ~keys:l.key_locks;
     Hashtbl.remove t.locals (TM.txn_id l.txn)
 
-  let commit_handler t l () =
+  (* In-place changes are already applied; the prepare phase (read-only,
+     before the TM's commit point) detects the remaining abstract-state
+     conflicts, the apply phase only releases. *)
+  let prepare_handler t l () =
     critical t (fun () ->
-        (* In-place changes are already applied; detect the remaining
-           abstract-state conflicts and release. *)
         if l.delta <> 0 then begin
           L.conflict_size t.locks ~self:l.txn;
           let now = M.size t.map in
           let before = now - l.delta in
           if (before = 0) <> (now = 0) then L.conflict_isempty t.locks ~self:l.txn
-        end;
-        cleanup t l)
+        end)
+
+  let apply_handler t l () = critical t (fun () -> cleanup t l)
 
   let abort_handler t l () =
     critical t (fun () ->
@@ -98,7 +100,8 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) = struct
           }
         in
         Hashtbl.add t.locals id l;
-        TM.on_commit t.region (commit_handler t l);
+        TM.on_commit_prepared t.region ~prepare:(prepare_handler t l)
+          ~apply:(apply_handler t l);
         TM.on_abort (abort_handler t l);
         l
 

@@ -48,13 +48,16 @@ module Make (TM : Tm_intf.TM_OPS) (Q : Tm_intf.QUEUE_OPS) = struct
     L.release_all t.locks l.txn ~keys:[];
     Hashtbl.remove t.locals (TM.txn_id l.txn)
 
-  let commit_handler t l () =
+  (* Prepare phase (before the TM's commit point, read-only, may raise):
+     additions becoming visible invalidate transactions that observed an
+     empty queue (Table 8: put conflicts "if now non-empty"). *)
+  let prepare_handler t l () =
     critical t (fun () ->
-        (* Additions become visible now; transactions that observed an empty
-           queue are no longer serializable after us (Table 8: put conflicts
-           "if now non-empty"). *)
         if not (Coll.Fifo_deque.is_empty l.add_buffer) then
-          L.conflict_isempty t.locks ~self:l.txn;
+          L.conflict_isempty t.locks ~self:l.txn)
+
+  let apply_handler t l () =
+    critical t (fun () ->
         Coll.Fifo_deque.iter (Q.enqueue t.queue) l.add_buffer;
         (* Taken elements are consumed for good; drop the removeBuffer. *)
         cleanup t l)
@@ -83,7 +86,8 @@ module Make (TM : Tm_intf.TM_OPS) (Q : Tm_intf.QUEUE_OPS) = struct
           }
         in
         Hashtbl.add t.locals id l;
-        TM.on_commit t.region (commit_handler t l);
+        TM.on_commit_prepared t.region ~prepare:(prepare_handler t l)
+          ~apply:(apply_handler t l);
         TM.on_abort (abort_handler t l);
         l
 
@@ -137,6 +141,8 @@ module Make (TM : Tm_intf.TM_OPS) (Q : Tm_intf.QUEUE_OPS) = struct
 
   let holds_empty_lock t =
     critical t (fun () -> L.isempty_locked_by t.locks (TM.current ()))
+
+  let outstanding_locks t = critical t (fun () -> L.total_lockers t.locks)
 
   (* Live rendering of Table 9's state inventory. *)
   let dump_state ppf t =

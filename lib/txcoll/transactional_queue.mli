@@ -39,6 +39,11 @@ module Make (TM : Tm_intf.TM_OPS) (Q : Tm_intf.QUEUE_OPS) : sig
 
   val holds_empty_lock : 'v t -> bool
 
+  val outstanding_locks : 'v t -> int
+  (** Total semantic lock registrations (empty lockers) currently held —
+      must be 0 when no transaction is active (the chaos soak's leak
+      probe). *)
+
   val dump_state : Format.formatter -> 'v t -> unit
   (** Live rendering of Table 9's state inventory (committed queue, shared
       emptyLockers, per-transaction addBuffer/removeBuffer). *)

@@ -75,7 +75,14 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
         else acc)
       l.buffer 0
 
-  let commit_handler t l () =
+  (* Prepare phase (before the TM's commit point, read-only, may raise):
+     size/isEmpty conflicts plus per-entry key and range conflicts.
+     Endpoint (first/last) conflicts are detected in the apply phase
+     below, where each write is compared against the committed state as
+     it evolves — the same point the seed detected them at, so a loser of
+     an endpoint race is aborted by the committer rather than deferring
+     it (committer wins, as in the seed semantics). *)
+  let prepare_handler t l () =
     critical t (fun () ->
         let self = l.txn in
         let was_size = M.size t.map in
@@ -83,12 +90,19 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
         if delta <> 0 then L.conflict_size t.locks ~self;
         if (was_size = 0) <> (was_size + delta = 0) then
           L.conflict_isempty t.locks ~self;
+        Coll.Ordmap.iter
+          (fun k _ ->
+            L.conflict_key t.locks ~self k;
+            L.conflict_range t.locks ~self ~compare:M.compare_key k)
+          l.buffer)
+
+  let apply_handler t l () =
+    critical t (fun () ->
+        let self = l.txn in
         (* Check and apply entry by entry: endpoint-change detection compares
            each write against the committed state as it evolves. *)
         Coll.Ordmap.iter
           (fun k w ->
-            L.conflict_key t.locks ~self k;
-            L.conflict_range t.locks ~self ~compare:M.compare_key k;
             let min_k = Option.map fst (M.min_binding t.map) in
             let max_k = Option.map fst (M.max_binding t.map) in
             let present = M.mem t.map k in
@@ -138,7 +152,8 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
           }
         in
         Hashtbl.add t.locals id l;
-        TM.on_commit t.region (commit_handler t l);
+        TM.on_commit_prepared t.region ~prepare:(prepare_handler t l)
+          ~apply:(apply_handler t l);
         TM.on_abort (abort_handler t l);
         l
 

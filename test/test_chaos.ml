@@ -1,0 +1,153 @@
+(* Seeded fault injection: handler exception safety, chaos determinism and
+   the linearizability-checked soak matrix of the acceptance criteria. *)
+
+module Stm = Tcc_stm.Stm
+module Tvar = Tcc_stm.Tvar
+module Chaos = Harness.Chaos
+module Map = Txcoll.Host.Map (Txcoll.Host.Int_hashed)
+
+exception Boom of int
+
+(* ---------------- handler exception safety ---------------- *)
+
+let test_commit_handlers_all_run () =
+  let ran = ref [] in
+  let v = Tvar.make 0 in
+  (match
+     Stm.atomic (fun () ->
+         Tvar.set v 1;
+         Stm.on_commit (fun () -> ran := 1 :: !ran);
+         Stm.on_commit (fun () -> raise (Boom 2));
+         Stm.on_commit (fun () -> ran := 3 :: !ran))
+   with
+  | () -> Alcotest.fail "expected Handler_failure"
+  | exception Stm.Handler_failure { committed; failures } ->
+      Alcotest.(check bool) "transaction committed" true committed;
+      Alcotest.(check int) "one failure aggregated" 1 (List.length failures);
+      Alcotest.(check bool) "the raised exception is preserved" true
+        (match failures with [ Boom 2 ] -> true | _ -> false));
+  Alcotest.(check (list int)) "both surviving handlers ran, in order" [ 1; 3 ]
+    (List.rev !ran);
+  Alcotest.(check int) "memory effects are in place" 1 (Tvar.get v);
+  Alcotest.(check int) "commit regions released" 0 (Stm.regions_held ())
+
+let test_abort_handlers_all_run_and_release () =
+  Stm.reset_stats ();
+  let map = Map.create () in
+  let ran = ref [] in
+  (match
+     Stm.atomic (fun () ->
+         ignore (Map.put map 1 10);
+         (* Registered after the map's own handlers: runs first (newest
+            first) and raises. *)
+         Stm.on_abort (fun () -> ran := `Mine :: !ran);
+         Stm.on_abort (fun () -> raise (Boom 1));
+         ignore (Stm.self_abort ()))
+   with
+  | () -> Alcotest.fail "expected Handler_failure"
+  | exception Stm.Handler_failure { committed; failures } ->
+      Alcotest.(check bool) "not committed" false committed;
+      Alcotest.(check int) "one failure" 1 (List.length failures));
+  Alcotest.(check bool) "later abort handler still ran" true
+    (List.mem `Mine !ran);
+  Alcotest.(check (option int)) "write rolled back" None (Map.find map 1);
+  Alcotest.(check int) "semantic locks released despite raising handler" 0
+    (Map.outstanding_locks map);
+  Alcotest.(check int) "handler failures counted" 1
+    (Stm.global_stats ()).handler_failures
+
+let test_abort_handler_failure_stops_retry () =
+  (* A raising abort handler turns a transparent retry into a surfaced
+     Handler_failure { committed = false } instead of looping forever. *)
+  let attempts = ref 0 in
+  match
+    Stm.atomic (fun () ->
+        incr attempts;
+        Stm.on_abort (fun () -> raise (Boom !attempts));
+        ignore (Stm.retry_now ()))
+  with
+  | () -> Alcotest.fail "expected Handler_failure"
+  | exception Stm.Handler_failure { committed; _ } ->
+      Alcotest.(check bool) "not committed" false committed;
+      Alcotest.(check int) "no silent retry loop" 1 !attempts
+
+(* ---------------- determinism ---------------- *)
+
+let test_chaos_determinism () =
+  (* Single domain: the whole schedule is deterministic, so two runs with
+     the same seed must produce the same injection counts and final
+     contents. *)
+  let soak seed =
+    Chaos.run_soak
+      (Chaos.default_soak ~domains:1 ~ops_per_domain:800 ~seed 0.1)
+  in
+  let a = soak 42 and b = soak 42 in
+  Alcotest.(check bool) "run A converged" true a.ok;
+  Alcotest.(check bool) "run B converged" true b.ok;
+  Alcotest.(check string) "identical fingerprints for identical seeds"
+    a.fingerprint b.fingerprint;
+  Alcotest.(check bool) "injections actually happened" true
+    (let c, r, h, d = a.injections in
+     c + r + h + d > 0);
+  Alcotest.(check bool) "identical injection schedules" true
+    (a.injections = b.injections);
+  let other = soak 43 in
+  Alcotest.(check bool) "different seed still converges" true other.ok
+
+(* ---------------- acceptance soak matrix ---------------- *)
+
+let test_soak_matrix () =
+  (* p in {0.01, 0.05, 0.2} x 3 seeds x {default, greedy}, 2 domains, all
+     three collection classes; every run must pass the linearizability and
+     leak checks inside [run_soak]. *)
+  List.iter
+    (fun p ->
+      List.iter
+        (fun seed ->
+          List.iter
+            (fun policy ->
+              let r =
+                Chaos.run_soak
+                  (Chaos.default_soak ~policy ~domains:2 ~ops_per_domain:500
+                     ~seed p)
+              in
+              if not r.ok then
+                Alcotest.failf "soak p=%.2f seed=%d policy=%s: %s" p seed
+                  (Stm.Contention.name policy)
+                  (String.concat "; " r.errors);
+              Alcotest.(check bool)
+                (Printf.sprintf "work committed (p=%.2f seed=%d %s)" p seed
+                   (Stm.Contention.name policy))
+                true (r.committed > 0))
+            [ Stm.Contention.default; Stm.Contention.Greedy ])
+        [ 1; 2; 3 ])
+    [ 0.01; 0.05; 0.2 ]
+
+let test_soak_karma_smoke () =
+  let r =
+    Chaos.run_soak
+      (Chaos.default_soak ~policy:Stm.Contention.Karma ~domains:2
+         ~ops_per_domain:400 ~seed:7 0.05)
+  in
+  if not r.ok then Alcotest.failf "karma soak: %s" (String.concat "; " r.errors)
+
+let suites =
+  [
+    ( "stm.handler-safety",
+      [
+        Alcotest.test_case "raising commit handler skips nothing" `Quick
+          test_commit_handlers_all_run;
+        Alcotest.test_case "raising abort handler leaks nothing" `Quick
+          test_abort_handlers_all_run_and_release;
+        Alcotest.test_case "abort-handler failure surfaces, no retry loop"
+          `Quick test_abort_handler_failure_stops_retry;
+      ] );
+    ( "chaos",
+      [
+        Alcotest.test_case "same seed, same schedule and contents" `Quick
+          test_chaos_determinism;
+        Alcotest.test_case "soak matrix (3 probs x 3 seeds x 2 policies)"
+          `Slow test_soak_matrix;
+        Alcotest.test_case "soak under karma" `Quick test_soak_karma_smoke;
+      ] );
+  ]
