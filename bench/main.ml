@@ -281,31 +281,61 @@ type stmscale_row = {
   elapsed_s : float;
   commits_per_s : float;
   region_waits : int;
+  minor_words_per_commit : float;
+  clock_bumps : int;
+  read_only_commits : int;
 }
 
+(* Key range of the read-only workload: every transaction finds one key of
+   a shared prepopulated map and commits on the read-only fast path. *)
+let ro_keys = 1024
+
 let stmscale_run ~workload ~domains ~txns_per_domain =
-  let shared = if workload = "shared" then Some (IM.create ()) else None in
+  let shared =
+    match workload with
+    | "shared" | "read_only" -> Some (IM.create ())
+    | _ -> None
+  in
+  (match (workload, shared) with
+  | "read_only", Some m ->
+      for k = 0 to ro_keys - 1 do
+        ignore (IM.put m k k)
+      done
+  | _ -> ());
   let body d (m : int IM.t) =
-    for i = 1 to txns_per_domain do
-      Stm.atomic (fun () ->
-          let k = (d * txns_per_domain) + i in
-          ignore (IM.put m k i);
-          if i > 1 then ignore (IM.find m (k - 1)))
-    done
+    match workload with
+    | "read_only" ->
+        for i = 1 to txns_per_domain do
+          Stm.atomic (fun () ->
+              ignore (IM.find m (((d * 37) + i) land (ro_keys - 1))))
+        done
+    | _ ->
+        for i = 1 to txns_per_domain do
+          Stm.atomic (fun () ->
+              let k = (d * txns_per_domain) + i in
+              ignore (IM.put m k i);
+              if i > 1 then ignore (IM.find m (k - 1)))
+        done
   in
   Stm.reset_stats ();
   let waits_before = Stm.commit_region_waits () in
+  let stats_before = Stm.global_stats () in
   let t0 = Unix.gettimeofday () in
+  (* [Gc.minor_words] is domain-local: each worker measures its own
+     allocation delta around the workload and returns it through join. *)
   let ds =
     List.init domains (fun d ->
         Domain.spawn (fun () ->
             let m =
               match shared with Some m -> m | None -> IM.create ()
             in
-            body d m))
+            let w0 = Gc.minor_words () in
+            body d m;
+            Gc.minor_words () -. w0))
   in
-  List.iter Domain.join ds;
+  let words = List.fold_left (fun acc d -> acc +. Domain.join d) 0. ds in
   let elapsed = Unix.gettimeofday () -. t0 in
+  let stats_after = Stm.global_stats () in
   let total = domains * txns_per_domain in
   {
     workload;
@@ -314,6 +344,10 @@ let stmscale_run ~workload ~domains ~txns_per_domain =
     elapsed_s = elapsed;
     commits_per_s = float_of_int total /. elapsed;
     region_waits = Stm.commit_region_waits () - waits_before;
+    minor_words_per_commit = words /. float_of_int total;
+    clock_bumps = stats_after.clock_bumps - stats_before.clock_bumps;
+    read_only_commits =
+      stats_after.read_only_commits - stats_before.read_only_commits;
   }
 
 let stmscale_json ~cores ~chaos_rows ~starvation_rows rows =
@@ -323,7 +357,12 @@ let stmscale_json ~cores ~chaos_rows ~starvation_rows rows =
   Buffer.add_string b
     "  \"note\": \"region_waits = commit-region acquisitions that blocked; \
      0 on the disjoint workload at any domain count means sharded commits \
-     never serialise. Wall-clock scaling requires cores >= domains.\",\n";
+     never serialise. minor_words_per_commit = minor-heap words allocated \
+     per committed transaction (domain-local Gc.minor_words deltas summed \
+     over workers). clock_bumps = global version-clock advances; the \
+     read_only workload must report 0. Wall-clock scaling requires cores \
+     >= domains; cores = Domain.recommended_domain_count of the generating \
+     host.\",\n";
   let ratio w d1 d2 =
     let find d =
       List.find_opt (fun r -> r.workload = w && r.domains = d) rows
@@ -344,9 +383,11 @@ let stmscale_json ~cores ~chaos_rows ~starvation_rows rows =
         (Printf.sprintf
            "    {\"workload\": \"%s\", \"domains\": %d, \"txns\": %d, \
             \"elapsed_s\": %.4f, \"commits_per_s\": %.1f, \"region_waits\": \
-            %d}%s\n"
+            %d, \"minor_words_per_commit\": %.1f, \"clock_bumps\": %d, \
+            \"read_only_commits\": %d}%s\n"
            r.workload r.domains r.total_txns r.elapsed_s r.commits_per_s
-           r.region_waits
+           r.region_waits r.minor_words_per_commit r.clock_bumps
+           r.read_only_commits
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string b "  ],\n";
@@ -391,16 +432,17 @@ let stmscale () =
         List.map
           (fun domains -> stmscale_run ~workload ~domains ~txns_per_domain)
           [ 1; 2; 4; 8 ])
-      [ "disjoint"; "shared" ]
+      [ "disjoint"; "shared"; "read_only" ]
   in
   Fmt.pf ppf "@.STM commit scaling (host STM, %d core%s available)@." cores
     (if cores = 1 then "" else "s");
-  Fmt.pf ppf "  %-9s %7s %10s %14s %13s@." "workload" "domains" "txns"
-    "commits/s" "region_waits";
+  Fmt.pf ppf "  %-9s %7s %10s %14s %13s %10s %12s@." "workload" "domains"
+    "txns" "commits/s" "region_waits" "mw/commit" "clock_bumps";
   List.iter
     (fun r ->
-      Fmt.pf ppf "  %-9s %7d %10d %14.0f %13d@." r.workload r.domains
-        r.total_txns r.commits_per_s r.region_waits)
+      Fmt.pf ppf "  %-9s %7d %10d %14.0f %13d %10.1f %12d@." r.workload
+        r.domains r.total_txns r.commits_per_s r.region_waits
+        r.minor_words_per_commit r.clock_bumps)
     rows;
   (* Robustness columns: a lighter chaos matrix plus the three-policy
      starvation comparison ride along into the same JSON record. *)

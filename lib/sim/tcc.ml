@@ -234,8 +234,9 @@ module Tm_ops : Tm_intf.TM_OPS with type txn = txn = struct
 
   (* No separate prepare phase on the simulated machine: the hardware
      commit is already atomic under the commit token, so the two halves
-     run back-to-back inside it. *)
-  let on_commit_prepared region ~prepare ~apply =
+     run back-to-back inside it.  The read-only certificate is likewise
+     unused — there is no fast path to take under the commit token. *)
+  let on_commit_prepared ?read_only:_ region ~prepare ~apply =
     on_commit region (fun () ->
         prepare ();
         apply ())

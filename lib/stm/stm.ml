@@ -28,7 +28,8 @@ type budget = { max_retries : int option; max_seconds : float option }
 (* Auto-commit context: an already-committed handle so that semantic lock
    owners recorded outside transactions never block anyone (remote_abort
    on it reports "already committed").  One per domain, cached in DLS —
-   handles are only compared by txn_id and status, so sharing is safe. *)
+   handles are only compared by txn_id and status, so sharing is safe.
+   Never pooled: its identity must outlive any transaction. *)
 let autocommit_handle_key : handle Domain.DLS.key =
   Domain.DLS.new_key (fun () ->
       let t = make_top () in
@@ -45,13 +46,20 @@ let same_txn (a : handle) (b : handle) = a.txn_id = b.txn_id
 let txn_id (t : handle) = t.txn_id
 
 (* Handlers carry the commit region they operate on; [None] means the
-   process-wide fallback region (plain [on_commit] callers). *)
+   process-wide fallback region (plain [on_commit] callers).  Handlers
+   registered through these untyped entry points are never assumed
+   read-only: only the two-phase registration can certify that. *)
 let on_commit_in region h =
   match !(context ()) with
   | None -> h () (* auto-commit: the operation is its own transaction *)
   | Some t ->
       t.commit_handlers <-
-        { ch_region = region; ch_prepare = None; ch_apply = h }
+        {
+          ch_region = region;
+          ch_prepare = None;
+          ch_read_only = never_read_only;
+          ch_apply = h;
+        }
         :: t.commit_handlers
 
 let on_commit h = on_commit_in None h
@@ -70,7 +78,12 @@ let on_top_commit_in region h =
   | Some t ->
       let top = t.top in
       top.commit_handlers <-
-        { ch_region = region; ch_prepare = None; ch_apply = h }
+        {
+          ch_region = region;
+          ch_prepare = None;
+          ch_read_only = never_read_only;
+          ch_apply = h;
+        }
         :: top.commit_handlers
 
 let on_top_commit h = on_top_commit_in None h
@@ -78,8 +91,12 @@ let on_top_commit h = on_top_commit_in None h
 (* Two-phase registration used by the collection classes: [prepare] runs
    before the commit point (semantic conflict detection; may raise to
    retry or defer), [apply] after it (buffer application + lock release;
-   protected, never skipped). *)
-let on_top_commit_prepared region ~prepare ~apply =
+   protected, never skipped).  [read_only] is the collection's fast-path
+   probe — [true] when the transaction buffered no mutation against this
+   collection, so the commit needs neither the prepare phase nor the
+   commit region pre-acquisition (see [commit_top]). *)
+let on_top_commit_prepared ?(read_only = never_read_only) region ~prepare
+    ~apply =
   match !(context ()) with
   | None ->
       prepare ();
@@ -87,7 +104,12 @@ let on_top_commit_prepared region ~prepare ~apply =
   | Some t ->
       let top = t.top in
       top.commit_handlers <-
-        { ch_region = Some region; ch_prepare = Some prepare; ch_apply = apply }
+        {
+          ch_region = Some region;
+          ch_prepare = Some prepare;
+          ch_read_only = read_only;
+          ch_apply = apply;
+        }
         :: top.commit_handlers
 
 let on_top_abort h =
@@ -137,7 +159,8 @@ let remote_abort_outcome (t : handle) =
            | Backoff _ -> false)
       in
       if defer then begin
-        Atomic.incr stat_deferrals;
+        let s = my_stats () in
+        s.s_deferrals <- s.s_deferrals + 1;
         raise Deferred_exn
       end
   | _ -> ());
@@ -145,13 +168,15 @@ let remote_abort_outcome (t : handle) =
     match Atomic.get t.top_status with
     | Active ->
         if Atomic.compare_and_set t.top_status Active Aborted then begin
-          Atomic.incr stat_ra_delivered;
+          let s = my_stats () in
+          s.s_ra_delivered <- s.s_ra_delivered + 1;
           Delivered
         end
         else go ()
     | Aborted -> Already_aborted
     | Committing | Committed ->
-        Atomic.incr stat_ra_late;
+        let s = my_stats () in
+        s.s_ra_late <- s.s_ra_late + 1;
         Too_late
   in
   go ()
@@ -164,34 +189,38 @@ let remote_abort t =
 (* ------------------------------------------------------------------ *)
 (* Commit machinery                                                    *)
 
-let release_locks acquired = List.iter (fun (vl, old) -> Atomic.set vl old) acquired
+(* Release the first [n] acquired write locks, restoring the vlock values
+   saved in [acq_old] at acquisition. *)
+let release_locks top n =
+  for i = 0 to n - 1 do
+    let (W (tv, _)) = Hashtbl.find top.writes top.wids.(i) in
+    Atomic.set tv.vlock top.acq_old.(i)
+  done
 
 (* Acquire write locks in tv_id order (no deadlock), spinning a bounded
-   number of times on each before declaring a conflict.  [wids_sorted] is
-   maintained at insertion, so no per-attempt fold+sort is needed. *)
+   number of times on each before declaring a conflict.  [wids] is sorted
+   at insertion and the pre-lock vlock values go into the [acq_old]
+   scratch, so acquisition allocates nothing. *)
 let lock_writes top =
-  let rec acquire acc = function
-    | [] -> acc
-    | id :: rest ->
-        let (W (tv, _)) = Hashtbl.find top.writes id in
-        let rec try_lock spins =
-          let cur = Atomic.get tv.vlock in
-          if locked cur then
-            if spins = 0 then None
-            else begin
-              Domain.cpu_relax ();
-              try_lock (spins - 1)
-            end
-          else if Atomic.compare_and_set tv.vlock cur (cur + 1) then Some cur
-          else try_lock spins
-        in
-        (match try_lock 1024 with
-        | None ->
-            release_locks acc;
-            raise Conflict_exn
-        | Some old -> acquire ((tv.vlock, old) :: acc) rest)
-  in
-  acquire [] top.wids_sorted
+  for i = 0 to top.wlen - 1 do
+    let (W (tv, _)) = Hashtbl.find top.writes top.wids.(i) in
+    let rec try_lock spins =
+      let cur = Atomic.get tv.vlock in
+      if locked cur then
+        if spins = 0 then begin
+          release_locks top i;
+          raise Conflict_exn
+        end
+        else begin
+          Domain.cpu_relax ();
+          try_lock (spins - 1)
+        end
+      else if Atomic.compare_and_set tv.vlock cur (cur + 1) then
+        top.acq_old.(i) <- cur
+      else try_lock spins
+    in
+    try_lock 1024
+  done
 
 let validate_reads top =
   let rs = top.reads in
@@ -225,22 +254,33 @@ let run_applies handlers =
            h.ch_apply ();
            acc
          with e ->
-           Atomic.incr stat_handler_failures;
+           let s = my_stats () in
+           s.s_handler_failures <- s.s_handler_failures + 1;
            e :: acc)
        [] handlers)
 
 (* Publish the redo log and finish the commit.  Transactions with no
    memory writes need no write version: skipping the clock bump keeps
    pure-semantic commits off the shared clock cache line entirely. *)
-let publish_and_finish top acquired =
-  if top.wids_sorted <> [] then begin
-    let wv = Atomic.fetch_and_add clock 2 + 2 in
+let publish_and_finish top =
+  if top.wlen > 0 then begin
+    let wv = bump_clock () in
     Hashtbl.iter (fun _ (W (tv, v)) -> Atomic.set tv.value v) top.writes;
-    List.iter (fun (vl, _) -> Atomic.set vl wv) acquired;
-    ring_publish wv (Array.of_list top.wids_sorted)
+    for i = 0 to top.wlen - 1 do
+      let (W (tv, _)) = Hashtbl.find top.writes top.wids.(i) in
+      Atomic.set tv.vlock wv
+    done;
+    ring_publish wv (Array.sub top.wids 0 top.wlen)
   end;
   Atomic.set top.top_status Committed;
-  Atomic.incr stat_commits
+  let s = my_stats () in
+  s.s_commits <- s.s_commits + 1
+
+let finish_read_only top =
+  Atomic.set top.top_status Committed;
+  let s = my_stats () in
+  s.s_commits <- s.s_commits + 1;
+  s.s_ro_commits <- s.s_ro_commits + 1
 
 (* Commit a top-level transaction.  When the transaction registered
    handlers, the whole sequence
@@ -264,20 +304,57 @@ let publish_and_finish top acquired =
    aggregating wrapper.  Commit handlers must not access tvars: the
    collection classes operate on their wrapped structures inside
    [critical] regions instead (the region locks are reentrant, so a
-   handler re-entering its own region's [critical] is fine). *)
+   handler re-entering its own region's [critical] is fine).
+
+   Read-only fast paths.  A transaction that wrote no tvars and whose
+   handlers all certify [ch_read_only] commits without touching the global
+   clock, taking write locks or pre-acquiring commit regions: validating
+   the read set against the read version it started from proves the reads
+   were mutually consistent at that point, and since the transaction
+   publishes nothing, serialising it at that (past) point is correct even
+   if later commits have since advanced the clock.  Apply handlers still
+   run (they release semantic read locks and drop transaction-local
+   state), each under its own collection's [critical] region.  The chaos
+   hook and the Active->Committing settlement CAS stay on the fast path,
+   so injected faults and remote aborts keep their full power there. *)
 let commit_top ?(run_handlers = true) top =
   let handlers = if run_handlers then List.rev top.commit_handlers else [] in
-  if handlers = [] then begin
-    let acquired = lock_writes top in
-    (try
-       if not (validate_reads top) then raise Conflict_exn;
-       chaos Chaos_in_commit;
-       if not (Atomic.compare_and_set top.top_status Active Committing) then
-         raise Remote_aborted_exn
-     with e ->
-       release_locks acquired;
-       raise e);
-    publish_and_finish top acquired
+  if handlers = [] then
+    if top.wlen = 0 then begin
+      (* Pure read-only fast path: no locks, no regions, no clock. *)
+      if not (validate_reads top) then raise Conflict_exn;
+      chaos Chaos_in_commit;
+      if not (Atomic.compare_and_set top.top_status Active Committing) then
+        raise Remote_aborted_exn;
+      finish_read_only top
+    end
+    else begin
+      lock_writes top;
+      (try
+         if not (validate_reads top) then raise Conflict_exn;
+         chaos Chaos_in_commit;
+         if not (Atomic.compare_and_set top.top_status Active Committing) then
+           raise Remote_aborted_exn
+       with e ->
+         release_locks top top.wlen;
+         raise e);
+      publish_and_finish top
+    end
+  else if top.wlen = 0 && List.for_all (fun h -> h.ch_read_only ()) handlers
+  then begin
+    (* Semantic read-only fast path: the collections buffered no
+       mutations, so prepare would detect nothing and apply only releases
+       semantic read locks — no commit regions are pre-acquired and the
+       clock stays untouched.  The applies take their own [critical]
+       sections, which is all lock release needs. *)
+    if not (validate_reads top) then raise Conflict_exn;
+    chaos Chaos_in_commit;
+    if not (Atomic.compare_and_set top.top_status Active Committing) then
+      raise Remote_aborted_exn;
+    (* Commit point passed. *)
+    let failures = run_applies handlers in
+    finish_read_only top;
+    if failures <> [] then raise (Handler_failure { committed = true; failures })
   end
   else begin
     let regions = commit_regions handlers in
@@ -285,7 +362,7 @@ let commit_top ?(run_handlers = true) top =
     Fun.protect
       ~finally:(fun () -> List.iter region_unlock (List.rev regions))
       (fun () ->
-        let acquired = lock_writes top in
+        lock_writes top;
         (try
            if not (validate_reads top) then raise Conflict_exn;
            chaos Chaos_in_commit;
@@ -299,11 +376,11 @@ let commit_top ?(run_handlers = true) top =
            then raise Remote_aborted_exn
          with e ->
            top.in_prepare <- false;
-           release_locks acquired;
+           release_locks top top.wlen;
            raise e);
         (* Commit point passed. *)
         let failures = run_applies handlers in
-        publish_and_finish top acquired;
+        publish_and_finish top;
         if failures <> [] then
           raise (Handler_failure { committed = true; failures }))
   end
@@ -319,7 +396,8 @@ let run_abort_handlers t =
            h ();
            acc
          with e ->
-           Atomic.incr stat_handler_failures;
+           let s = my_stats () in
+           s.s_handler_failures <- s.s_handler_failures + 1;
            e :: acc)
        [] t.abort_handlers)
 
@@ -330,11 +408,17 @@ let mark_aborted t = ignore (Atomic.compare_and_set t.top_status Active Aborted)
    budget (max retries / wall-clock deadline) is exhausted, which raises
    [Starved].  With [defer_handlers], commit handlers are not executed at
    commit; the caller (open nesting) migrates them to the suspended parent
-   instead. *)
+   instead.
+
+   The descriptor comes from the domain-local pool and is reset in place
+   per attempt (fresh leased txn_id, cleared grow-only read/write sets),
+   so the retry loop allocates nothing.  It is released back to the pool
+   on every exit path — after compensation handlers have run, and with
+   its handler lists intact for [open_nested] to migrate. *)
 let run_top ?(defer_handlers = false) ?cm ?budget f =
   let ctx = context () in
   let cm = match cm with Some c -> c | None -> Atomic.get global_cm in
-  let prio = Atomic.fetch_and_add next_prio 1 in
+  let prio = fresh_prio () in
   let t0 =
     match budget with
     | Some { max_seconds = Some _; _ } -> Unix.gettimeofday ()
@@ -358,12 +442,14 @@ let run_top ?(defer_handlers = false) ?cm ?budget f =
           match b.max_seconds with Some s -> elapsed > s | None -> false
         in
         if over_retries || over_time then begin
-          Atomic.incr stat_starved;
+          let s = my_stats () in
+          s.s_starved <- s.s_starved + 1;
           record_retries cm n;
           raise (Starved { attempts = n; elapsed })
         end
   in
-  let abort_and_compensate t =
+  let t = acquire_top ~cm ~prio in
+  let abort_and_compensate () =
     mark_aborted t;
     if defer_handlers then []
       (* Handlers registered inside an aborting open-nested transaction
@@ -372,9 +458,9 @@ let run_top ?(defer_handlers = false) ?cm ?budget f =
     else run_abort_handlers t
   in
   let rec attempt n =
-    let t = make_top ~cm ~prio () in
+    reset_for_attempt t;
     t.retries <- n;
-    ctx := Some t;
+    ctx := t.self_opt;
     match
       chaos Chaos_attempt;
       let r = f () in
@@ -385,16 +471,17 @@ let run_top ?(defer_handlers = false) ?cm ?budget f =
     | r ->
         ctx := None;
         record_retries cm n;
-        (r, t)
+        r
     | exception
         ((Conflict_exn | Child_conflict_exn | Remote_aborted_exn | Deferred_exn)
          as e) ->
-        (match e with
-        | Remote_aborted_exn -> Atomic.incr stat_remote_aborts
-        | Deferred_exn -> () (* counted at the deferral site *)
-        | _ -> Atomic.incr stat_conflict_aborts);
+        (let s = my_stats () in
+         match e with
+         | Remote_aborted_exn -> s.s_remote_aborts <- s.s_remote_aborts + 1
+         | Deferred_exn -> () (* counted at the deferral site *)
+         | _ -> s.s_conflict_aborts <- s.s_conflict_aborts + 1);
         ctx := None;
-        let failures = abort_and_compensate t in
+        let failures = abort_and_compensate () in
         if failures <> [] then
           raise (Handler_failure { committed = false; failures });
         check_budget (n + 1);
@@ -408,9 +495,10 @@ let run_top ?(defer_handlers = false) ?cm ?budget f =
         record_retries cm n;
         raise e
     | exception Explicit_abort_exn ->
-        Atomic.incr stat_explicit_aborts;
+        let s = my_stats () in
+        s.s_explicit_aborts <- s.s_explicit_aborts + 1;
         ctx := None;
-        let failures = abort_and_compensate t in
+        let failures = abort_and_compensate () in
         if failures <> [] then
           raise (Handler_failure { committed = false; failures });
         raise Aborted
@@ -419,38 +507,43 @@ let run_top ?(defer_handlers = false) ?cm ?budget f =
            failure raised by a compensation handler is counted but the
            original exception wins. *)
         ctx := None;
-        ignore (abort_and_compensate t);
+        ignore (abort_and_compensate ());
         raise e
   in
-  attempt 0
+  match attempt 0 with
+  | r ->
+      release_top t;
+      (r, t)
+  | exception e ->
+      release_top t;
+      raise e
 
 let closed_nested_in parent f =
   let ctx = context () in
   let rec attempt n =
     let child = make_child parent in
-    ctx := Some child;
+    ctx := child.self_opt;
     match f () with
     | r ->
         (* Index-aware bulk append: entries the parent already holds are
            skipped in O(1). *)
         rs_append parent.reads child.reads;
-        let new_ids =
-          List.filter (fun id -> not (Hashtbl.mem parent.writes id)) child.wids_sorted
-        in
+        for i = 0 to child.wlen - 1 do
+          let id = child.wids.(i) in
+          if not (Hashtbl.mem parent.writes id) then wids_insert parent id
+        done;
         Hashtbl.iter (fun k w -> Hashtbl.replace parent.writes k w) child.writes;
-        if new_ids <> [] then
-          parent.wids_sorted <- List.merge compare parent.wids_sorted new_ids;
         parent.commit_handlers <- child.commit_handlers @ parent.commit_handlers;
         parent.abort_handlers <- child.abort_handlers @ parent.abort_handlers;
-        ctx := Some parent;
+        ctx := parent.self_opt;
         r
     | exception Child_conflict_exn ->
         (* Partial rollback: only the child's tentative state is dropped. *)
-        ctx := Some parent;
+        ctx := parent.self_opt;
         cm_wait parent.top.cm n;
         attempt (n + 1)
     | exception e ->
-        ctx := Some parent;
+        ctx := parent.self_opt;
         raise e
   in
   attempt 0
@@ -487,9 +580,12 @@ let open_nested f =
   | None -> fst (run_top f)
   | Some parent ->
       ctx := None;
+      (* [run_top] returns the (pooled) descriptor with its handler lists
+         intact; they are migrated here, on the same domain, before any
+         other transaction can re-acquire the descriptor. *)
       (match run_top ~defer_handlers:true f with
       | r, open_txn ->
-          ctx := Some parent;
+          ctx := parent.self_opt;
           (* Handlers registered inside the open-nested transaction become
              the parent's responsibility once the open transaction commits
              (paper §4, "Commit and abort handlers"). *)
@@ -498,7 +594,7 @@ let open_nested f =
           parent.abort_handlers <- open_txn.abort_handlers @ parent.abort_handlers;
           r
       | exception e ->
-          ctx := Some parent;
+          ctx := parent.self_opt;
           raise e)
 
 let retries () = match !(context ()) with None -> 0 | Some t -> t.top.retries
@@ -529,10 +625,14 @@ module Chaos = struct
 end
 
 (* ------------------------------------------------------------------ *)
-(* Global statistics                                                    *)
+(* Global statistics: lazy aggregation over the per-domain shards.  The
+   totals are exact once the domains that produced them have been joined
+   (the join is the happens-before edge); concurrent reads see a
+   consistent-enough live snapshot. *)
 
 type stats = {
   commits : int;
+  read_only_commits : int;
   conflict_aborts : int;
   remote_aborts : int;
   explicit_aborts : int;
@@ -541,42 +641,40 @@ type stats = {
   remote_aborts_delivered : int;
   remote_aborts_late : int;
   handler_failures : int;
+  clock_bumps : int;
+  clock_cas_retries : int;
 }
 
 let global_stats () =
   {
-    commits = Atomic.get stat_commits;
-    conflict_aborts = Atomic.get stat_conflict_aborts;
-    remote_aborts = Atomic.get stat_remote_aborts;
-    explicit_aborts = Atomic.get stat_explicit_aborts;
-    starved = Atomic.get stat_starved;
-    deferrals = Atomic.get stat_deferrals;
-    remote_aborts_delivered = Atomic.get stat_ra_delivered;
-    remote_aborts_late = Atomic.get stat_ra_late;
-    handler_failures = Atomic.get stat_handler_failures;
+    commits = stats_sum (fun s -> s.s_commits);
+    read_only_commits = stats_sum (fun s -> s.s_ro_commits);
+    conflict_aborts = stats_sum (fun s -> s.s_conflict_aborts);
+    remote_aborts = stats_sum (fun s -> s.s_remote_aborts);
+    explicit_aborts = stats_sum (fun s -> s.s_explicit_aborts);
+    starved = stats_sum (fun s -> s.s_starved);
+    deferrals = stats_sum (fun s -> s.s_deferrals);
+    remote_aborts_delivered = stats_sum (fun s -> s.s_ra_delivered);
+    remote_aborts_late = stats_sum (fun s -> s.s_ra_late);
+    handler_failures = stats_sum (fun s -> s.s_handler_failures);
+    clock_bumps = stats_sum (fun s -> s.s_clock_bumps);
+    clock_cas_retries = stats_sum (fun s -> s.s_clock_cas_retries);
   }
 
-let commit_region_waits () = Atomic.get stat_region_waits
-let regions_held () = Atomic.get stat_regions_held
+let commit_region_waits () = stats_sum (fun s -> s.s_region_waits)
+let regions_held () = stats_sum (fun s -> s.s_regions_held)
 
 let retry_histogram () =
   [ Contention.default; Karma; Greedy ]
   |> List.map (fun p ->
-         ( policy_name p,
-           Array.map Atomic.get retry_hist.(policy_index p) ))
+         let i = policy_index p in
+         let row = Array.make hist_buckets 0 in
+         List.iter
+           (fun s -> Array.iteri (fun b c -> row.(b) <- row.(b) + c) s.s_hist.(i))
+           (all_stats ());
+         (policy_name p, row))
 
-let reset_stats () =
-  Atomic.set stat_commits 0;
-  Atomic.set stat_conflict_aborts 0;
-  Atomic.set stat_remote_aborts 0;
-  Atomic.set stat_explicit_aborts 0;
-  Atomic.set stat_region_waits 0;
-  Atomic.set stat_starved 0;
-  Atomic.set stat_deferrals 0;
-  Atomic.set stat_ra_delivered 0;
-  Atomic.set stat_ra_late 0;
-  Atomic.set stat_handler_failures 0;
-  Array.iter (fun row -> Array.iter (fun c -> Atomic.set c 0) row) retry_hist
+let reset_stats () = stats_reset ()
 
 (* ------------------------------------------------------------------ *)
 (* TM_OPS instance for the transactional collection classes            *)
@@ -594,8 +692,8 @@ module Tm_ops : Tm_intf.TM_OPS with type txn = handle = struct
   let new_region () = make_region ()
   let critical r f = region_critical r f
   let on_commit r h = on_top_commit_in (Some r) h
-  let on_commit_prepared r ~prepare ~apply =
-    on_top_commit_prepared r ~prepare ~apply
+  let on_commit_prepared ?read_only r ~prepare ~apply =
+    on_top_commit_prepared ?read_only r ~prepare ~apply
   let on_abort = on_top_abort
   let remote_abort = remote_abort
   let self_abort () = self_abort ()

@@ -16,6 +16,15 @@
     commit phases are serialised per collection region rather than under
     one global token.
 
+    The hot loop touches no shared mutable state per transaction:
+    statistics are sharded per domain and aggregated lazily by
+    {!global_stats}, transaction ids and priority tickets are leased to
+    domains in blocks of 1024, top-level descriptors (with their grow-only
+    read/write-set scratch) are pooled in domain-local storage so the retry
+    loop is allocation-free, read-only commits skip the global clock and
+    all locking entirely, and writer commits advance the clock with at most
+    one extra atomic step under contention (GV5-style adoption).
+
     Robustness layer: pluggable contention management ({!Contention}),
     transaction budgets with a typed {!Starved} outcome and a serialised
     fallback ({!serialised}), exception-safe handler execution aggregating
@@ -214,10 +223,17 @@ module Chaos : sig
   val set_hook : (event -> unit) option -> unit
 end
 
-(** {1 Global statistics} — process-wide monotonic counters. *)
+(** {1 Global statistics} — process-wide monotonic counters, kept in
+    per-domain cache-padded shards so the hot loop never writes a shared
+    cache line; {!global_stats} aggregates them lazily.  Totals are exact
+    once the domains that produced them have been joined; a concurrent
+    read sees a live (slightly stale but never corrupt) snapshot. *)
 
 type stats = {
   commits : int;  (** top-level transactions committed *)
+  read_only_commits : int;
+      (** commits that took the read-only fast path: no clock bump, no
+          write locks, no commit-region pre-acquisition *)
   conflict_aborts : int;  (** retries from memory-level validation/locking *)
   remote_aborts : int;  (** retries from program-directed (semantic) abort *)
   explicit_aborts : int;  (** {!self_abort} occurrences *)
@@ -227,10 +243,17 @@ type stats = {
   remote_aborts_delivered : int;  (** {!remote_abort_outcome} = [Delivered] *)
   remote_aborts_late : int;  (** {!remote_abort_outcome} = [Too_late] *)
   handler_failures : int;  (** commit/abort handlers that raised *)
+  clock_bumps : int;  (** global version-clock advances (writer commits) *)
+  clock_cas_retries : int;
+      (** clock CAS losses settled by adopting the winner's value with a
+          single wait-free fetch-and-add — never more than one extra
+          atomic step per conflicting bump *)
 }
 
 val global_stats : unit -> stats
 val reset_stats : unit -> unit
+(** Zero all shards.  Assumes quiescence (no transactions in flight), as
+    between benchmark phases. *)
 
 val commit_region_waits : unit -> int
 (** Number of semantic-commit region acquisitions that had to block on a

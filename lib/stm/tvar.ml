@@ -50,7 +50,7 @@ let rec nontx_set tv v =
     nontx_set tv v
   end
   else begin
-    let wv = Atomic.fetch_and_add clock 2 + 2 in
+    let wv = bump_clock () in
     Atomic.set tv.value v;
     Atomic.set tv.vlock wv;
     ring_publish wv [| tv.tv_id |]

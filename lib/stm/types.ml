@@ -19,8 +19,14 @@
      clock, so only entries recorded since the last validation are
      re-checked per-tvar (with a conservative full rescan whenever the ring
      window is insufficient);
-   - the write set keeps a sorted list of tv_ids maintained at insertion,
-     so commit-time lock acquisition needs no fold+sort.
+   - the write set keeps its tv_ids in a sorted grow-only array maintained
+     at insertion, so commit-time lock acquisition needs no fold+sort and
+     allocates nothing;
+   - every per-transaction touch of shared mutable state is gone from the
+     hot loop: statistics are sharded per domain (aggregated lazily),
+     transaction ids and priority tickets are leased to domains in blocks,
+     and top-level descriptors are pooled in domain-local storage and
+     reused across attempts and transactions (grow-only scratch).
 
    Semantic commit phases (commits that run commit handlers) are serialised
    per [region]: each collection owns a region, handlers are registered
@@ -68,10 +74,6 @@ type cm_policy =
 let default_cm = Backoff { base = 1; max_exp = 12; jitter = true }
 let global_cm : cm_policy Atomic.t = Atomic.make default_cm
 
-(* Priority tickets: process-wide monotonic; one per top-level [atomic]
-   call, preserved across that call's retries, so age accumulates. *)
-let next_prio : int Atomic.t = Atomic.make 1
-
 (* Per-domain splitmix64 state for backoff jitter: avoids a shared Random
    state (contention) and keeps single-domain runs deterministic. *)
 let jitter_key : int64 ref Domain.DLS.key =
@@ -88,6 +90,178 @@ let rand_bits () =
   to_int (shift_right_logical (logxor z (shift_right_logical z 31)) 1)
 
 let rand_int bound = if bound <= 0 then 0 else rand_bits () mod bound
+
+(* ------------------------------------------------------------------ *)
+(* Sharded statistics.  Every counter the hot loop touches lives in a
+   per-domain record written only by its owning domain — no shared cache
+   line is dirtied per transaction.  Records are registered in a global
+   list on first use and aggregated lazily by [Stm.global_stats].
+
+   Reading another domain's plain mutable int is a benign race: values are
+   word-sized (no tearing) and exact once the writing domain has been
+   joined, which is when the tests and benches read them.  [reset] likewise
+   assumes quiescence (no concurrent transactions), matching how
+   [Stm.reset_stats] has always been used between bench phases.
+
+   The records end in explicit pad words so that two domains' records can
+   never share more than a boundary cache line even if the major heap
+   places them back to back. *)
+
+let hist_buckets = 16
+
+let policy_index = function Backoff _ -> 0 | Karma -> 1 | Greedy -> 2
+let policy_name = function
+  | Backoff _ -> "backoff"
+  | Karma -> "karma"
+  | Greedy -> "greedy"
+
+type domain_stats = {
+  mutable s_commits : int;
+  mutable s_ro_commits : int; (* commits taking the read-only fast path *)
+  mutable s_conflict_aborts : int;
+  mutable s_remote_aborts : int;
+  mutable s_explicit_aborts : int;
+  mutable s_starved : int;
+  mutable s_deferrals : int;
+  mutable s_ra_delivered : int;
+  mutable s_ra_late : int;
+  mutable s_handler_failures : int;
+  mutable s_region_waits : int;
+  mutable s_regions_held : int;
+  mutable s_clock_bumps : int;
+  mutable s_clock_cas_retries : int;
+  s_hist : int array array; (* policy x retry bucket *)
+  (* cache-line padding *)
+  mutable s_pad0 : int;
+  mutable s_pad1 : int;
+  mutable s_pad2 : int;
+  mutable s_pad3 : int;
+  mutable s_pad4 : int;
+  mutable s_pad5 : int;
+  mutable s_pad6 : int;
+  mutable s_pad7 : int;
+}
+
+let fresh_stats () =
+  {
+    s_commits = 0;
+    s_ro_commits = 0;
+    s_conflict_aborts = 0;
+    s_remote_aborts = 0;
+    s_explicit_aborts = 0;
+    s_starved = 0;
+    s_deferrals = 0;
+    s_ra_delivered = 0;
+    s_ra_late = 0;
+    s_handler_failures = 0;
+    s_region_waits = 0;
+    s_regions_held = 0;
+    s_clock_bumps = 0;
+    s_clock_cas_retries = 0;
+    s_hist = Array.init 3 (fun _ -> Array.make hist_buckets 0);
+    s_pad0 = 0;
+    s_pad1 = 0;
+    s_pad2 = 0;
+    s_pad3 = 0;
+    s_pad4 = 0;
+    s_pad5 = 0;
+    s_pad6 = 0;
+    s_pad7 = 0;
+  }
+
+(* Registry of every domain's record, lock-free push on first use.  Records
+   of finished domains stay registered (their counts must keep contributing
+   to the aggregate); the list length is bounded by the number of domains
+   ever spawned, which is small. *)
+let stats_registry : domain_stats list Atomic.t = Atomic.make []
+
+let rec registry_push s =
+  let cur = Atomic.get stats_registry in
+  if not (Atomic.compare_and_set stats_registry cur (s :: cur)) then
+    registry_push s
+
+let stats_key : domain_stats Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let s = fresh_stats () in
+      registry_push s;
+      s)
+
+let my_stats () = Domain.DLS.get stats_key
+let all_stats () = Atomic.get stats_registry
+let stats_sum f = List.fold_left (fun acc s -> acc + f s) 0 (all_stats ())
+
+let stats_reset () =
+  List.iter
+    (fun s ->
+      s.s_commits <- 0;
+      s.s_ro_commits <- 0;
+      s.s_conflict_aborts <- 0;
+      s.s_remote_aborts <- 0;
+      s.s_explicit_aborts <- 0;
+      s.s_starved <- 0;
+      s.s_deferrals <- 0;
+      s.s_ra_delivered <- 0;
+      s.s_ra_late <- 0;
+      s.s_handler_failures <- 0;
+      s.s_region_waits <- 0;
+      s.s_regions_held <- 0;
+      s.s_clock_bumps <- 0;
+      s.s_clock_cas_retries <- 0;
+      Array.iter (fun row -> Array.fill row 0 hist_buckets 0) s.s_hist)
+    (all_stats ())
+
+(* Per-policy retry histograms: bucket 0 = committed first try, bucket k
+   = retry count with k significant bits (1, 2-3, 4-7, ...).  Recorded at
+   commit and at starvation, per policy of the finishing transaction. *)
+let record_retries cm n =
+  let rec bits n = if n <= 0 then 0 else 1 + bits (n lsr 1) in
+  let b = if n = 0 then 0 else min (hist_buckets - 1) (bits n) in
+  let row = (my_stats ()).s_hist.(policy_index cm) in
+  row.(b) <- row.(b) + 1
+
+(* ------------------------------------------------------------------ *)
+(* Id leases.  Transaction ids and priority tickets are process-unique but
+   no longer drawn one fetch_and_add at a time: each domain leases a block
+   of [lease_block] ids and hands them out from domain-local state, so the
+   shared counters are touched once per thousand transactions instead of
+   once per transaction (and per nested child).
+
+   Priority tickets keep their total order — disjoint blocks never collide
+   — but a block is only as old as its lease, so Greedy's "older start
+   ticket wins" is exact within a domain and approximate across domains by
+   up to one block.  The starvation guarantee survives: the transaction
+   holding the globally smallest live ticket is still never deferred-out,
+   and every other domain's tickets climb past any stalled ticket after at
+   most [lease_block] local transactions, which bounds the transient. *)
+
+let lease_block = 1024
+
+type id_lease = { mutable l_next : int; mutable l_limit : int }
+
+let next_txn_id : int Atomic.t = Atomic.make 1
+let next_prio : int Atomic.t = Atomic.make 1
+let next_tv_id : int Atomic.t = Atomic.make 1
+
+let txn_id_lease_key : id_lease Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { l_next = 0; l_limit = 0 })
+
+let prio_lease_key : id_lease Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { l_next = 0; l_limit = 0 })
+
+let lease_from counter l =
+  if l.l_next >= l.l_limit then begin
+    let base = Atomic.fetch_and_add counter lease_block in
+    l.l_next <- base;
+    l.l_limit <- base + lease_block
+  end;
+  let id = l.l_next in
+  l.l_next <- id + 1;
+  id
+
+let fresh_txn_id () = lease_from next_txn_id (Domain.DLS.get txn_id_lease_key)
+let fresh_prio () = lease_from next_prio (Domain.DLS.get prio_lease_key)
+
+(* ------------------------------------------------------------------ *)
 
 type 'a tvar_repr = {
   tv_id : int;
@@ -112,6 +286,13 @@ let dummy_rentry =
 
 let rs_create () = { r_arr = [||]; r_len = 0; r_idx = Hashtbl.create 16 }
 let rs_mem rs tv_id = Hashtbl.mem rs.r_idx tv_id
+
+(* Reuse: drop the entries but keep the array and the index's bucket
+   vector (Hashtbl.clear does not shrink), so a recycled descriptor's read
+   set allocates nothing. *)
+let rs_clear rs =
+  rs.r_len <- 0;
+  Hashtbl.clear rs.r_idx
 
 let rs_push rs (R (tv, _) as e) =
   if not (Hashtbl.mem rs.r_idx tv.tv_id) then begin
@@ -146,15 +327,6 @@ type region = {
 
 let next_region_id = Atomic.make 1
 
-(* Commit-token acquisitions that had to block (contention probe for the
-   scaling benchmarks; reset via Stm.reset_stats). *)
-let stat_region_waits = Atomic.make 0
-
-(* Regions currently held (outermost acquisitions only): the chaos soak
-   asserts this returns to zero after every run — a leaked commit region
-   would deadlock the next semantic commit on that collection. *)
-let stat_regions_held = Atomic.make 0
-
 let make_region () =
   {
     rid = Atomic.fetch_and_add next_region_id 1;
@@ -166,18 +338,22 @@ let make_region () =
 (* Reentrancy: [rowner] is only ever set to a domain's own id by that
    domain while it holds [rmx], so reading our own id proves we hold the
    lock; any other value (including a torn impossibility) sends us to the
-   real Mutex.lock. *)
+   real Mutex.lock.  The wait/held counters are sharded: lock and unlock
+   always happen on the same domain (the critical sections are scoped), so
+   each domain's held-count nets to zero when it is quiescent. *)
 let region_lock r =
   let me = (Domain.self () :> int) in
   if Atomic.get r.rowner = me then r.rdepth <- r.rdepth + 1
   else begin
     if not (Mutex.try_lock r.rmx) then begin
-      Atomic.incr stat_region_waits;
+      let s = my_stats () in
+      s.s_region_waits <- s.s_region_waits + 1;
       Mutex.lock r.rmx
     end;
     Atomic.set r.rowner me;
     r.rdepth <- 1;
-    Atomic.incr stat_regions_held
+    let s = my_stats () in
+    s.s_regions_held <- s.s_regions_held + 1
   end
 
 let region_unlock r =
@@ -185,13 +361,23 @@ let region_unlock r =
   else begin
     r.rdepth <- 0;
     Atomic.set r.rowner (-1);
-    Atomic.decr stat_regions_held;
+    let s = my_stats () in
+    s.s_regions_held <- s.s_regions_held - 1;
     Mutex.unlock r.rmx
   end
 
+(* Hand-rolled instead of Fun.protect: critical sections run several
+   times per transaction on every collection path, and the [~finally]
+   closure allocation is measurable at that frequency. *)
 let region_critical r f =
   region_lock r;
-  Fun.protect ~finally:(fun () -> region_unlock r) f
+  match f () with
+  | v ->
+      region_unlock r;
+      v
+  | exception e ->
+      region_unlock r;
+      raise e
 
 (* Fallback region for commit handlers registered without one. *)
 let global_commit_region = make_region ()
@@ -205,17 +391,31 @@ let global_commit_region = make_region ()
    nothing applied.  [ch_apply] (buffer application + semantic lock
    release) runs after the commit point; apply handlers are executed under
    a protective wrapper that never skips the remaining handlers and
-   aggregates anything raised into [Stm.Handler_failure]. *)
+   aggregates anything raised into [Stm.Handler_failure].
+
+   [ch_read_only] is the read-only probe supplied by the collection
+   classes: it returns [true] when the handler's transaction-local state
+   holds no pending mutation (empty store buffer), i.e. when [ch_prepare]
+   would detect nothing and [ch_apply] only releases semantic read locks.
+   A commit whose handlers are all read-only (and that wrote no tvars)
+   takes the read-only fast path: no commit regions are pre-acquired, no
+   prepare phase runs, and the global clock is untouched. *)
 type commit_handler = {
   ch_region : region option;
       (* the region the handler operates on; [None] = process-wide fallback *)
   ch_prepare : (unit -> unit) option;
+  ch_read_only : unit -> bool;
   ch_apply : unit -> unit;
 }
 
+let never_read_only () = false
+
 type txn = {
-  txn_id : int;
-  top_status : status Atomic.t; (* physically shared with [top] *)
+  mutable txn_id : int;
+      (* fresh per attempt (leased); mutable because descriptors are pooled *)
+  mutable top_status : status Atomic.t;
+      (* physically shared with [top]; a fresh cell per pooled acquisition
+         so that stale handles from earlier transactions CAS a dead cell *)
   mutable rv : int; (* read version; meaningful on the top level *)
   reads : read_set;
   mutable validated : int;
@@ -223,9 +423,13 @@ type txn = {
          read-version extension re-checks only [validated, r_len) per-tvar
          when the commit ring proves the prefix untouched *)
   writes : (int, wentry) Hashtbl.t;
-  mutable wids_sorted : int list;
+  mutable wids : int array;
       (* tv_ids of [writes] in ascending order, maintained at insertion:
-         the commit-time lock-acquisition order *)
+         the commit-time lock-acquisition order.  Grow-only scratch. *)
+  mutable wlen : int;
+  mutable acq_old : int array;
+      (* commit-time scratch, parallel to [wids]: the pre-lock vlock values
+         of acquired write locks, for release on conflict.  Grow-only. *)
   mutable commit_handlers : commit_handler list; (* newest first *)
   mutable abort_handlers : (unit -> unit) list; (* newest first *)
   parent : txn option;
@@ -234,18 +438,38 @@ type txn = {
   mutable validated_rv : int;
       (* top level only: the clock value against which every level's
          validated prefix was last known valid *)
-  cm : cm_policy; (* contention policy governing this top-level txn *)
-  prio : int;
+  mutable cm : cm_policy; (* contention policy governing this top-level txn *)
+  mutable prio : int;
       (* start ticket of the owning [atomic] call; constant across its
          retries, so age (and with it Greedy priority) accumulates *)
   mutable in_prepare : bool;
       (* top level only: inside the prepare phase of its own commit —
          the only point where remote_abort may decide to defer *)
+  mutable self_opt : txn option;
+      (* [Some self], built once: installing the context per attempt reuses
+         it instead of allocating a fresh option *)
 }
 
 let clock : int Atomic.t = Atomic.make 0
-let next_txn_id : int Atomic.t = Atomic.make 1
-let next_tv_id : int Atomic.t = Atomic.make 1
+
+(* Advance the global clock by one write version (2, LSB is the lock bit).
+   GV5-style adoption: try one CAS against the sampled value; when another
+   committer wins the race, adopt its published value as the new base and
+   advance past it with a single wait-free fetch_and_add instead of
+   looping the CAS.  A committer therefore performs at most one extra
+   atomic step per conflicting bump ([s_clock_cas_retries] counts exactly
+   those adoptions), and write versions stay unique — which the commit
+   ring and the deduplicated read set rely on (a shared timestamp would
+   let a same-version commit slip past a validated prefix). *)
+let bump_clock () =
+  let s = my_stats () in
+  s.s_clock_bumps <- s.s_clock_bumps + 1;
+  let v = Atomic.get clock in
+  if Atomic.compare_and_set clock v (v + 2) then v + 2
+  else begin
+    s.s_clock_cas_retries <- s.s_clock_cas_retries + 1;
+    Atomic.fetch_and_add clock 2 + 2
+  end
 
 let ctx_key : txn option ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref None)
@@ -255,18 +479,18 @@ let context () = Domain.DLS.get ctx_key
 let make_top ?cm ?prio () =
   let rv = Atomic.get clock in
   let cm = match cm with Some c -> c | None -> Atomic.get global_cm in
-  let prio =
-    match prio with Some p -> p | None -> Atomic.fetch_and_add next_prio 1
-  in
+  let prio = match prio with Some p -> p | None -> fresh_prio () in
   let rec t =
     {
-      txn_id = Atomic.fetch_and_add next_txn_id 1;
+      txn_id = fresh_txn_id ();
       top_status = Atomic.make Active;
       rv;
       reads = rs_create ();
       validated = 0;
       writes = Hashtbl.create 16;
-      wids_sorted = [];
+      wids = [||];
+      wlen = 0;
+      acq_old = [||];
       commit_handlers = [];
       abort_handlers = [];
       parent = None;
@@ -276,29 +500,87 @@ let make_top ?cm ?prio () =
       cm;
       prio;
       in_prepare = false;
+      self_opt = Some t;
     }
   in
   t
 
 let make_child parent =
-  {
-    txn_id = Atomic.fetch_and_add next_txn_id 1;
-    top_status = parent.top_status;
-    rv = parent.top.rv;
-    reads = rs_create ();
-    validated = 0;
-    writes = Hashtbl.create 8;
-    wids_sorted = [];
-    commit_handlers = [];
-    abort_handlers = [];
-    parent = Some parent;
-    top = parent.top;
-    retries = 0;
-    validated_rv = 0;
-    cm = parent.top.cm;
-    prio = parent.top.prio;
-    in_prepare = false;
-  }
+  let rec t =
+    {
+      txn_id = fresh_txn_id ();
+      top_status = parent.top_status;
+      rv = parent.top.rv;
+      reads = rs_create ();
+      validated = 0;
+      writes = Hashtbl.create 8;
+      wids = [||];
+      wlen = 0;
+      acq_old = [||];
+      commit_handlers = [];
+      abort_handlers = [];
+      parent = Some parent;
+      top = parent.top;
+      retries = 0;
+      validated_rv = 0;
+      cm = parent.top.cm;
+      prio = parent.top.prio;
+      in_prepare = false;
+      self_opt = Some t;
+    }
+  in
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Descriptor pool.  Top-level descriptors are recycled through a
+   domain-local free list, so the retry loop allocates nothing: the read
+   set, write-set hashtable and scratch arrays are grow-only and cleared
+   in place per attempt.  A fresh status cell and a fresh leased txn_id
+   are installed per acquisition/attempt, so a handle captured by an
+   earlier transaction (e.g. by a semantic lock table whose cleanup
+   raced) can only CAS an orphaned cell, never abort the new incarnation.
+
+   Reuse is safe against concurrent inspection because every consumer of
+   foreign handles (semantic conflict detection) looks them up and uses
+   them while holding the collection's commit region — the same region the
+   owner's cleanup handlers need before the descriptor can be released. *)
+
+let top_pool_key : txn list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let acquire_top ~cm ~prio =
+  let pool = Domain.DLS.get top_pool_key in
+  match !pool with
+  | t :: rest ->
+      pool := rest;
+      t.cm <- cm;
+      t.prio <- prio;
+      t.retries <- 0;
+      t.top_status <- Atomic.make Active;
+      t
+  | [] -> make_top ~cm ~prio ()
+
+(* The released descriptor's fields stay intact until the next
+   [acquire_top] on this domain: [open_nested] reads the migrated handler
+   lists off the returned descriptor immediately after [run_top] returns
+   it. *)
+let release_top t =
+  let pool = Domain.DLS.get top_pool_key in
+  pool := t :: !pool
+
+let reset_for_attempt t =
+  t.txn_id <- fresh_txn_id ();
+  Atomic.set t.top_status Active;
+  let rv = Atomic.get clock in
+  t.rv <- rv;
+  t.validated_rv <- rv;
+  t.validated <- 0;
+  rs_clear t.reads;
+  Hashtbl.clear t.writes;
+  t.wlen <- 0;
+  t.commit_handlers <- [];
+  t.abort_handlers <- [];
+  t.in_prepare <- false
 
 let check_not_aborted txn =
   if Atomic.get txn.top_status = Aborted then raise Remote_aborted_exn
@@ -316,17 +598,35 @@ let rec stack_has_read txn tv_id =
   ||
   match txn.parent with None -> false | Some p -> stack_has_read p tv_id
 
-(* Record a (first) write of [tv_id], keeping the sorted id list current. *)
+(* Grow [wids] (and the parallel [acq_old] scratch) to hold at least [n]
+   entries; grow-only, reused across attempts and transactions. *)
+let wids_ensure txn n =
+  if Array.length txn.wids < n then begin
+    let cap = max 8 (max n (2 * Array.length txn.wids)) in
+    let w = Array.make cap 0 in
+    Array.blit txn.wids 0 w 0 txn.wlen;
+    txn.wids <- w;
+    txn.acq_old <- Array.make cap 0
+  end
+
+(* Insert [tv_id] into the sorted id array (binary search + shift). *)
+let wids_insert txn tv_id =
+  wids_ensure txn (txn.wlen + 1);
+  let lo = ref 0 and hi = ref txn.wlen in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if txn.wids.(mid) < tv_id then lo := mid + 1 else hi := mid
+  done;
+  Array.blit txn.wids !lo txn.wids (!lo + 1) (txn.wlen - !lo);
+  txn.wids.(!lo) <- tv_id;
+  txn.wlen <- txn.wlen + 1
+
+(* Record a (first) write of [tv_id], keeping the sorted id array current. *)
 let record_write txn tv_id w =
   if Hashtbl.mem txn.writes tv_id then Hashtbl.replace txn.writes tv_id w
   else begin
     Hashtbl.add txn.writes tv_id w;
-    let rec insert = function
-      | [] -> [ tv_id ]
-      | x :: _ as l when tv_id < x -> tv_id :: l
-      | x :: rest -> x :: insert rest
-    in
-    txn.wids_sorted <- insert txn.wids_sorted
+    wids_insert txn tv_id
   end
 
 let locked v = v land 1 = 1
@@ -375,7 +675,8 @@ let level_valid ?(from = 0) txn =
    (validated_rv, new_rv] touched none of the transaction's reads, making
    prefix revalidation O(commits in window) instead of O(read set).  Any
    doubt (slot overwritten by wraparound, commit still in flight) falls
-   back to the exact per-tvar scan, so the ring is purely an accelerator. *)
+   back to the exact per-tvar scan, so the ring is purely an accelerator.
+   Soundness depends on write versions being unique — see [bump_clock]. *)
 
 let ring_size = 1024 (* power of two; commits covered before wraparound *)
 
@@ -439,38 +740,6 @@ let extend_read_version innermost =
       true
   | `Child_only -> raise Child_conflict_exn
   | `Top -> false
-
-(* Global statistics (monotonic counters; reset via Stm.reset_stats). *)
-let stat_commits = Atomic.make 0
-let stat_conflict_aborts = Atomic.make 0
-let stat_remote_aborts = Atomic.make 0
-let stat_explicit_aborts = Atomic.make 0
-let stat_starved = Atomic.make 0
-let stat_deferrals = Atomic.make 0
-let stat_ra_delivered = Atomic.make 0
-let stat_ra_late = Atomic.make 0
-let stat_handler_failures = Atomic.make 0
-
-(* ------------------------------------------------------------------ *)
-(* Per-policy retry histograms: bucket 0 = committed first try, bucket k
-   = retry count with k significant bits (1, 2-3, 4-7, ...).  Recorded at
-   commit and at starvation, per policy of the finishing transaction. *)
-
-let hist_buckets = 16
-
-let policy_index = function Backoff _ -> 0 | Karma -> 1 | Greedy -> 2
-let policy_name = function
-  | Backoff _ -> "backoff"
-  | Karma -> "karma"
-  | Greedy -> "greedy"
-
-let retry_hist =
-  Array.init 3 (fun _ -> Array.init hist_buckets (fun _ -> Atomic.make 0))
-
-let record_retries cm n =
-  let rec bits n = if n <= 0 then 0 else 1 + bits (n lsr 1) in
-  let b = if n = 0 then 0 else min (hist_buckets - 1) (bits n) in
-  Atomic.incr retry_hist.(policy_index cm).(b)
 
 (* Policy-directed wait before the next attempt.  Backoff is the seed's
    exponential spin, now jittered per-domain; Karma grows only linearly

@@ -54,7 +54,11 @@ module type TM_OPS = sig
       serialise on its region. *)
 
   val on_commit_prepared :
-    region -> prepare:(unit -> unit) -> apply:(unit -> unit) -> unit
+    ?read_only:(unit -> bool) ->
+    region ->
+    prepare:(unit -> unit) ->
+    apply:(unit -> unit) ->
+    unit
   (** Two-phase commit handler on region [r], registered on the current
       top-level transaction.  [prepare] runs {e before} the commit point:
       it performs semantic conflict detection only (no mutation) and may
@@ -65,7 +69,15 @@ module type TM_OPS = sig
       under a protective wrapper so that a raising handler can never skip
       another handler's application or leak locks.  On TMs without a
       prepare phase the two halves run back-to-back as a single commit
-      handler. *)
+      handler.
+
+      [read_only], evaluated at commit time by the registering transaction,
+      certifies that the handler buffered no mutation: [prepare] would
+      detect nothing and [apply] only releases semantic read locks and
+      transaction-local state.  A TM may then commit on a read-only fast
+      path — no region pre-acquisition, no prepare phase, no version-clock
+      advance — running [apply] under the handler's own {!critical}
+      sections.  Defaults to "never", which is always safe. *)
 
   val on_abort : (unit -> unit) -> unit
   (** Register an abort handler: a compensating action that releases semantic

@@ -39,10 +39,18 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) = struct
     prior : bool option; (* presence read at operation time; None = blind *)
   }
 
+  (* Local records are pooled per collection (see [cleanup]): [txn] is
+     rebound on reuse and the four handler closures are built once, closing
+     over the record itself, so steady-state transactions allocate neither
+     a fresh store buffer nor fresh handlers. *)
   type 'v local = {
-    txn : TM.txn;
+    mutable txn : TM.txn;
     buffer : (M.key, 'v write) Coll.Chain_hashmap.t;
     mutable key_locks : M.key list;
+    mutable h_read_only : unit -> bool;
+    mutable h_prepare : unit -> unit;
+    mutable h_apply : unit -> unit;
+    mutable h_abort : unit -> unit;
   }
 
   type 'v t = {
@@ -50,6 +58,8 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) = struct
     map : 'v M.t;
     locks : M.key L.t;
     locals : (int, 'v local) Hashtbl.t;
+    mutable pool : 'v local list;
+        (* Recycled local records; pushed/popped only inside [critical]. *)
     isempty_policy : isempty_policy;
     write_policy : write_policy;
     copy_key : M.key -> M.key;
@@ -67,6 +77,7 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) = struct
       map;
       locks = L.create ();
       locals = Hashtbl.create 32;
+      pool = [];
       isempty_policy;
       write_policy;
       copy_key;
@@ -78,9 +89,15 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) = struct
 
   (* ---------------- commit/abort handlers ---------------- *)
 
+  (* Runs inside [critical], exactly once per transaction (the apply and
+     abort handlers are mutually exclusive), so the record can be scrubbed
+     and recycled: the buffer keeps its capacity across reuses. *)
   let cleanup t l =
     L.release_all t.locks l.txn ~keys:l.key_locks;
-    Hashtbl.remove t.locals (TM.txn_id l.txn)
+    Hashtbl.remove t.locals (TM.txn_id l.txn);
+    Coll.Chain_hashmap.clear l.buffer;
+    l.key_locks <- [];
+    t.pool <- l :: t.pool
 
   let presence_changes t l =
     Coll.Chain_hashmap.fold
@@ -125,6 +142,28 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) = struct
 
   let abort_handler t l () = critical t (fun () -> cleanup t l)
 
+  let fresh_local t txn =
+    let l =
+      {
+        txn;
+        buffer = Coll.Chain_hashmap.create ();
+        key_locks = [];
+        h_read_only = (fun () -> false);
+        h_prepare = ignore;
+        h_apply = ignore;
+        h_abort = ignore;
+      }
+    in
+    (* Read-only certificate: an empty store buffer means prepare would
+       detect nothing and apply only releases read locks, so a getter-only
+       transaction (find/mem/size/is_empty) can take the TM's read-only
+       commit fast path. *)
+    l.h_read_only <- (fun () -> Coll.Chain_hashmap.is_empty l.buffer);
+    l.h_prepare <- prepare_handler t l;
+    l.h_apply <- apply_handler t l;
+    l.h_abort <- abort_handler t l;
+    l
+
   (* One local record per top-level transaction; its creation registers the
      single commit handler and single abort handler of §5's guidelines. *)
   let local_of t =
@@ -133,11 +172,18 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) = struct
     match Hashtbl.find_opt t.locals id with
     | Some l -> l
     | None ->
-        let l = { txn; buffer = Coll.Chain_hashmap.create (); key_locks = [] } in
+        let l =
+          match t.pool with
+          | l :: rest ->
+              t.pool <- rest;
+              l.txn <- txn;
+              l
+          | [] -> fresh_local t txn
+        in
         Hashtbl.add t.locals id l;
-        TM.on_commit_prepared t.region ~prepare:(prepare_handler t l)
-          ~apply:(apply_handler t l);
-        TM.on_abort (abort_handler t l);
+        TM.on_commit_prepared ~read_only:l.h_read_only t.region
+          ~prepare:l.h_prepare ~apply:l.h_apply;
+        TM.on_abort l.h_abort;
         l
 
   let lock_key t l k =

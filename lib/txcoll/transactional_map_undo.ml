@@ -100,7 +100,16 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) = struct
           }
         in
         Hashtbl.add t.locals id l;
-        TM.on_commit_prepared t.region ~prepare:(prepare_handler t l)
+        (* The undo variant mutates in place at operation time, so "read
+           only" means no undo log, no size delta and no recorded writes:
+           then prepare detects nothing, apply only releases read locks,
+           and the commit can take the TM's read-only fast path. *)
+        TM.on_commit_prepared
+          ~read_only:(fun () ->
+            l.undo = [] && l.delta = 0
+            && Coll.Chain_hashmap.is_empty l.written)
+          t.region
+          ~prepare:(prepare_handler t l)
           ~apply:(apply_handler t l);
         TM.on_abort (abort_handler t l);
         l

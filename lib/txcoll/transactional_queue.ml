@@ -86,7 +86,16 @@ module Make (TM : Tm_intf.TM_OPS) (Q : Tm_intf.QUEUE_OPS) = struct
           }
         in
         Hashtbl.add t.locals id l;
-        TM.on_commit_prepared t.region ~prepare:(prepare_handler t l)
+        (* An empty add buffer means prepare would check nothing (the
+           isempty conflict only fires for pending enqueues) and apply
+           only drops buffers and releases locks: peek-only transactions
+           take the TM's read-only commit fast path.  Takes are applied to
+           the underlying queue at operation time, so a taking transaction
+           still qualifies — its commit publishes nothing. *)
+        TM.on_commit_prepared
+          ~read_only:(fun () -> Coll.Fifo_deque.is_empty l.add_buffer)
+          t.region
+          ~prepare:(prepare_handler t l)
           ~apply:(apply_handler t l);
         TM.on_abort (abort_handler t l);
         l

@@ -152,7 +152,14 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
           }
         in
         Hashtbl.add t.locals id l;
-        TM.on_commit_prepared t.region ~prepare:(prepare_handler t l)
+        (* Empty write buffer: prepare has no conflicts to detect and
+           apply only releases key/range/endpoint read locks, so
+           getter-only transactions (get/first/last/range scans) commit on
+           the TM's read-only fast path. *)
+        TM.on_commit_prepared
+          ~read_only:(fun () -> Coll.Ordmap.is_empty l.buffer)
+          t.region
+          ~prepare:(prepare_handler t l)
           ~apply:(apply_handler t l);
         TM.on_abort (abort_handler t l);
         l

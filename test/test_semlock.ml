@@ -6,9 +6,14 @@ module L = Txcoll.Semlock.Make (Tcc_stm.Stm.Tm_ops)
 module Stm = Tcc_stm.Stm
 
 (* Fabricate distinct transaction handles.  [Stm.current] outside a
-   transaction returns a per-domain cached auto-commit handle, so mint a
-   real (immediately committed) transaction per call instead. *)
-let handle () = Stm.atomic (fun () -> Stm.current ())
+   transaction returns a per-domain cached auto-commit handle, and
+   top-level descriptors are pooled per domain — a handle minted by a
+   finished transaction on this domain would be recycled (with a fresh
+   txn_id) by the next transaction here.  Minting in a throwaway domain
+   pins the descriptor: its pool dies with the domain, so the handle's
+   identity is stable, as it is for any live lock owner. *)
+let handle () =
+  Domain.join (Domain.spawn (fun () -> Stm.atomic (fun () -> Stm.current ())))
 
 let test_acquire_release_balance () =
   let t : int L.t = L.create () in

@@ -1,0 +1,190 @@
+(* Multicore hot-path tests: exactness of the sharded (per-domain,
+   lazily aggregated) statistics under a multi-domain workload, the
+   read-only commit fast path (clock untouched, serializability and chaos
+   injection preserved), uniqueness of block-leased transaction ids, the
+   one-bump-per-writing-commit clock invariant, and the allocation bound
+   the pooled descriptors buy the retry loop. *)
+
+module Stm = Tcc_stm.Stm
+module Tvar = Tcc_stm.Tvar
+module IM = Txcoll.Host.Map (Txcoll.Host.Int_hashed)
+
+(* Sharded stats must equal the exact event counts of a deterministic
+   8-domain mixed workload: each domain performs a known number of
+   writing commits, read-only commits and explicit aborts on private
+   tvars (no conflicts possible), so the aggregate is exact — any lost or
+   double-counted shard increment shows up as an inequality. *)
+let test_sharded_stats_exact () =
+  Stm.reset_stats ();
+  let domains = 8 and writes = 150 and reads = 100 and aborts = 25 in
+  let ds =
+    List.init domains (fun _ ->
+        Domain.spawn (fun () ->
+            let tv = Tvar.make 0 in
+            for i = 1 to writes do
+              Stm.atomic (fun () -> Tvar.set tv i)
+            done;
+            for _ = 1 to reads do
+              Stm.atomic (fun () -> ignore (Tvar.get tv))
+            done;
+            for _ = 1 to aborts do
+              try Stm.atomic (fun () -> Stm.self_abort ())
+              with Stm.Aborted -> ()
+            done))
+  in
+  List.iter Domain.join ds;
+  let s = Stm.global_stats () in
+  Alcotest.(check int) "commits" (domains * (writes + reads)) s.commits;
+  Alcotest.(check int) "read-only commits" (domains * reads)
+    s.read_only_commits;
+  Alcotest.(check int) "explicit aborts" (domains * aborts) s.explicit_aborts;
+  Alcotest.(check int) "conflict aborts" 0 s.conflict_aborts;
+  Alcotest.(check int) "clock bumps" (domains * writes) s.clock_bumps
+
+(* A read-only atomic must not advance the global clock and must be
+   counted as a read-only commit — for plain tvar reads and for
+   collection getters certifying emptiness of their store buffers. *)
+let test_ro_fast_path_no_clock () =
+  Stm.reset_stats ();
+  let tv = Tvar.make 41 in
+  let m = IM.create () in
+  ignore (IM.put m 1 10);
+  let s0 = Stm.global_stats () in
+  for _ = 1 to 50 do
+    Stm.atomic (fun () -> ignore (Tvar.get tv))
+  done;
+  Stm.atomic (fun () ->
+      ignore (IM.find m 1);
+      ignore (IM.size m);
+      ignore (IM.mem m 2));
+  let s1 = Stm.global_stats () in
+  Alcotest.(check int) "no clock bumps" 0 (s1.clock_bumps - s0.clock_bumps);
+  Alcotest.(check int) "all read-only" 51
+    (s1.read_only_commits - s0.read_only_commits);
+  Alcotest.(check int) "counted as commits too" 51 (s1.commits - s0.commits);
+  (* A writing collection transaction must NOT take the fast path. *)
+  let s2 = Stm.global_stats () in
+  Stm.atomic (fun () -> ignore (IM.put m 2 20));
+  let s3 = Stm.global_stats () in
+  Alcotest.(check int) "writer not read-only" 0
+    (s3.read_only_commits - s2.read_only_commits)
+
+(* Serializability on the fast path: a read-only transaction whose read
+   set was invalidated by a concurrent committed write must abort and
+   retry, observing the new value. *)
+let test_ro_fast_path_aborts_on_conflict () =
+  let tv1 = Tvar.make 0 and tv2 = Tvar.make 7 in
+  let attempts = ref 0 in
+  let v =
+    Stm.atomic (fun () ->
+        incr attempts;
+        let a = Tvar.get tv1 in
+        if !attempts = 1 then
+          (* Invalidate the recorded read of tv1 from another domain
+             while this (read-only) transaction is still running. *)
+          Domain.join (Domain.spawn (fun () -> Tvar.set tv1 100));
+        let b = Tvar.get tv2 in
+        a + b)
+  in
+  Alcotest.(check bool) "retried at least once" true (!attempts >= 2);
+  Alcotest.(check int) "read the committed write" 107 v
+
+(* Chaos injection must keep firing inside read-only commits: the
+   Chaos_in_commit hook point is on the fast path too. *)
+let test_ro_fast_path_chaos_fires () =
+  let in_commit = ref 0 in
+  Stm.Chaos.set_hook
+    (Some
+       (function Stm.Chaos.Chaos_in_commit -> incr in_commit | _ -> ()));
+  Fun.protect
+    ~finally:(fun () -> Stm.Chaos.set_hook None)
+    (fun () ->
+      let tv = Tvar.make 1 in
+      Stm.atomic (fun () -> ignore (Tvar.get tv));
+      Alcotest.(check int) "hook fired in read-only commit" 1 !in_commit;
+      let m = IM.create () in
+      ignore (IM.put m 1 1);
+      in_commit := 0;
+      Stm.atomic (fun () -> ignore (IM.find m 1));
+      Alcotest.(check int) "hook fired in semantic read-only commit" 1
+        !in_commit)
+
+(* Block-leased transaction ids must stay process-unique across domains,
+   including across lease-block boundaries (> 1024 ids per domain). *)
+let test_leased_txn_ids_unique () =
+  let domains = 4 and per_domain = 1500 in
+  let ds =
+    List.init domains (fun _ ->
+        Domain.spawn (fun () ->
+            List.init per_domain (fun _ ->
+                Stm.atomic (fun () -> Stm.txn_id (Stm.current ())))))
+  in
+  let all = List.concat_map Domain.join ds in
+  let seen = Hashtbl.create (domains * per_domain) in
+  List.iter
+    (fun id ->
+      Alcotest.(check bool)
+        (Printf.sprintf "txn id %d unique" id)
+        false (Hashtbl.mem seen id);
+      Hashtbl.add seen id ())
+    all
+
+(* Every writing commit advances the clock exactly once — also under
+   multi-domain contention, where a lost CAS is settled by adopting the
+   winner's value with a single fetch-and-add rather than re-bumping. *)
+let test_one_bump_per_writing_commit () =
+  Stm.reset_stats ();
+  let domains = 4 and per_domain = 300 in
+  let ds =
+    List.init domains (fun _ ->
+        Domain.spawn (fun () ->
+            let tv = Tvar.make 0 in
+            for i = 1 to per_domain do
+              Stm.atomic (fun () -> Tvar.set tv i)
+            done))
+  in
+  List.iter Domain.join ds;
+  let s = Stm.global_stats () in
+  Alcotest.(check int) "one bump per writing commit" (domains * per_domain)
+    s.clock_bumps;
+  Alcotest.(check bool) "adoptions never exceed bumps" true
+    (s.clock_cas_retries <= s.clock_bumps)
+
+(* The pooled descriptors make the retry loop allocation-free: after
+   warm-up, an empty transaction must allocate far less than a fresh
+   descriptor + read/write set would (~150 minor words before pooling).
+   The bound is generous to stay robust across compiler versions. *)
+let test_retry_loop_allocation_free () =
+  for _ = 1 to 100 do
+    Stm.atomic ignore
+  done;
+  let iters = 2000 in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to iters do
+    Stm.atomic ignore
+  done;
+  let per = (Gc.minor_words () -. w0) /. float_of_int iters in
+  Alcotest.(check bool)
+    (Printf.sprintf "empty atomic allocates %.1f words (< 80)" per)
+    true (per < 80.)
+
+let suites =
+  [
+    ( "stm_scaling",
+      [
+        Alcotest.test_case "sharded stats exact under 8 domains" `Quick
+          test_sharded_stats_exact;
+        Alcotest.test_case "read-only commit leaves clock untouched" `Quick
+          test_ro_fast_path_no_clock;
+        Alcotest.test_case "read-only commit aborts on conflict" `Quick
+          test_ro_fast_path_aborts_on_conflict;
+        Alcotest.test_case "chaos fires on read-only fast path" `Quick
+          test_ro_fast_path_chaos_fires;
+        Alcotest.test_case "leased txn ids unique across domains" `Quick
+          test_leased_txn_ids_unique;
+        Alcotest.test_case "one clock bump per writing commit" `Quick
+          test_one_bump_per_writing_commit;
+        Alcotest.test_case "pooled retry loop is allocation-free" `Quick
+          test_retry_loop_allocation_free;
+      ] );
+  ]
