@@ -446,6 +446,162 @@ let run_soak sc =
     fingerprint;
   }
 
+(* ---------------- striped same-collection soak ---------------- *)
+
+(* The same-collection scaling shape under injection: every worker hammers
+   its own disjoint key partition of ONE shared striped map, with
+   occasional cross-partition reads (inter-stripe key-lock traffic) and
+   abstract-state reads (structure-stripe traffic).  Disjoint partitions
+   make the union of per-worker models the linearizable outcome, exactly
+   as in {!run_soak}; the point here is that commits into *different
+   stripes of the same collection* — taking different commit-region
+   subsets — still compose soundly with commits into the same stripe and
+   with size/isEmpty readers serialised on the structure stripe. *)
+let run_striped_soak ?(stripes = 16) sc =
+  install sc.chaos;
+  let map = Map.create ~stripes () in
+  let counter = Tvar.make 0 in
+  let worker index =
+    register_worker sc.chaos ~index;
+    let rng = stream_of_seed (sc.chaos.seed lxor 0x57f1) (index + 1) in
+    let md =
+      {
+        m_map = Hashtbl.create 64;
+        m_sorted = Hashtbl.create 1;
+        m_enq = [];
+        m_deq = [];
+        m_committed = 0;
+        m_errors = [];
+      }
+    in
+    let run_txn body apply_model =
+      match Stm.atomic ~policy:sc.policy body with
+      | () ->
+          md.m_committed <- md.m_committed + 1;
+          apply_model ()
+      | exception Stm.Handler_failure { committed; failures } ->
+          List.iter
+            (fun e ->
+              match e with
+              | Chaos_fault _ -> ()
+              | e ->
+                  md.m_errors <-
+                    ("unexpected handler failure: " ^ Printexc.to_string e)
+                    :: md.m_errors)
+            failures;
+          if committed then begin
+            md.m_committed <- md.m_committed + 1;
+            apply_model ()
+          end
+      | exception e ->
+          md.m_errors <-
+            ("transaction raised: " ^ Printexc.to_string e) :: md.m_errors
+    in
+    let base = index * sc.key_space in
+    let bump () = Tvar.modify counter succ in
+    for i = 1 to sc.ops_per_domain do
+      let k = base + rand_int rng sc.key_space in
+      let dice = rand_int rng 100 in
+      if dice < 45 then
+        run_txn
+          (fun () ->
+            ignore (Map.put map k i);
+            bump ())
+          (fun () -> Hashtbl.replace md.m_map k i)
+      else if dice < 60 then
+        run_txn
+          (fun () ->
+            ignore (Map.remove map k);
+            bump ())
+          (fun () -> Hashtbl.remove md.m_map k)
+      else if dice < 75 then begin
+        (* Multi-key transaction: keys in different stripes, so the commit
+           plan is a multi-region subset in rid order. *)
+        let k2 = base + rand_int rng sc.key_space in
+        run_txn
+          (fun () ->
+            ignore (Map.put map k (-i));
+            ignore (Map.put map k2 i);
+            bump ())
+          (fun () ->
+            Hashtbl.replace md.m_map k (-i);
+            Hashtbl.replace md.m_map k2 i)
+      end
+      else if dice < 90 then
+        (* Cross-partition read: key-lock traffic into foreign stripes. *)
+        run_txn
+          (fun () ->
+            ignore (Map.find map (rand_int rng (sc.domains * sc.key_space)));
+            bump ())
+          (fun () -> ())
+      else
+        (* Abstract-state read: serialises on the structure stripe. *)
+        run_txn
+          (fun () ->
+            if rand_int rng 2 = 0 then ignore (Map.size map)
+            else ignore (Map.is_empty map);
+            bump ())
+          (fun () -> ())
+    done;
+    md
+  in
+  let doms =
+    List.init sc.domains (fun index -> Domain.spawn (fun () -> worker index))
+  in
+  let models = List.map Domain.join doms in
+  uninstall ();
+  let errors = ref [] in
+  List.iter
+    (fun md -> List.iter (fun e -> errors := e :: !errors) md.m_errors)
+    models;
+  let expect = Hashtbl.create 256 in
+  List.iter
+    (fun md -> Hashtbl.iter (fun k v -> Hashtbl.replace expect k v) md.m_map)
+    models;
+  let actual = Map.to_list map in
+  check "striped map size vs model"
+    (List.length actual = Hashtbl.length expect)
+    errors;
+  List.iter
+    (fun (k, v) ->
+      check
+        (Printf.sprintf "striped map binding %d agrees with model" k)
+        (Hashtbl.find_opt expect k = Some v)
+        errors)
+    actual;
+  let committed = List.fold_left (fun a md -> a + md.m_committed) 0 models in
+  check "counter equals committed transactions"
+    (Tvar.get counter = committed)
+    errors;
+  check "no leaked striped-map locks" (Map.outstanding_locks map = 0) errors;
+  check "no held commit regions" (Stm.regions_held () = 0) errors;
+  let injections =
+    ( Atomic.get injected_conflicts,
+      Atomic.get injected_remote_aborts,
+      Atomic.get injected_handler_faults,
+      Atomic.get injected_delays )
+  in
+  let fingerprint =
+    let buf = Buffer.create 1024 in
+    List.iter
+      (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "m%d=%d;" k v))
+      (List.sort compare actual);
+    let c, r, h, d = injections in
+    Buffer.add_string buf
+      (Printf.sprintf "counter=%d;inj=%d,%d,%d,%d" (Tvar.get counter) c r h d);
+    Digest.to_hex (Digest.string (Buffer.contents buf))
+  in
+  {
+    ok = !errors = [];
+    errors = List.rev !errors;
+    committed;
+    injections;
+    map_size = List.length actual;
+    sorted_size = 0;
+    queue_remaining = 0;
+    fingerprint;
+  }
+
 let pp_report ppf r =
   let c, ra, hf, d = r.injections in
   Format.fprintf ppf

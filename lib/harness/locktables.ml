@@ -9,8 +9,12 @@ module IM = Txcoll.Host.Map (Txcoll.Host.Int_hashed)
 module SM = Txcoll.Host.Sorted_map (Txcoll.Host.Int_ordered)
 module Q = Txcoll.Host.Queue
 
-let probe_map op =
-  let m = IM.create () in
+(* [stripes] exercises the striped lock manager: the traced lock rows must
+   be identical for every K (striping changes contention, never which
+   semantic locks an operation takes) — the K ∈ {1, 4, 16} soundness
+   re-check drives these probes. *)
+let probe_map ?stripes op =
+  let m = IM.create ?stripes () in
   List.iter (fun k -> ignore (IM.put m k k)) [ 10; 20; 30 ];
   let held = ref [] in
   (try
@@ -24,8 +28,8 @@ let probe_map op =
    with Stm.Aborted -> ());
   List.rev !held
 
-let probe_sorted op =
-  let m = SM.create () in
+let probe_sorted ?stripes op =
+  let m = SM.create ?stripes () in
   List.iter (fun k -> ignore (SM.put m k k)) [ 10; 20; 30 ];
   let held = ref [] in
   (try

@@ -224,8 +224,20 @@ module Tm_ops : Tm_intf.TM_OPS with type txn = txn = struct
   let next_region = Atomic.make 1
   let new_region () = Atomic.fetch_and_add next_region 1
 
+  (* The machine executes a critical section's closure as one atomic step,
+     outside the fiber's effect handler — so a nested [critical] (striped
+     collections enter the structure region, then a key stripe) must not
+     perform a second effect.  The whole nested group is already atomic;
+     run inner sections inline.  The sim is single-threaded, so a plain
+     depth counter suffices. *)
+  let critical_depth = ref 0
+
   let critical r f =
-    if machine_running () then Ops.critical r ~cost:0 f else f ()
+    if (not (machine_running ())) || !critical_depth > 0 then f ()
+    else
+      Ops.critical r ~cost:0 (fun () ->
+          incr critical_depth;
+          Fun.protect ~finally:(fun () -> decr critical_depth) f)
 
   (* Commit handlers on the simulated machine already run inside the
      CPU's hardware commit (which holds the commit token), so the region
@@ -235,8 +247,11 @@ module Tm_ops : Tm_intf.TM_OPS with type txn = txn = struct
   (* No separate prepare phase on the simulated machine: the hardware
      commit is already atomic under the commit token, so the two halves
      run back-to-back inside it.  The read-only certificate is likewise
-     unused — there is no fast path to take under the commit token. *)
-  let on_commit_prepared ?read_only:_ region ~prepare ~apply =
+     unused — there is no fast path to take under the commit token — and
+     the stripe region plan is ignored: the commit token already
+     serialises hardware commits, so this is the K=1 degenerate instance
+     of the striped interface. *)
+  let on_commit_prepared ?read_only:_ ?regions:_ region ~prepare ~apply =
     on_commit region (fun () ->
         prepare ();
         apply ())

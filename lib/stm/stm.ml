@@ -56,6 +56,7 @@ let on_commit_in region h =
       t.commit_handlers <-
         {
           ch_region = region;
+          ch_regions = None;
           ch_prepare = None;
           ch_read_only = never_read_only;
           ch_apply = h;
@@ -80,6 +81,7 @@ let on_top_commit_in region h =
       top.commit_handlers <-
         {
           ch_region = region;
+          ch_regions = None;
           ch_prepare = None;
           ch_read_only = never_read_only;
           ch_apply = h;
@@ -94,9 +96,13 @@ let on_top_commit h = on_top_commit_in None h
    protected, never skipped).  [read_only] is the collection's fast-path
    probe — [true] when the transaction buffered no mutation against this
    collection, so the commit needs neither the prepare phase nor the
-   commit region pre-acquisition (see [commit_top]). *)
-let on_top_commit_prepared ?(read_only = never_read_only) region ~prepare
-    ~apply =
+   commit region pre-acquisition (see [commit_top]).  [regions], when
+   given, is the handler's commit-time region plan: evaluated once during
+   commit, its result replaces [region] in the pre-acquired set, letting a
+   striped collection name exactly the stripe regions this transaction's
+   buffered operations cover. *)
+let on_top_commit_prepared ?(read_only = never_read_only) ?regions region
+    ~prepare ~apply =
   match !(context ()) with
   | None ->
       prepare ();
@@ -106,6 +112,7 @@ let on_top_commit_prepared ?(read_only = never_read_only) region ~prepare
       top.commit_handlers <-
         {
           ch_region = Some region;
+          ch_regions = regions;
           ch_prepare = Some prepare;
           ch_read_only = read_only;
           ch_apply = apply;
@@ -233,12 +240,19 @@ let validate_reads top =
   !ok
 
 (* The rid-sorted, deduplicated set of commit regions the transaction's
-   handlers touch.  Handlers registered without a region serialise on the
-   process-wide fallback. *)
+   handlers touch.  A handler with a region plan ([ch_regions]) contributes
+   exactly the stripe regions its thunk names — evaluated here, once, at
+   commit time; other handlers contribute their single region, and handlers
+   registered without one serialise on the process-wide fallback.  Sorting
+   by rid makes multi-region acquisition deadlock-free regardless of how
+   plans from different collections interleave. *)
 let commit_regions handlers =
   let add acc r = if List.exists (fun r' -> r'.rid = r.rid) acc then acc else r :: acc in
   List.fold_left
-    (fun acc h -> add acc (Option.value h.ch_region ~default:global_commit_region))
+    (fun acc h ->
+      match h.ch_regions with
+      | Some plan -> List.fold_left add acc (plan ())
+      | None -> add acc (Option.value h.ch_region ~default:global_commit_region))
     [] handlers
   |> List.sort (fun a b -> compare a.rid b.rid)
 
@@ -692,8 +706,8 @@ module Tm_ops : Tm_intf.TM_OPS with type txn = handle = struct
   let new_region () = make_region ()
   let critical r f = region_critical r f
   let on_commit r h = on_top_commit_in (Some r) h
-  let on_commit_prepared ?read_only r ~prepare ~apply =
-    on_top_commit_prepared ?read_only r ~prepare ~apply
+  let on_commit_prepared ?read_only ?regions r ~prepare ~apply =
+    on_top_commit_prepared ?read_only ?regions r ~prepare ~apply
   let on_abort = on_top_abort
   let remote_abort = remote_abort
   let self_abort () = self_abort ()

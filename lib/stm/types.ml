@@ -403,6 +403,12 @@ let global_commit_region = make_region ()
 type commit_handler = {
   ch_region : region option;
       (* the region the handler operates on; [None] = process-wide fallback *)
+  ch_regions : (unit -> region list) option;
+      (* commit-time region plan for striped collections: evaluated once at
+         commit, the returned stripe regions replace [ch_region] in the
+         pre-acquired set.  The commit acquires the rid-sorted deduplicated
+         union across all handlers, so plans that share stripes compose
+         deadlock-free.  [None] = the single [ch_region] (or fallback). *)
   ch_prepare : (unit -> unit) option;
   ch_read_only : unit -> bool;
   ch_apply : unit -> unit;

@@ -55,6 +55,7 @@ module type TM_OPS = sig
 
   val on_commit_prepared :
     ?read_only:(unit -> bool) ->
+    ?regions:(unit -> region list) ->
     region ->
     prepare:(unit -> unit) ->
     apply:(unit -> unit) ->
@@ -77,7 +78,18 @@ module type TM_OPS = sig
       transaction-local state.  A TM may then commit on a read-only fast
       path — no region pre-acquisition, no prepare phase, no version-clock
       advance — running [apply] under the handler's own {!critical}
-      sections.  Defaults to "never", which is always safe. *)
+      sections.  Defaults to "never", which is always safe.
+
+      [regions], evaluated once at commit time, is the handler's region
+      plan for striped collections: the stripe regions its buffered
+      operations and held locks cover.  The commit pre-acquires the
+      rid-sorted deduplicated union of all handlers' plans, so commits
+      whose plans name disjoint stripes of the {e same} collection proceed
+      in parallel.  The plan must cover every region [prepare] and [apply]
+      will enter beyond their own nested {!critical} sections in ascending
+      rid order.  Defaults to [fun () -> [r]].  A TM without multi-region
+      commit (the simulated TCC machine) may ignore it and serialise on
+      [r]. *)
 
   val on_abort : (unit -> unit) -> unit
   (** Register an abort handler: a compensating action that releases semantic

@@ -1,16 +1,34 @@
-(* Semantic lock tables for one collection instance.
+(* Semantic lock tables for one collection instance, sharded into K
+   cache-padded key stripes.
 
    Lock owners are top-level transactions (paper §3.1: "The owner of a lock
-   is the top-level transaction at the time of the read operation").  All
-   functions must be called inside the collection's [TM.critical] region,
-   which provides the open-nested atomicity; the tables themselves therefore
-   need no internal synchronisation.
+   is the top-level transaction at the time of the read operation").
+
+   Striping (scalability of the semantic layer itself): per-key state —
+   reader/writer entries keyed by the collection key — lives in stripe
+   [hash key mod K], each stripe behind its own [TM.critical] region, so
+   operations and commits touching disjoint keys of the same collection
+   never contend.  Whole-structure state — size/isEmpty/first/last and
+   range locks, which any key mutation may conflict with — lives in a
+   dedicated structure stripe behind [struct_region].  Deadlock freedom:
+   the structure region is created first, so its rid is the lowest of the
+   collection's regions and stripe rids ascend with stripe index;
+   operations nest structure-then-stripe criticals and commits pre-acquire
+   their rid-sorted region plan, so every acquisition order is ascending.
+
+   Synchronisation discipline: per-key functions ([lock_key],
+   [conflict_key], [release_key], ...) require the caller to hold
+   [region_of_key t k]; structure functions ([lock_size], [conflict_range],
+   [release_structure], ...) require [struct_region t].  [release_all] and
+   the whole-table introspection helpers synchronise internally (regions
+   are reentrant, so calling them with regions held is fine).
 
    Membership structures are keyed by [TM.txn_id] — which coincides with
    [TM.same_txn] equality on both TM implementations — so acquiring,
    releasing and re-checking a lock are O(1) instead of list scans, and
-   [any_other_writer] is O(1) via a maintained per-transaction write-lock
-   count instead of a full-table fold.
+   [any_other_writer] is O(1) per stripe via a maintained per-transaction
+   write-lock count.  The commit-time conflict checks iterate the tables
+   directly and allocate nothing.
 
    Conflict detection is optimistic (paper §5.1): writers examine these
    tables at commit time and abort conflicting readers through
@@ -32,24 +50,65 @@ module Make (TM : Tm_intf.TM_OPS) = struct
            variants (§5.1); the optimistic wrapper never sets it. *)
   }
 
-  type 'k t = {
+  type 'k stripe = {
+    st_region : TM.region;
     key_lockers : ('k, key_entry) Coll.Chain_hashmap.t;
-    writers : (int, int) Hashtbl.t;
-        (* txn_id -> number of key write-locks held: [any_other_writer]
-           in O(1) *)
+    st_writers : (int, int) Hashtbl.t;
+        (* txn_id -> number of key write-locks held in this stripe *)
+    (* Pad the hot fields apart: stripes sit in one array and are locked
+       from different domains, so without padding two stripes share a
+       cache line and "disjoint" critical sections still ping-pong. *)
+    mutable st_pad0 : int;
+    mutable st_pad1 : int;
+    mutable st_pad2 : int;
+    mutable st_pad3 : int;
+    mutable st_pad4 : int;
+  }
+
+  type 'k t = {
+    stripes : 'k stripe array;
+    hash : 'k -> int;
+    sregion : TM.region;
+        (* structure stripe: size/isEmpty/first/last/range locks *)
     size_lockers : lockers;
     isempty_lockers : lockers;
     first_lockers : lockers;
     last_lockers : lockers;
     range_lockers : (int, 'k range list * TM.txn) Hashtbl.t;
-        (* txn_id -> ranges read (newest first, duplicates kept) *)
+        (* txn_id -> pairwise non-touching ranges, coalesced on insertion *)
     mutable range_count : int; (* total (range, owner) pairs *)
   }
 
-  let create () =
+  let max_stripes = 62
+  (* Collection wrappers plan commit regions with an int bitmask. *)
+
+  let make_stripe region =
     {
+      st_region = region;
       key_lockers = Coll.Chain_hashmap.create ();
-      writers = Hashtbl.create 8;
+      st_writers = Hashtbl.create 8;
+      st_pad0 = 0;
+      st_pad1 = 0;
+      st_pad2 = 0;
+      st_pad3 = 0;
+      st_pad4 = 0;
+    }
+
+  let create ?(stripes = 1) ?(hash = Hashtbl.hash) () =
+    let k = max 1 (min stripes max_stripes) in
+    (* The structure region is created first so its rid is the lowest of
+       the collection; when K = 1 the single key stripe shares it, making
+       the unsharded instance behave exactly like the historical
+       one-region table. *)
+    let sregion = TM.new_region () in
+    let stripes =
+      if k = 1 then [| make_stripe sregion |]
+      else Array.init k (fun _ -> make_stripe (TM.new_region ()))
+    in
+    {
+      stripes;
+      hash;
+      sregion;
       size_lockers = Hashtbl.create 8;
       isempty_lockers = Hashtbl.create 8;
       first_lockers = Hashtbl.create 8;
@@ -58,103 +117,185 @@ module Make (TM : Tm_intf.TM_OPS) = struct
       range_count = 0;
     }
 
+  (* -------------------- stripe geometry -------------------------------- *)
+
+  let stripe_count t = Array.length t.stripes
+  let struct_region t = t.sregion
+  let stripe_index t k = t.hash k land max_int mod Array.length t.stripes
+  let stripe_region t i = t.stripes.(i).st_region
+  let region_of_key t k = (t.stripes.(stripe_index t k)).st_region
+
+  (* Nested criticals over the structure region then every stripe region in
+     ascending index (= ascending rid) order: whole-table operations
+     (enumeration, introspection) exclude all concurrent stripe activity. *)
+  let critical_all t f =
+    let n = Array.length t.stripes in
+    let rec go i =
+      if i = n then f () else TM.critical t.stripes.(i).st_region (fun () -> go (i + 1))
+    in
+    TM.critical t.sregion (fun () -> go 0)
+
   let add_locker tbl txn = Hashtbl.replace tbl (TM.txn_id txn) txn
   let drop_locker tbl txn = Hashtbl.remove tbl (TM.txn_id txn)
   let locker_mem tbl txn = Hashtbl.mem tbl (TM.txn_id txn)
-  let lockers_list tbl = Hashtbl.fold (fun _ txn acc -> txn :: acc) tbl []
 
-  let writer_incr t txn =
+  let writer_incr st txn =
     let id = TM.txn_id txn in
-    Hashtbl.replace t.writers id
-      (1 + Option.value (Hashtbl.find_opt t.writers id) ~default:0)
+    Hashtbl.replace st.st_writers id
+      (1 + Option.value (Hashtbl.find_opt st.st_writers id) ~default:0)
 
-  let writer_decr t txn =
+  let writer_decr st txn =
     let id = TM.txn_id txn in
-    match Hashtbl.find_opt t.writers id with
+    match Hashtbl.find_opt st.st_writers id with
     | None -> ()
-    | Some 1 -> Hashtbl.remove t.writers id
-    | Some n -> Hashtbl.replace t.writers id (n - 1)
+    | Some 1 -> Hashtbl.remove st.st_writers id
+    | Some n -> Hashtbl.replace st.st_writers id (n - 1)
 
   (* -------------------- acquisition (read operations) ------------------ *)
+  (* Per-key: caller holds [region_of_key t k].  Structure: caller holds
+     [struct_region t]. *)
 
-  let entry_for t k =
-    match Coll.Chain_hashmap.find t.key_lockers k with
+  let entry_for st k =
+    match Coll.Chain_hashmap.find st.key_lockers k with
     | Some e -> e
     | None ->
         let e = { readers = Hashtbl.create 4; writer = None } in
-        Coll.Chain_hashmap.add t.key_lockers k e;
+        Coll.Chain_hashmap.add st.key_lockers k e;
         e
 
   let lock_key t txn k =
-    let e = entry_for t k in
+    let e = entry_for t.stripes.(stripe_index t k) k in
     add_locker e.readers txn
 
   let lock_key_write t txn k =
-    let e = entry_for t k in
+    let st = t.stripes.(stripe_index t k) in
+    let e = entry_for st k in
     (match e.writer with
     | Some w when TM.same_txn w txn -> ()
     | Some w ->
-        writer_decr t w;
-        writer_incr t txn
-    | None -> writer_incr t txn);
+        writer_decr st w;
+        writer_incr st txn
+    | None -> writer_incr st txn);
     e.writer <- Some txn
 
-  let key_readers t k =
-    match Coll.Chain_hashmap.find t.key_lockers k with
-    | None -> []
-    | Some e -> lockers_list e.readers
+  (* Allocation-free reader probe for the pessimistic write policies: does
+     any transaction other than [self] hold a read lock on [k]? *)
+  let key_has_other_reader t ~self k =
+    match Coll.Chain_hashmap.find t.stripes.(stripe_index t k).key_lockers k with
+    | None -> false
+    | Some e -> (
+        try
+          Hashtbl.iter
+            (fun _ owner -> if not (TM.same_txn self owner) then raise Exit)
+            e.readers;
+          false
+        with Exit -> true)
 
   let key_writer t k =
-    match Coll.Chain_hashmap.find t.key_lockers k with
+    match Coll.Chain_hashmap.find t.stripes.(stripe_index t k).key_lockers k with
     | None -> None
     | Some e -> e.writer
 
   let any_other_writer t ~self =
-    let n = Hashtbl.length t.writers in
-    n > 1 || (n = 1 && not (Hashtbl.mem t.writers (TM.txn_id self)))
+    let id = TM.txn_id self in
+    let other st =
+      let n = Hashtbl.length st.st_writers in
+      n > 1 || (n = 1 && not (Hashtbl.mem st.st_writers id))
+    in
+    let rec go i = i < Array.length t.stripes && (other t.stripes.(i) || go (i + 1)) in
+    go 0
 
   let lock_size t txn = add_locker t.size_lockers txn
   let lock_isempty t txn = add_locker t.isempty_lockers txn
   let lock_first t txn = add_locker t.first_lockers txn
   let lock_last t txn = add_locker t.last_lockers txn
 
-  let lock_range t txn range =
+  (* Range insertion coalesces: the per-transaction range list is kept
+     pairwise non-touching, so a cursor sweeping an interval in small
+     increments holds one growing range instead of an unbounded pile of
+     overlapping fragments.  One filter pass is complete: existing ranges
+     are mutually separated by gaps, so the merged range can only absorb
+     ranges the *new* range already touches. *)
+  let touches compare a b =
+    (* half-open ranges union into one interval iff max lo <= min hi *)
+    let lo_le_hi lo hi =
+      match (lo, hi) with
+      | None, _ | _, None -> true
+      | Some l, Some h -> compare l h <= 0
+    in
+    lo_le_hi a.lo b.hi && lo_le_hi b.lo a.hi
+
+  let merge_ranges compare a b =
+    let lo =
+      match (a.lo, b.lo) with
+      | None, _ | _, None -> None
+      | Some x, Some y -> Some (if compare x y <= 0 then x else y)
+    in
+    let hi =
+      match (a.hi, b.hi) with
+      | None, _ | _, None -> None
+      | Some x, Some y -> Some (if compare x y >= 0 then x else y)
+    in
+    { lo; hi }
+
+  let lock_range t txn ~compare range =
     let id = TM.txn_id txn in
-    let ranges =
+    let existing =
       match Hashtbl.find_opt t.range_lockers id with
       | None -> []
       | Some (rs, _) -> rs
     in
-    Hashtbl.replace t.range_lockers id (range :: ranges, txn);
-    t.range_count <- t.range_count + 1
+    let merged = ref range in
+    let kept =
+      List.filter
+        (fun r ->
+          if touches compare r !merged then begin
+            merged := merge_ranges compare r !merged;
+            false
+          end
+          else true)
+        existing
+    in
+    let rs = !merged :: kept in
+    t.range_count <- t.range_count + List.length rs - List.length existing;
+    Hashtbl.replace t.range_lockers id (rs, txn)
 
   (* -------------------- release (commit/abort handlers) ---------------- *)
 
   let release_key t txn k =
-    match Coll.Chain_hashmap.find t.key_lockers k with
+    let st = t.stripes.(stripe_index t k) in
+    match Coll.Chain_hashmap.find st.key_lockers k with
     | None -> ()
     | Some e ->
         drop_locker e.readers txn;
         (match e.writer with
         | Some w when TM.same_txn w txn ->
-            writer_decr t w;
+            writer_decr st w;
             e.writer <- None
         | _ -> ());
         if Hashtbl.length e.readers = 0 && e.writer = None then
-          Coll.Chain_hashmap.remove t.key_lockers k
+          Coll.Chain_hashmap.remove st.key_lockers k
 
-  let release_all t txn ~keys =
-    List.iter (release_key t txn) keys;
+  (* Caller holds [struct_region]. *)
+  let release_structure t txn =
     drop_locker t.size_lockers txn;
     drop_locker t.isempty_lockers txn;
     drop_locker t.first_lockers txn;
     drop_locker t.last_lockers txn;
     let id = TM.txn_id txn in
-    (match Hashtbl.find_opt t.range_lockers id with
+    match Hashtbl.find_opt t.range_lockers id with
     | None -> ()
     | Some (rs, _) ->
         t.range_count <- t.range_count - List.length rs;
-        Hashtbl.remove t.range_lockers id)
+        Hashtbl.remove t.range_lockers id
+
+  (* Internally synchronised: sequential (non-nested) criticals per touched
+     stripe, then the structure region — each reentrant if already held. *)
+  let release_all t txn ~keys =
+    List.iter
+      (fun k -> TM.critical (region_of_key t k) (fun () -> release_key t txn k))
+      keys;
+    TM.critical t.sregion (fun () -> release_structure t txn)
 
   (* -------------------- conflict detection (write commit) -------------- *)
 
@@ -164,7 +305,7 @@ module Make (TM : Tm_intf.TM_OPS) = struct
   let abort_others ~self tbl = Hashtbl.iter (fun _ owner -> abort_other ~self owner) tbl
 
   let conflict_key t ~self k =
-    match Coll.Chain_hashmap.find t.key_lockers k with
+    match Coll.Chain_hashmap.find t.stripes.(stripe_index t k).key_lockers k with
     | None -> ()
     | Some e ->
         abort_others ~self e.readers;
@@ -191,7 +332,7 @@ module Make (TM : Tm_intf.TM_OPS) = struct
   (* -------------------- introspection (tests, Table 2/5 traces) -------- *)
 
   let key_locked_by t txn k =
-    match Coll.Chain_hashmap.find t.key_lockers k with
+    match Coll.Chain_hashmap.find t.stripes.(stripe_index t k).key_lockers k with
     | None -> false
     | Some e -> (
         locker_mem e.readers txn
@@ -204,7 +345,11 @@ module Make (TM : Tm_intf.TM_OPS) = struct
   let range_locked_by t txn = Hashtbl.mem t.range_lockers (TM.txn_id txn)
 
   (* Entry counts for state dumps (the tables themselves are abstract). *)
-  let key_entry_count t = Coll.Chain_hashmap.size t.key_lockers
+  let key_entry_count t =
+    Array.fold_left
+      (fun acc st -> acc + Coll.Chain_hashmap.size st.key_lockers)
+      0 t.stripes
+
   let size_locker_count t = Hashtbl.length t.size_lockers
   let isempty_locker_count t = Hashtbl.length t.isempty_lockers
   let first_locker_count t = Hashtbl.length t.first_lockers
@@ -212,11 +357,14 @@ module Make (TM : Tm_intf.TM_OPS) = struct
   let range_locker_count t = t.range_count
 
   let total_lockers t =
-    Coll.Chain_hashmap.fold
-      (fun _ e acc ->
-        acc + Hashtbl.length e.readers
-        + match e.writer with Some _ -> 1 | None -> 0)
-      t.key_lockers 0
+    Array.fold_left
+      (fun acc st ->
+        Coll.Chain_hashmap.fold
+          (fun _ e acc ->
+            acc + Hashtbl.length e.readers
+            + match e.writer with Some _ -> 1 | None -> 0)
+          st.key_lockers acc)
+      0 t.stripes
     + Hashtbl.length t.size_lockers
     + Hashtbl.length t.isempty_lockers
     + Hashtbl.length t.first_lockers

@@ -3,16 +3,39 @@
    semantic conflict detection on the Map abstract data type.
 
    Structure mirrors Table 3:
-   - committed state: the wrapped map, read/written only inside [critical]
-     regions (the open-nesting discipline of §5);
-   - shared transactional state: the semantic lock tables ([Semlock]);
+   - committed state: the wrapped map, sharded into one sub-map per lock
+     stripe and read/written only inside [critical] regions (the
+     open-nesting discipline of §5);
+   - shared transactional state: the striped semantic lock tables
+     ([Semlock]);
    - local transactional state: a store buffer of deferred writes plus the
      list of key locks held, one record per active top-level transaction.
 
    Locking follows Table 2: read operations take key/size/isEmpty locks when
    executed; writes are buffered and detect conflicts at commit time by
    aborting other transactions that hold locks on the abstract state being
-   written (optimistic semantic concurrency control, §5.1). *)
+   written (optimistic semantic concurrency control, §5.1).
+
+   Striping.  Key [k] lives — lock entry and committed binding both — in
+   stripe [hash k mod K], behind that stripe's critical region; the
+   size/isEmpty locks and the committed size counter live behind the
+   dedicated structure region.  A commit names the regions it needs through
+   its region plan ([regions_plan]): the stripes of every buffered or
+   locked key, plus the structure region when the transaction holds
+   structure locks or its writes may change the map's size.  Two
+   transactions committing disjoint-key writes therefore pre-acquire
+   disjoint stripe sets and commit in parallel; a size reader serialises
+   against exactly the committers that change size.  All nested region
+   acquisition is in ascending rid order — structure first (lowest rid),
+   then stripes by index — so the combination of op-time nesting and
+   rid-sorted commit plans is deadlock-free.
+
+   The buffered [prior] presence bit stays trustworthy until commit: a
+   non-blind writer holds the key's semantic lock from operation time, so
+   any other transaction committing a presence change on that key either
+   aborts this one through [conflict_key] (it is still Active) or finds it
+   already past its commit point — by commit time, [prior] is the committed
+   presence. *)
 
 module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) = struct
   module L = Semlock.Make (TM)
@@ -39,27 +62,42 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) = struct
     prior : bool option; (* presence read at operation time; None = blind *)
   }
 
-  (* Local records are pooled per collection (see [cleanup]): [txn] is
-     rebound on reuse and the four handler closures are built once, closing
-     over the record itself, so steady-state transactions allocate neither
-     a fresh store buffer nor fresh handlers. *)
+  (* Local records are pooled per domain (see [cleanup]): [txn] is rebound
+     on reuse and the handler closures are built once, closing over the
+     record itself, so steady-state transactions allocate neither a fresh
+     store buffer nor fresh handlers.  [stripes_mask] accumulates the
+     stripe indices of every locked or buffered key; [struct_locked] is set
+     by the structure reads (size/isEmpty/enumeration) — together they are
+     the transaction's commit region plan. *)
   type 'v local = {
     mutable txn : TM.txn;
     buffer : (M.key, 'v write) Coll.Chain_hashmap.t;
     mutable key_locks : M.key list;
+    mutable stripes_mask : int;
+    mutable struct_locked : bool;
     mutable h_read_only : unit -> bool;
+    mutable h_regions : unit -> TM.region list;
     mutable h_prepare : unit -> unit;
     mutable h_apply : unit -> unit;
     mutable h_abort : unit -> unit;
   }
 
-  type 'v t = {
-    region : TM.region;
-    map : 'v M.t;
-    locks : M.key L.t;
-    locals : (int, 'v local) Hashtbl.t;
+  (* Locals are domain-local: a top-level transaction runs, commits and
+     compensates on one domain, so keying the records (and the recycling
+     pool) by domain removes the last piece of shared mutable state that
+     would otherwise need a cross-stripe lock on every operation. *)
+  type 'v domain_locals = {
+    tbl : (int, 'v local) Hashtbl.t;
     mutable pool : 'v local list;
-        (* Recycled local records; pushed/popped only inside [critical]. *)
+  }
+
+  type 'v t = {
+    locks : M.key L.t;
+    shards : 'v M.t array; (* shard [i] holds the keys of stripe [i] *)
+    mutable csize : int;
+        (* committed bindings across all shards; read/written only under
+           the structure region *)
+    dls : 'v domain_locals Domain.DLS.key;
     isempty_policy : isempty_policy;
     write_policy : write_policy;
     copy_key : M.key -> M.key;
@@ -70,40 +108,81 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) = struct
            The default is identity — correct for immutable keys. *)
   }
 
-  let wrap ?(isempty_policy = Dedicated) ?(write_policy = Optimistic)
-      ?(copy_key = Fun.id) map =
+  let default_stripes = 16
+
+  let wrap ?(stripes = default_stripes) ?hash ?(isempty_policy = Dedicated)
+      ?(write_policy = Optimistic) ?(copy_key = Fun.id) map =
+    let locks = L.create ~stripes ?hash () in
+    let k = L.stripe_count locks in
+    let shards, csize =
+      if k = 1 then ([| map |], M.size map)
+      else begin
+        let shards = Array.init k (fun _ -> M.create ()) in
+        let n = ref 0 in
+        M.iter
+          (fun key v ->
+            M.add shards.(L.stripe_index locks key) key v;
+            incr n)
+          map;
+        (shards, !n)
+      end
+    in
     {
-      region = TM.new_region ();
-      map;
-      locks = L.create ();
-      locals = Hashtbl.create 32;
-      pool = [];
+      locks;
+      shards;
+      csize;
+      dls =
+        Domain.DLS.new_key (fun () ->
+            { tbl = Hashtbl.create 8; pool = [] });
       isempty_policy;
       write_policy;
       copy_key;
     }
 
-  let create ?isempty_policy ?write_policy ?copy_key () =
-    wrap ?isempty_policy ?write_policy ?copy_key (M.create ())
-  let critical t f = TM.critical t.region f
+  let create ?stripes ?hash ?isempty_policy ?write_policy ?copy_key () =
+    wrap ?stripes ?hash ?isempty_policy ?write_policy ?copy_key (M.create ())
+
+  let sregion t = L.struct_region t.locks
+  let shard_of t k = t.shards.(L.stripe_index t.locks k)
+  let key_region t k = L.region_of_key t.locks k
+  let stripe_count t = L.stripe_count t.locks
 
   (* ---------------- commit/abort handlers ---------------- *)
 
-  (* Runs inside [critical], exactly once per transaction (the apply and
-     abort handlers are mutually exclusive), so the record can be scrubbed
-     and recycled: the buffer keeps its capacity across reuses. *)
+  (* Runs exactly once per transaction (the apply and abort handlers are
+     mutually exclusive), so the record can be scrubbed and recycled: the
+     buffer keeps its capacity across reuses.  The releases run as
+     sequential (never nested) criticals, one per touched region: with the
+     commit's region plan held they are reentrant; on the abort and
+     read-only paths nothing is held, so each stands alone and no ordering
+     constraint arises. *)
   let cleanup t l =
-    L.release_all t.locks l.txn ~keys:l.key_locks;
-    Hashtbl.remove t.locals (TM.txn_id l.txn);
+    List.iter
+      (fun k ->
+        TM.critical (key_region t k) (fun () -> L.release_key t.locks l.txn k))
+      l.key_locks;
+    if l.struct_locked then
+      TM.critical (sregion t) (fun () -> L.release_structure t.locks l.txn);
+    let d = Domain.DLS.get t.dls in
+    Hashtbl.remove d.tbl (TM.txn_id l.txn);
     Coll.Chain_hashmap.clear l.buffer;
     l.key_locks <- [];
-    t.pool <- l :: t.pool
+    l.stripes_mask <- 0;
+    l.struct_locked <- false;
+    d.pool <- l :: d.pool
 
+  (* Net size change of the store buffer.  Blind writes read their prior
+     presence from the shard under a nested stripe critical (ascending rid
+     when called under the structure region; reentrant when called from
+     prepare with the plan held). *)
   let presence_changes t l =
     Coll.Chain_hashmap.fold
       (fun k w acc ->
         let prior =
-          match w.prior with Some p -> p | None -> M.mem t.map k
+          match w.prior with
+          | Some p -> p
+          | None ->
+              TM.critical (key_region t k) (fun () -> M.mem (shard_of t k) k)
         in
         let after = Option.is_some w.pending in
         if after && not prior then acc + 1
@@ -111,36 +190,76 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) = struct
         else acc)
       l.buffer 0
 
+  (* Commit region plan, evaluated once at commit time: the stripes of
+     every locked/buffered key, plus the structure region when the
+     transaction read structure state or its writes may change the size
+     (a blind write's effect is unknown until applied, so it is planned
+     conservatively).  [delta <> 0] at prepare/apply therefore implies the
+     structure region is in the plan. *)
+  let regions_plan t l () =
+    let struct_needed =
+      l.struct_locked
+      || Coll.Chain_hashmap.fold
+           (fun _ w acc ->
+             acc
+             ||
+             match w.prior with
+             | None -> true
+             | Some p -> p <> Option.is_some w.pending)
+           l.buffer false
+    in
+    let acc = ref [] in
+    for i = stripe_count t - 1 downto 0 do
+      if l.stripes_mask land (1 lsl i) <> 0 then
+        acc := L.stripe_region t.locks i :: !acc
+    done;
+    if struct_needed then sregion t :: !acc else !acc
+
   (* Prepare phase: conflict detection per Table 2 — aborting holders of
      key locks on written keys, size lockers when the size changes, and
      isEmpty lockers when emptiness flips.  Read-only on the map and may
      raise (remote-abort deferral, injected fault): it runs before the
-     TM's commit point so an exception here aborts with nothing applied. *)
+     TM's commit point so an exception here aborts with nothing applied.
+     Every critical below re-enters a region the plan already holds. *)
   let prepare_handler t l () =
-    critical t (fun () ->
-        let self = l.txn in
-        let was_size = M.size t.map in
-        let delta = presence_changes t l in
-        Coll.Chain_hashmap.iter
-          (fun k _ -> L.conflict_key t.locks ~self k)
-          l.buffer;
-        if delta <> 0 then L.conflict_size t.locks ~self;
-        let now_size = was_size + delta in
-        if (was_size = 0) <> (now_size = 0) then L.conflict_isempty t.locks ~self)
+    let self = l.txn in
+    Coll.Chain_hashmap.iter
+      (fun k _ ->
+        TM.critical (key_region t k) (fun () ->
+            L.conflict_key t.locks ~self k))
+      l.buffer;
+    let delta = presence_changes t l in
+    if delta <> 0 then
+      TM.critical (sregion t) (fun () ->
+          L.conflict_size t.locks ~self;
+          let was_size = t.csize in
+          if (was_size = 0) <> (was_size + delta = 0) then
+            L.conflict_isempty t.locks ~self)
 
   (* Apply phase, after the commit point: flush the store buffer (redo
-     log) to the underlying map and release semantic locks. *)
+     log) to the shards, fold the net presence change into the committed
+     size, and release semantic locks. *)
   let apply_handler t l () =
-    critical t (fun () ->
-        Coll.Chain_hashmap.iter
-          (fun k w ->
-            match w.pending with
-            | Some v -> M.add t.map k v
-            | None -> M.remove t.map k)
-          l.buffer;
-        cleanup t l)
+    let delta = ref 0 in
+    Coll.Chain_hashmap.iter
+      (fun k w ->
+        TM.critical (key_region t k) (fun () ->
+            let shard = shard_of t k in
+            let before =
+              match w.prior with Some p -> p | None -> M.mem shard k
+            in
+            (match w.pending with
+            | Some v -> M.add shard k v
+            | None -> M.remove shard k);
+            let after = Option.is_some w.pending in
+            if after && not before then incr delta
+            else if before && not after then decr delta))
+      l.buffer;
+    if !delta <> 0 then
+      TM.critical (sregion t) (fun () -> t.csize <- t.csize + !delta);
+    cleanup t l
 
-  let abort_handler t l () = critical t (fun () -> cleanup t l)
+  let abort_handler t l () = cleanup t l
 
   let fresh_local t txn =
     let l =
@@ -148,7 +267,10 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) = struct
         txn;
         buffer = Coll.Chain_hashmap.create ();
         key_locks = [];
+        stripes_mask = 0;
+        struct_locked = false;
         h_read_only = (fun () -> false);
+        h_regions = (fun () -> []);
         h_prepare = ignore;
         h_apply = ignore;
         h_abort = ignore;
@@ -159,6 +281,7 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) = struct
        transaction (find/mem/size/is_empty) can take the TM's read-only
        commit fast path. *)
     l.h_read_only <- (fun () -> Coll.Chain_hashmap.is_empty l.buffer);
+    l.h_regions <- regions_plan t l;
     l.h_prepare <- prepare_handler t l;
     l.h_apply <- apply_handler t l;
     l.h_abort <- abort_handler t l;
@@ -169,69 +292,79 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) = struct
   let local_of t =
     let txn = TM.current () in
     let id = TM.txn_id txn in
-    match Hashtbl.find_opt t.locals id with
+    let d = Domain.DLS.get t.dls in
+    match Hashtbl.find_opt d.tbl id with
     | Some l -> l
     | None ->
         let l =
-          match t.pool with
+          match d.pool with
           | l :: rest ->
-              t.pool <- rest;
+              d.pool <- rest;
               l.txn <- txn;
               l
           | [] -> fresh_local t txn
         in
-        Hashtbl.add t.locals id l;
-        TM.on_commit_prepared ~read_only:l.h_read_only t.region
-          ~prepare:l.h_prepare ~apply:l.h_apply;
+        Hashtbl.add d.tbl id l;
+        TM.on_commit_prepared ~read_only:l.h_read_only ~regions:l.h_regions
+          (sregion t) ~prepare:l.h_prepare ~apply:l.h_apply;
         TM.on_abort l.h_abort;
         l
 
+  (* Caller holds [key_region t k]. *)
   let lock_key t l k =
     if not (L.key_locked_by t.locks l.txn k) then begin
       let committed_copy = t.copy_key k in
       L.lock_key t.locks l.txn committed_copy;
-      l.key_locks <- committed_copy :: l.key_locks
+      l.key_locks <- committed_copy :: l.key_locks;
+      l.stripes_mask <-
+        l.stripes_mask lor (1 lsl L.stripe_index t.locks committed_copy)
     end
 
   (* ---------------- read operations ---------------- *)
 
   let find t k =
-    if not (TM.in_txn ()) then critical t (fun () -> M.find t.map k)
-    else
-      critical t (fun () ->
-          let l = local_of t in
+    if not (TM.in_txn ()) then
+      TM.critical (key_region t k) (fun () -> M.find (shard_of t k) k)
+    else begin
+      let l = local_of t in
+      TM.critical (key_region t k) (fun () ->
           match Coll.Chain_hashmap.find l.buffer k with
           | Some w -> w.pending (* own write: no global read involved *)
           | None ->
               lock_key t l k;
-              M.find t.map k)
+              M.find (shard_of t k) k)
+    end
 
   let mem t k = Option.is_some (find t k)
 
   let size t =
-    if not (TM.in_txn ()) then critical t (fun () -> M.size t.map)
-    else
-      critical t (fun () ->
-          let l = local_of t in
+    if not (TM.in_txn ()) then TM.critical (sregion t) (fun () -> t.csize)
+    else begin
+      let l = local_of t in
+      TM.critical (sregion t) (fun () ->
           L.lock_size t.locks l.txn;
-          M.size t.map + presence_changes t l)
+          l.struct_locked <- true;
+          t.csize + presence_changes t l)
+    end
 
   let is_empty t =
-    if not (TM.in_txn ()) then critical t (fun () -> M.size t.map = 0)
-    else
-      critical t (fun () ->
-          let l = local_of t in
+    if not (TM.in_txn ()) then TM.critical (sregion t) (fun () -> t.csize = 0)
+    else begin
+      let l = local_of t in
+      TM.critical (sregion t) (fun () ->
           (match t.isempty_policy with
           | Dedicated -> L.lock_isempty t.locks l.txn
           | Via_size -> L.lock_size t.locks l.txn);
-          M.size t.map + presence_changes t l = 0)
+          l.struct_locked <- true;
+          t.csize + presence_changes t l = 0)
+    end
 
   (* ---------------- write operations ---------------- *)
 
   (* Pessimistic early conflict detection on the written key (§5.1).  Runs
-     inside the critical region; a [`Retry] verdict is acted on outside it
-     (TM.retry must be raised from transaction context, not from inside the
-     open-nested atomic section). *)
+     inside the stripe's critical region; a [`Retry] verdict is acted on
+     outside it (TM.retry must be raised from transaction context, not from
+     inside the open-nested atomic section). *)
   let pessimistic_status t l k =
     match t.write_policy with
     | Optimistic -> `Ok
@@ -240,9 +373,7 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) = struct
         `Ok
     | Pessimistic_timid ->
         let others =
-          List.exists
-            (fun o -> not (TM.same_txn o l.txn))
-            (L.key_readers t.locks k)
+          L.key_has_other_reader t.locks ~self:l.txn k
           ||
           match L.key_writer t.locks k with
           | Some w -> not (TM.same_txn w l.txn)
@@ -259,13 +390,15 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) = struct
     | None ->
         if blind then begin
           Coll.Chain_hashmap.add l.buffer k { pending; prior = None };
+          l.stripes_mask <-
+            l.stripes_mask lor (1 lsl L.stripe_index t.locks k);
           None
         end
         else begin
           (* Returning the previous value reads the key (Table 2: put and
              remove take a key lock on their argument). *)
           lock_key t l k;
-          let old = M.find t.map k in
+          let old = M.find (shard_of t k) k in
           Coll.Chain_hashmap.add l.buffer k
             { pending; prior = Some (Option.is_some old) };
           old
@@ -274,9 +407,9 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) = struct
   (* Transactional write entry point: pessimistic policies may demand a
      transparent retry, raised outside the critical region. *)
   let rec write_op t k pending ~blind =
+    let l = local_of t in
     let verdict =
-      critical t (fun () ->
-          let l = local_of t in
+      TM.critical (key_region t k) (fun () ->
           match pessimistic_status t l k with
           | `Retry -> `Retry
           | `Ok -> `Done (buffer_write t l k pending ~blind))
@@ -287,68 +420,85 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) = struct
         TM.retry () |> ignore;
         write_op t k pending ~blind
 
+  (* Non-transactional writes nest structure-then-stripe (ascending rid):
+     the shard mutation and the committed-size update must be atomic for
+     size readers. *)
+  let nontxn_write t k pending =
+    TM.critical (sregion t) (fun () ->
+        TM.critical (key_region t k) (fun () ->
+            let shard = shard_of t k in
+            let old = M.find shard k in
+            (match pending with
+            | Some v -> M.add shard k v
+            | None -> M.remove shard k);
+            (match (old, pending) with
+            | None, Some _ -> t.csize <- t.csize + 1
+            | Some _, None -> t.csize <- t.csize - 1
+            | _ -> ());
+            old))
+
   let put t k v =
-    if not (TM.in_txn ()) then
-      critical t (fun () ->
-          let old = M.find t.map k in
-          M.add t.map k v;
-          old)
+    if not (TM.in_txn ()) then nontxn_write t k (Some v)
     else write_op t k (Some v) ~blind:false
 
   let remove t k =
-    if not (TM.in_txn ()) then
-      critical t (fun () ->
-          let old = M.find t.map k in
-          M.remove t.map k;
-          old)
+    if not (TM.in_txn ()) then nontxn_write t k None
     else write_op t k None ~blind:false
 
   (* Blind variants (§5.1 "Extensions to java.util.Map"): no previous-value
      read, hence no key lock and no ordering between two transactions that
      only write the same key. *)
   let put_blind t k v =
-    if not (TM.in_txn ()) then critical t (fun () -> M.add t.map k v)
+    if not (TM.in_txn ()) then ignore (nontxn_write t k (Some v))
     else ignore (write_op t k (Some v) ~blind:true)
 
   let remove_blind t k =
-    if not (TM.in_txn ()) then critical t (fun () -> M.remove t.map k)
+    if not (TM.in_txn ()) then ignore (nontxn_write t k None)
     else ignore (write_op t k None ~blind:true)
 
   (* ---------------- iteration ---------------- *)
 
-  (* Full enumeration inside one critical section: merges the underlying map
-     with the store buffer, takes a key lock on every key returned and — as
-     the enumeration observes the complete contents — the size lock. *)
+  (* Full enumeration under all regions (structure then stripes, ascending):
+     merges the shards with the store buffer, takes a key lock on every key
+     returned and — as the enumeration observes the complete contents — the
+     size lock. *)
   let fold f t init =
     if not (TM.in_txn ()) then
-      critical t (fun () ->
+      L.critical_all t.locks (fun () ->
           let acc = ref init in
-          M.iter (fun k v -> acc := f k v !acc) t.map;
+          Array.iter
+            (fun shard -> M.iter (fun k v -> acc := f k v !acc) shard)
+            t.shards;
           !acc)
-    else
-      critical t (fun () ->
-          let l = local_of t in
+    else begin
+      let l = local_of t in
+      L.critical_all t.locks (fun () ->
           L.lock_size t.locks l.txn;
+          l.struct_locked <- true;
           let acc = ref init in
-          M.iter
-            (fun k v ->
-              match Coll.Chain_hashmap.find l.buffer k with
-              | Some { pending = None; _ } -> () (* removed by us *)
-              | Some { pending = Some v'; _ } ->
-                  lock_key t l k;
-                  acc := f k v' !acc
-              | None ->
-                  lock_key t l k;
-                  acc := f k v !acc)
-            t.map;
+          Array.iter
+            (fun shard ->
+              M.iter
+                (fun k v ->
+                  match Coll.Chain_hashmap.find l.buffer k with
+                  | Some { pending = None; _ } -> () (* removed by us *)
+                  | Some { pending = Some v'; _ } ->
+                      lock_key t l k;
+                      acc := f k v' !acc
+                  | None ->
+                      lock_key t l k;
+                      acc := f k v !acc)
+                shard)
+            t.shards;
           (* Keys added only in the buffer. *)
           Coll.Chain_hashmap.iter
             (fun k w ->
               match w.pending with
-              | Some v when not (M.mem t.map k) -> acc := f k v !acc
+              | Some v when not (M.mem (shard_of t k) k) -> acc := f k v !acc
               | _ -> ())
             l.buffer;
           !acc)
+    end
 
   let iter f t = fold (fun k v () -> f k v) t ()
   let to_list t = fold (fun k v acc -> (k, v) :: acc) t []
@@ -396,24 +546,31 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) = struct
 
   let cursor ?(size_lock = `Eager) t =
     let candidates =
-      critical t (fun () ->
-          if TM.in_txn () then begin
-            let l = local_of t in
-            if size_lock = `Eager then L.lock_size t.locks l.txn;
+      if TM.in_txn () then begin
+        let l = local_of t in
+        L.critical_all t.locks (fun () ->
+            if size_lock = `Eager then begin
+              L.lock_size t.locks l.txn;
+              l.struct_locked <- true
+            end;
             let keys = ref [] in
-            M.iter (fun k _ -> keys := k :: !keys) t.map;
+            Array.iter
+              (fun shard -> M.iter (fun k _ -> keys := k :: !keys) shard)
+              t.shards;
             Coll.Chain_hashmap.iter
               (fun k w ->
-                if Option.is_some w.pending && not (M.mem t.map k) then
-                  keys := k :: !keys)
+                if Option.is_some w.pending && not (M.mem (shard_of t k) k)
+                then keys := k :: !keys)
               l.buffer;
-            !keys
-          end
-          else begin
+            !keys)
+      end
+      else
+        L.critical_all t.locks (fun () ->
             let keys = ref [] in
-            M.iter (fun k _ -> keys := k :: !keys) t.map;
-            !keys
-          end)
+            Array.iter
+              (fun shard -> M.iter (fun k _ -> keys := k :: !keys) shard)
+              t.shards;
+            !keys)
     in
     { cparent = t; candidates; exhausted = false; cpolicy = size_lock }
 
@@ -423,51 +580,62 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) = struct
     | [] ->
         if not c.exhausted then begin
           c.exhausted <- true;
-          if c.cpolicy = `At_exhaustion then
-            critical t (fun () ->
-                if TM.in_txn () then L.lock_size t.locks (local_of t).txn)
+          if c.cpolicy = `At_exhaustion && TM.in_txn () then begin
+            let l = local_of t in
+            TM.critical (sregion t) (fun () ->
+                L.lock_size t.locks l.txn;
+                l.struct_locked <- true)
+          end
         end;
         None
     | k :: rest -> (
         c.candidates <- rest;
         let hit =
-          critical t (fun () ->
-              if not (TM.in_txn ()) then
-                Option.map (fun v -> (k, v)) (M.find t.map k)
-              else
-                let l = local_of t in
+          if not (TM.in_txn ()) then
+            TM.critical (key_region t k) (fun () ->
+                Option.map (fun v -> (k, v)) (M.find (shard_of t k) k))
+          else begin
+            let l = local_of t in
+            TM.critical (key_region t k) (fun () ->
                 match Coll.Chain_hashmap.find l.buffer k with
                 | Some { pending = Some v; _ } -> Some (k, v)
                 | Some { pending = None; _ } -> None (* removed by us *)
                 | None -> (
-                    match M.find t.map k with
+                    match M.find (shard_of t k) k with
                     | Some v ->
                         lock_key t l k;
                         Some (k, v)
                     | None -> None (* removed by an earlier-serialized txn *)))
+          end
         in
         match hit with Some kv -> Some kv | None -> next c)
 
   (* ---------------- introspection for tests/traces ---------------- *)
 
   let holds_key_lock t k =
-    critical t (fun () -> L.key_locked_by t.locks (TM.current ()) k)
+    TM.critical (key_region t k) (fun () ->
+        L.key_locked_by t.locks (TM.current ()) k)
 
   let holds_size_lock t =
-    critical t (fun () -> L.size_locked_by t.locks (TM.current ()))
+    TM.critical (sregion t) (fun () ->
+        L.size_locked_by t.locks (TM.current ()))
 
   let holds_isempty_lock t =
-    critical t (fun () -> L.isempty_locked_by t.locks (TM.current ()))
+    TM.critical (sregion t) (fun () ->
+        L.isempty_locked_by t.locks (TM.current ()))
 
-  let outstanding_locks t = critical t (fun () -> L.total_lockers t.locks)
+  let outstanding_locks t =
+    L.critical_all t.locks (fun () -> L.total_lockers t.locks)
 
   (* Live rendering of Table 3's state inventory: committed state (the
-     wrapped map), shared transactional state (lock tables), and the local
-     transactional state of every active transaction. *)
+     sharded wrapped map), shared transactional state (lock tables), and
+     the local transactional state of the calling domain's active
+     transactions (locals are domain-local). *)
   let dump_state ppf t =
-    critical t (fun () ->
+    L.critical_all t.locks (fun () ->
         Format.fprintf ppf "Committed state:@.";
-        Format.fprintf ppf "  map                 %d bindings@." (M.size t.map);
+        Format.fprintf ppf "  map                 %d bindings in %d stripes@."
+          t.csize (stripe_count t);
         Format.fprintf ppf "Shared transactional state (open-nested):@.";
         Format.fprintf ppf "  key2lockers         %d entries@."
           (L.key_entry_count t.locks);
@@ -475,19 +643,20 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) = struct
           (L.size_locker_count t.locks);
         Format.fprintf ppf "  isEmptyLockers      %d@."
           (L.isempty_locker_count t.locks);
+        let d = Domain.DLS.get t.dls in
         Format.fprintf ppf "Local transactional state (%d active txns):@."
-          (Hashtbl.length t.locals);
+          (Hashtbl.length d.tbl);
         Hashtbl.iter
           (fun id l ->
             Format.fprintf ppf
               "  txn %-6d storeBuffer=%d entries, keyLocks=%d@." id
               (Coll.Chain_hashmap.size l.buffer)
               (List.length l.key_locks))
-          t.locals)
+          d.tbl)
 
   let buffered_writes t =
-    critical t (fun () ->
-        match Hashtbl.find_opt t.locals (TM.txn_id (TM.current ())) with
-        | None -> 0
-        | Some l -> Coll.Chain_hashmap.size l.buffer)
+    let d = Domain.DLS.get t.dls in
+    match Hashtbl.find_opt d.tbl (TM.txn_id (TM.current ())) with
+    | None -> 0
+    | Some l -> Coll.Chain_hashmap.size l.buffer
 end

@@ -34,25 +34,43 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) : sig
             while another transaction holds the written key. *)
 
   val create :
+    ?stripes:int ->
+    ?hash:(M.key -> int) ->
     ?isempty_policy:isempty_policy ->
     ?write_policy:write_policy ->
     ?copy_key:(M.key -> M.key) ->
     unit ->
     'v t
-  (** Create a map with a fresh underlying [M.t].  [copy_key] stores
-      independent copies of keys in the shared lock table, preventing the
-      §5.1 "leaking uncommitted data" hazard for mutable or
-      not-yet-committed key objects (default: identity, correct for
-      immutable keys). *)
+  (** Create a map with a fresh underlying [M.t].
+
+      [stripes] (default 16, clamped to [1, 62]) shards the semantic lock
+      tables and the committed state into that many key stripes, each
+      behind its own critical region: transactions committing disjoint-key
+      writes into this one map commit in parallel, while size/isEmpty reads
+      and enumerations serialise through a dedicated structure region.
+      [stripes = 1] restores a fully serial collection.  [hash] picks the
+      stripe of a key (default [Hashtbl.hash]); it must agree with [M]'s
+      key equality.
+
+      [copy_key] stores independent copies of keys in the shared lock
+      table, preventing the §5.1 "leaking uncommitted data" hazard for
+      mutable or not-yet-committed key objects (default: identity, correct
+      for immutable keys). *)
 
   val wrap :
+    ?stripes:int ->
+    ?hash:(M.key -> int) ->
     ?isempty_policy:isempty_policy ->
     ?write_policy:write_policy ->
     ?copy_key:(M.key -> M.key) ->
     'v M.t ->
     'v t
-  (** Wrap an existing underlying map.  The caller must not touch the
+  (** Wrap an existing underlying map (its bindings are migrated into the
+      stripe shards unless [stripes = 1]).  The caller must not touch the
       wrapped map directly afterwards. *)
+
+  val stripe_count : 'v t -> int
+  (** Number of key stripes this map was created with. *)
 
   (** {1 Point operations} *)
 

@@ -33,22 +33,21 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) = struct
   }
 
   type 'v t = {
-    region : TM.region;
     map : 'v M.t;
     locks : M.key L.t;
     locals : (int, 'v local) Hashtbl.t;
   }
 
+  (* A single stripe (K = 1): in-place updates plus an undo log need one
+     atomic view of the whole map (size is read live, compensation replays
+     against it), so the lock manager's structure region — which K = 1
+     shares with its only key stripe — serialises everything, exactly the
+     historical single-region behaviour. *)
   let wrap map =
-    {
-      region = TM.new_region ();
-      map;
-      locks = L.create ();
-      locals = Hashtbl.create 32;
-    }
+    { map; locks = L.create ~stripes:1 (); locals = Hashtbl.create 32 }
 
   let create () = wrap (M.create ())
-  let critical t f = TM.critical t.region f
+  let critical t f = TM.critical (L.struct_region t.locks) f
 
   let cleanup t l =
     L.release_all t.locks l.txn ~keys:l.key_locks;
@@ -108,7 +107,7 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) = struct
           ~read_only:(fun () ->
             l.undo = [] && l.delta = 0
             && Coll.Chain_hashmap.is_empty l.written)
-          t.region
+          (L.struct_region t.locks)
           ~prepare:(prepare_handler t l)
           ~apply:(apply_handler t l);
         TM.on_abort (abort_handler t l);

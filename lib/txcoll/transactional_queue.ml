@@ -27,22 +27,20 @@ module Make (TM : Tm_intf.TM_OPS) (Q : Tm_intf.QUEUE_OPS) = struct
   }
 
   type 'v t = {
-    region : TM.region;
     queue : 'v Q.t;
     locks : unit L.t; (* only the empty lock is used *)
     locals : (int, 'v local) Hashtbl.t;
   }
 
+  (* A single stripe (K = 1): the queue's isolation is already reduced —
+     takes hit the underlying queue at operation time — so every operation
+     serialises on the lock manager's structure region, which doubles as
+     the commit region. *)
   let wrap queue =
-    {
-      region = TM.new_region ();
-      queue;
-      locks = L.create ();
-      locals = Hashtbl.create 32;
-    }
+    { queue; locks = L.create ~stripes:1 (); locals = Hashtbl.create 32 }
 
   let create () = wrap (Q.create ())
-  let critical t f = TM.critical t.region f
+  let critical t f = TM.critical (L.struct_region t.locks) f
 
   let cleanup t l =
     L.release_all t.locks l.txn ~keys:[];
@@ -94,7 +92,7 @@ module Make (TM : Tm_intf.TM_OPS) (Q : Tm_intf.QUEUE_OPS) = struct
            still qualifies — its commit publishes nothing. *)
         TM.on_commit_prepared
           ~read_only:(fun () -> Coll.Fifo_deque.is_empty l.add_buffer)
-          t.region
+          (L.struct_region t.locks)
           ~prepare:(prepare_handler t l)
           ~apply:(apply_handler t l);
         TM.on_abort (abort_handler t l);

@@ -6,7 +6,13 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) : sig
 
   type t = unit Map.t
 
-  val create : ?isempty_policy:Map.isempty_policy -> unit -> t
+  (** [stripes]/[hash] as in {!Transactional_map.Make.create}. *)
+  val create :
+    ?stripes:int ->
+    ?hash:(M.key -> int) ->
+    ?isempty_policy:Map.isempty_policy ->
+    unit ->
+    t
   val mem : t -> M.key -> bool
 
   val add : t -> M.key -> bool

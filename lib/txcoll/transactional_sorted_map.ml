@@ -13,7 +13,23 @@
 
    Per Table 6, the local state adds a sorted store buffer (ordered
    enumeration must merge local changes in key order) and the list of range
-   locks held. *)
+   locks held.
+
+   Striping.  Key locks are sharded into stripes as in the plain map, but
+   the committed state stays one ordered structure and every ordered /
+   range / endpoint lock lives behind the structure region: an interval
+   does not map onto hash stripes, so range-heavy semantics serialise
+   there.  What striping buys here is read-side scaling: point reads hold
+   only their key's stripe region, so disjoint-key readers of the same
+   sorted map proceed in parallel with each other and with structure
+   readers.  Writers (non-empty store buffer) plan {e all} regions at
+   commit — the apply mutates the shared ordered structure that point
+   readers traverse under their stripe alone, so the writer must exclude
+   every stripe.  Region nesting is always ascending (structure region
+   first, then stripes by index), and commit plans are rid-sorted by the
+   TM, so acquisition stays deadlock-free.  Mapping range locks onto
+   interval-partitioned stripe sets (so disjoint-range writers also scale)
+   is left open in ROADMAP.md. *)
 
 module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
   module L = Semlock.Make (TM)
@@ -28,13 +44,19 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
     txn : TM.txn;
     buffer : (M.key, 'v write) Coll.Ordmap.t; (* sortedStoreBuffer *)
     mutable key_locks : M.key list;
+    mutable stripes_mask : int; (* stripes of held key locks *)
+    mutable struct_locked : bool; (* holds size/isEmpty/first/last/range *)
   }
 
+  (* Locals are domain-local (a transaction runs, commits and compensates
+     on one domain), so point reads on different stripes share no mutable
+     lookup state. *)
+  type 'v domain_locals = { tbl : (int, 'v local) Hashtbl.t }
+
   type 'v t = {
-    region : TM.region;
     map : 'v M.t;
     locks : M.key L.t;
-    locals : (int, 'v local) Hashtbl.t;
+    dls : 'v domain_locals Domain.DLS.key;
     isempty_policy : isempty_policy;
     write_policy : write_policy;
     copy_key : M.key -> M.key;
@@ -42,28 +64,63 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
 
   type 'v view = { parent : 'v t; lo : M.key option; hi : M.key option }
 
-  let wrap ?(isempty_policy = Dedicated) ?(write_policy = Optimistic)
-      ?(copy_key = Fun.id) map =
+  let default_stripes = 8
+
+  let wrap ?(stripes = default_stripes) ?hash ?(isempty_policy = Dedicated)
+      ?(write_policy = Optimistic) ?(copy_key = Fun.id) map =
     {
-      region = TM.new_region ();
       map;
-      locks = L.create ();
-      locals = Hashtbl.create 32;
+      locks = L.create ~stripes ?hash ();
+      dls = Domain.DLS.new_key (fun () -> { tbl = Hashtbl.create 8 });
       isempty_policy;
       write_policy;
       copy_key;
     }
 
-  let create ?isempty_policy ?write_policy ?copy_key () =
-    wrap ?isempty_policy ?write_policy ?copy_key (M.create ())
-  let critical t f = TM.critical t.region f
+  let create ?stripes ?hash ?isempty_policy ?write_policy ?copy_key () =
+    wrap ?stripes ?hash ?isempty_policy ?write_policy ?copy_key (M.create ())
+
   let compare_key = M.compare_key
+  let sregion t = L.struct_region t.locks
+  let key_region t k = L.region_of_key t.locks k
+  let stripe_count t = L.stripe_count t.locks
+
+  let all_regions t =
+    let acc = ref [] in
+    for i = stripe_count t - 1 downto 0 do
+      acc := L.stripe_region t.locks i :: !acc
+    done;
+    sregion t :: !acc
 
   (* ---------------- handlers ---------------- *)
 
+  (* Sequential (never nested) criticals per touched region: reentrant when
+     the commit plan holds them, standalone on the abort/read-only paths. *)
   let cleanup t l =
-    L.release_all t.locks l.txn ~keys:l.key_locks;
-    Hashtbl.remove t.locals (TM.txn_id l.txn)
+    List.iter
+      (fun k ->
+        TM.critical (key_region t k) (fun () -> L.release_key t.locks l.txn k))
+      l.key_locks;
+    if l.struct_locked then
+      TM.critical (sregion t) (fun () -> L.release_structure t.locks l.txn);
+    Hashtbl.remove (Domain.DLS.get t.dls).tbl (TM.txn_id l.txn)
+
+  (* Commit region plan.  A writer's apply mutates the shared ordered map,
+     which point readers traverse under their stripe region alone, so a
+     non-empty buffer plans every region.  A read-only handler (in a mixed
+     commit with some other written collection) plans the stripes of its
+     key locks plus the structure region when it holds structure locks —
+     exactly what [cleanup] will re-enter. *)
+  let regions_plan t l () =
+    if not (Coll.Ordmap.is_empty l.buffer) then all_regions t
+    else begin
+      let acc = ref [] in
+      for i = stripe_count t - 1 downto 0 do
+        if l.stripes_mask land (1 lsl i) <> 0 then
+          acc := L.stripe_region t.locks i :: !acc
+      done;
+      if l.struct_locked then sregion t :: !acc else !acc
+    end
 
   let presence_changes t l =
     Coll.Ordmap.fold
@@ -81,67 +138,76 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
      below, where each write is compared against the committed state as
      it evolves — the same point the seed detected them at, so a loser of
      an endpoint race is aborted by the committer rather than deferring
-     it (committer wins, as in the seed semantics). *)
+     it (committer wins, as in the seed semantics).  A non-empty buffer
+     implies the plan holds every region, so the criticals below only
+     re-enter. *)
   let prepare_handler t l () =
-    critical t (fun () ->
-        let self = l.txn in
-        let was_size = M.size t.map in
-        let delta = presence_changes t l in
-        if delta <> 0 then L.conflict_size t.locks ~self;
-        if (was_size = 0) <> (was_size + delta = 0) then
-          L.conflict_isempty t.locks ~self;
-        Coll.Ordmap.iter
-          (fun k _ ->
-            L.conflict_key t.locks ~self k;
-            L.conflict_range t.locks ~self ~compare:M.compare_key k)
-          l.buffer)
+    if not (Coll.Ordmap.is_empty l.buffer) then
+      L.critical_all t.locks (fun () ->
+          let self = l.txn in
+          let was_size = M.size t.map in
+          let delta = presence_changes t l in
+          if delta <> 0 then L.conflict_size t.locks ~self;
+          if (was_size = 0) <> (was_size + delta = 0) then
+            L.conflict_isempty t.locks ~self;
+          Coll.Ordmap.iter
+            (fun k _ ->
+              L.conflict_key t.locks ~self k;
+              L.conflict_range t.locks ~self ~compare:M.compare_key k)
+            l.buffer)
 
   let apply_handler t l () =
-    critical t (fun () ->
-        let self = l.txn in
-        (* Check and apply entry by entry: endpoint-change detection compares
-           each write against the committed state as it evolves. *)
-        Coll.Ordmap.iter
-          (fun k w ->
-            let min_k = Option.map fst (M.min_binding t.map) in
-            let max_k = Option.map fst (M.max_binding t.map) in
-            let present = M.mem t.map k in
-            (match w.pending with
-            | Some v ->
-                if not present then begin
-                  (match min_k with
-                  | None -> (* empty -> non-empty: both endpoints change *)
-                      L.conflict_first t.locks ~self;
-                      L.conflict_last t.locks ~self
-                  | Some mn ->
-                      if M.compare_key k mn < 0 then L.conflict_first t.locks ~self);
-                  match max_k with
-                  | None -> ()
-                  | Some mx ->
-                      if M.compare_key k mx > 0 then L.conflict_last t.locks ~self
-                end;
-                M.add t.map k v
-            | None ->
-                if present then begin
-                  (match min_k with
-                  | Some mn when M.compare_key k mn = 0 ->
-                      L.conflict_first t.locks ~self
-                  | _ -> ());
-                  (match max_k with
-                  | Some mx when M.compare_key k mx = 0 ->
-                      L.conflict_last t.locks ~self
-                  | _ -> ());
-                  M.remove t.map k
-                end))
-          l.buffer;
-        cleanup t l)
+    if not (Coll.Ordmap.is_empty l.buffer) then
+      L.critical_all t.locks (fun () ->
+          let self = l.txn in
+          (* Check and apply entry by entry: endpoint-change detection
+             compares each write against the committed state as it
+             evolves. *)
+          Coll.Ordmap.iter
+            (fun k w ->
+              let min_k = Option.map fst (M.min_binding t.map) in
+              let max_k = Option.map fst (M.max_binding t.map) in
+              let present = M.mem t.map k in
+              match w.pending with
+              | Some v ->
+                  if not present then begin
+                    (match min_k with
+                    | None ->
+                        (* empty -> non-empty: both endpoints change *)
+                        L.conflict_first t.locks ~self;
+                        L.conflict_last t.locks ~self
+                    | Some mn ->
+                        if M.compare_key k mn < 0 then
+                          L.conflict_first t.locks ~self);
+                    match max_k with
+                    | None -> ()
+                    | Some mx ->
+                        if M.compare_key k mx > 0 then
+                          L.conflict_last t.locks ~self
+                  end;
+                  M.add t.map k v
+              | None ->
+                  if present then begin
+                    (match min_k with
+                    | Some mn when M.compare_key k mn = 0 ->
+                        L.conflict_first t.locks ~self
+                    | _ -> ());
+                    (match max_k with
+                    | Some mx when M.compare_key k mx = 0 ->
+                        L.conflict_last t.locks ~self
+                    | _ -> ());
+                    M.remove t.map k
+                  end)
+            l.buffer);
+    cleanup t l
 
-  let abort_handler t l () = critical t (fun () -> cleanup t l)
+  let abort_handler t l () = cleanup t l
 
   let local_of t =
     let txn = TM.current () in
     let id = TM.txn_id txn in
-    match Hashtbl.find_opt t.locals id with
+    let d = Domain.DLS.get t.dls in
+    match Hashtbl.find_opt d.tbl id with
     | Some l -> l
     | None ->
         let l =
@@ -149,30 +215,39 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
             txn;
             buffer = Coll.Ordmap.create ~compare:M.compare_key ();
             key_locks = [];
+            stripes_mask = 0;
+            struct_locked = false;
           }
         in
-        Hashtbl.add t.locals id l;
+        Hashtbl.add d.tbl id l;
         (* Empty write buffer: prepare has no conflicts to detect and
            apply only releases key/range/endpoint read locks, so
            getter-only transactions (get/first/last/range scans) commit on
            the TM's read-only fast path. *)
         TM.on_commit_prepared
           ~read_only:(fun () -> Coll.Ordmap.is_empty l.buffer)
-          t.region
+          ~regions:(regions_plan t l) (sregion t)
           ~prepare:(prepare_handler t l)
           ~apply:(apply_handler t l);
         TM.on_abort (abort_handler t l);
         l
 
+  (* Takes the key's stripe critical itself: callers hold either that same
+     stripe (point operations — reentrant) or the structure region (ordered
+     operations — ascending-rid nesting). *)
   let lock_key t l k =
-    if not (L.key_locked_by t.locks l.txn k) then begin
-      let committed_copy = t.copy_key k in
-      L.lock_key t.locks l.txn committed_copy;
-      l.key_locks <- committed_copy :: l.key_locks
-    end
+    TM.critical (key_region t k) (fun () ->
+        if not (L.key_locked_by t.locks l.txn k) then begin
+          let committed_copy = t.copy_key k in
+          L.lock_key t.locks l.txn committed_copy;
+          l.key_locks <- committed_copy :: l.key_locks;
+          l.stripes_mask <-
+            l.stripes_mask lor (1 lsl L.stripe_index t.locks committed_copy)
+        end)
 
   (* Pessimistic early conflict detection (§5.1); the [`Retry] verdict is
-     acted on outside the critical region. *)
+     acted on outside the critical regions.  Caller holds the structure
+     region and the key's stripe (write path nesting). *)
   let pessimistic_status t l k =
     match t.write_policy with
     | Optimistic -> `Ok
@@ -181,45 +256,50 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
         L.conflict_range t.locks ~self:l.txn ~compare:M.compare_key k;
         `Ok
     | Pessimistic_timid ->
-        let others =
-          List.exists
-            (fun o -> not (TM.same_txn o l.txn))
-            (L.key_readers t.locks k)
-        in
-        if others then `Retry else `Ok
+        if L.key_has_other_reader t.locks ~self:l.txn k then `Retry else `Ok
 
   (* ---------------- point operations (as TransactionalMap) ------------- *)
 
+  (* Point reads hold only the key's stripe region: the underlying ordered
+     [find] is a pure traversal, and any committing writer holds every
+     stripe, so the traversal never races a mutation. *)
   let find t k =
-    if not (TM.in_txn ()) then critical t (fun () -> M.find t.map k)
-    else
-      critical t (fun () ->
-          let l = local_of t in
+    if not (TM.in_txn ()) then
+      TM.critical (key_region t k) (fun () -> M.find t.map k)
+    else begin
+      let l = local_of t in
+      TM.critical (key_region t k) (fun () ->
           match Coll.Ordmap.find l.buffer k with
           | Some w -> w.pending
           | None ->
               lock_key t l k;
               M.find t.map k)
+    end
 
   let mem t k = Option.is_some (find t k)
 
   let size t =
-    if not (TM.in_txn ()) then critical t (fun () -> M.size t.map)
-    else
-      critical t (fun () ->
-          let l = local_of t in
+    if not (TM.in_txn ()) then TM.critical (sregion t) (fun () -> M.size t.map)
+    else begin
+      let l = local_of t in
+      TM.critical (sregion t) (fun () ->
           L.lock_size t.locks l.txn;
+          l.struct_locked <- true;
           M.size t.map + presence_changes t l)
+    end
 
   let is_empty t =
-    if not (TM.in_txn ()) then critical t (fun () -> M.size t.map = 0)
-    else
-      critical t (fun () ->
-          let l = local_of t in
+    if not (TM.in_txn ()) then
+      TM.critical (sregion t) (fun () -> M.size t.map = 0)
+    else begin
+      let l = local_of t in
+      TM.critical (sregion t) (fun () ->
           (match t.isempty_policy with
           | Dedicated -> L.lock_isempty t.locks l.txn
           | Via_size -> L.lock_size t.locks l.txn);
+          l.struct_locked <- true;
           M.size t.map + presence_changes t l = 0)
+    end
 
   let buffer_write t l k pending ~blind =
     match Coll.Ordmap.find l.buffer k with
@@ -239,13 +319,17 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
           old
         end
 
+  (* Transactional writes nest structure-then-stripe (ascending rid): the
+     pessimistic policies examine range locks (structure) as well as the
+     key's stripe. *)
   let rec write_op t k pending ~blind =
+    let l = local_of t in
     let verdict =
-      critical t (fun () ->
-          let l = local_of t in
-          match pessimistic_status t l k with
-          | `Retry -> `Retry
-          | `Ok -> `Done (buffer_write t l k pending ~blind))
+      TM.critical (sregion t) (fun () ->
+          TM.critical (key_region t k) (fun () ->
+              match pessimistic_status t l k with
+              | `Retry -> `Retry
+              | `Ok -> `Done (buffer_write t l k pending ~blind)))
     in
     match verdict with
     | `Done old -> old
@@ -253,28 +337,30 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
         TM.retry () |> ignore;
         write_op t k pending ~blind
 
+  (* Non-transactional writes mutate the shared ordered structure that
+     point readers traverse under their stripe alone: hold everything. *)
+  let nontxn_write t k pending =
+    L.critical_all t.locks (fun () ->
+        let old = M.find t.map k in
+        (match pending with
+        | Some v -> M.add t.map k v
+        | None -> M.remove t.map k);
+        old)
+
   let put t k v =
-    if not (TM.in_txn ()) then
-      critical t (fun () ->
-          let old = M.find t.map k in
-          M.add t.map k v;
-          old)
+    if not (TM.in_txn ()) then nontxn_write t k (Some v)
     else write_op t k (Some v) ~blind:false
 
   let remove t k =
-    if not (TM.in_txn ()) then
-      critical t (fun () ->
-          let old = M.find t.map k in
-          M.remove t.map k;
-          old)
+    if not (TM.in_txn ()) then nontxn_write t k None
     else write_op t k None ~blind:false
 
   let put_blind t k v =
-    if not (TM.in_txn ()) then critical t (fun () -> M.add t.map k v)
+    if not (TM.in_txn ()) then ignore (nontxn_write t k (Some v))
     else ignore (write_op t k (Some v) ~blind:true)
 
   let remove_blind t k =
-    if not (TM.in_txn ()) then critical t (fun () -> M.remove t.map k)
+    if not (TM.in_txn ()) then ignore (nontxn_write t k None)
     else ignore (write_op t k None ~blind:true)
 
   (* ---------------- ordered views and iteration ---------------- *)
@@ -299,24 +385,28 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
       (List.rev !under) (List.rev !buf)
 
   let take_range_lock t l range =
-    L.lock_range t.locks l.txn range
+    L.lock_range t.locks l.txn ~compare:M.compare_key range;
+    l.struct_locked <- true
 
   (* Ordered fold over [lo, hi) with Table 5 locking: range lock over the
      iterated span, first lock when the span starts at the map's minimum,
-     last lock when it runs past the maximum. *)
+     last lock when it runs past the maximum.  Runs under the structure
+     region (committing writers hold it, so the merged view is stable);
+     per-key locks nest into each key's stripe. *)
   let fold_range f t init ~lo ~hi =
     if not (TM.in_txn ()) then
-      critical t (fun () ->
+      TM.critical (sregion t) (fun () ->
           let acc = ref init in
           M.iter_range (fun k v -> acc := f k v !acc) t.map ~lo ~hi;
           !acc)
-    else
-      critical t (fun () ->
-          let l = local_of t in
+    else begin
+      let l = local_of t in
+      TM.critical (sregion t) (fun () ->
           take_range_lock t l { lo; hi };
           if lo = None then L.lock_first t.locks l.txn;
           if hi = None then L.lock_last t.locks l.txn;
           List.fold_left (fun acc (k, v) -> f k v acc) init (merged_range t l ~lo ~hi))
+    end
 
   let fold f t init = fold_range f t init ~lo:None ~hi:None
   let iter f t = fold (fun k v () -> f k v) t ()
@@ -388,20 +478,26 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
     match List.rev (merged_range t l ~lo ~hi) with [] -> None | x :: _ -> Some x
 
   let first_binding t =
-    if not (TM.in_txn ()) then critical t (fun () -> M.min_binding t.map)
-    else
-      critical t (fun () ->
-          let l = local_of t in
+    if not (TM.in_txn ()) then
+      TM.critical (sregion t) (fun () -> M.min_binding t.map)
+    else begin
+      let l = local_of t in
+      TM.critical (sregion t) (fun () ->
           L.lock_first t.locks l.txn;
+          l.struct_locked <- true;
           merged_first t l ~lo:None ~hi:None)
+    end
 
   let last_binding t =
-    if not (TM.in_txn ()) then critical t (fun () -> M.max_binding t.map)
-    else
-      critical t (fun () ->
-          let l = local_of t in
+    if not (TM.in_txn ()) then
+      TM.critical (sregion t) (fun () -> M.max_binding t.map)
+    else begin
+      let l = local_of t in
+      TM.critical (sregion t) (fun () ->
           L.lock_last t.locks l.txn;
+          l.struct_locked <- true;
           merged_last t l ~lo:None ~hi:None)
+    end
 
   let first_key t = Option.map fst (first_binding t)
   let last_key t = Option.map fst (last_binding t)
@@ -440,7 +536,7 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
     let first_binding v =
       let t = v.parent in
       if not (TM.in_txn ()) then
-        critical t (fun () ->
+        TM.critical (sregion t) (fun () ->
             let r = ref None in
             (try
                M.iter_range
@@ -450,9 +546,9 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
                  t.map ~lo:v.lo ~hi:v.hi
              with Exit -> ());
             !r)
-      else
-        critical t (fun () ->
-            let l = local_of t in
+      else begin
+        let l = local_of t in
+        TM.critical (sregion t) (fun () ->
             match merged_first t l ~lo:v.lo ~hi:v.hi with
             | None ->
                 take_range_lock t l { lo = v.lo; hi = v.hi };
@@ -461,18 +557,19 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
                 take_range_lock t l { lo = v.lo; hi = Some k };
                 lock_key t l k;
                 Some (k, value))
+      end
 
     let last_binding v =
       let t = v.parent in
       if not (TM.in_txn ()) then
-        critical t (fun () ->
+        TM.critical (sregion t) (fun () ->
             let r = ref None in
             M.iter_range (fun k value -> r := Some (k, value)) t.map ~lo:v.lo
               ~hi:v.hi;
             !r)
-      else
-        critical t (fun () ->
-            let l = local_of t in
+      else begin
+        let l = local_of t in
+        TM.critical (sregion t) (fun () ->
             match merged_last t l ~lo:v.lo ~hi:v.hi with
             | None ->
                 take_range_lock t l { lo = v.lo; hi = v.hi };
@@ -483,6 +580,7 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
                 take_range_lock t l { lo = Some k; hi = v.hi };
                 lock_key t l k;
                 Some (k, value))
+      end
 
     let first_key v = Option.map fst (first_binding v)
     let last_key v = Option.map fst (last_binding v)
@@ -497,7 +595,9 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
      a first lock; exhaustion locks the remaining span up to [hi], plus the
      last lock when [hi] is unbounded.  Unlike [fold_range], the span ahead
      of the cursor stays unlocked, so inserts ahead of the cursor commute
-     (and are observed live) while inserts behind it abort the iterator. *)
+     (and are observed live) while inserts behind it abort the iterator.
+     Range insertions coalesce in the lock table, so the incremental span
+     extension holds a bounded number of range entries. *)
   type 'v cursor = {
     cparent : 'v t;
     clo : M.key option;
@@ -507,16 +607,20 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
   }
 
   let cursor ?lo ?hi t =
-    if TM.in_txn () then
-      critical t (fun () ->
-          let l = local_of t in
-          if lo = None then L.lock_first t.locks l.txn);
+    if TM.in_txn () then begin
+      let l = local_of t in
+      TM.critical (sregion t) (fun () ->
+          if lo = None then begin
+            L.lock_first t.locks l.txn;
+            l.struct_locked <- true
+          end)
+    end;
     { cparent = t; clo = lo; chi = hi; cpos = None; cexhausted = false }
 
   let cursor_next c =
     let t = c.cparent in
-    critical t (fun () ->
-        if not (TM.in_txn ()) then begin
+    if not (TM.in_txn ()) then
+      TM.critical (sregion t) (fun () ->
           (* Outside a transaction: plain ordered walk of the committed map. *)
           let r = ref None in
           (try
@@ -534,10 +638,10 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
                t.map ~lo:c.clo ~hi:c.chi
            with Exit -> ());
           (match !r with Some (k, _) -> c.cpos <- Some k | None -> ());
-          !r
-        end
-        else begin
-          let l = local_of t in
+          !r)
+    else begin
+      let l = local_of t in
+      TM.critical (sregion t) (fun () ->
           let span_lo = match c.cpos with Some _ as p -> p | None -> c.clo in
           match merged_first_above t l ~above:c.cpos ~lo:c.clo ~hi:c.chi with
           | Some (k, v) ->
@@ -551,31 +655,41 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
                 take_range_lock t l { lo = span_lo; hi = c.chi };
                 if c.chi = None then L.lock_last t.locks l.txn
               end;
-              None
-        end)
+              None)
+    end
 
   (* ---------------- introspection ---------------- *)
 
   let holds_key_lock t k =
-    critical t (fun () -> L.key_locked_by t.locks (TM.current ()) k)
+    TM.critical (key_region t k) (fun () ->
+        L.key_locked_by t.locks (TM.current ()) k)
 
   let holds_size_lock t =
-    critical t (fun () -> L.size_locked_by t.locks (TM.current ()))
+    TM.critical (sregion t) (fun () ->
+        L.size_locked_by t.locks (TM.current ()))
 
   let holds_range_lock t =
-    critical t (fun () -> L.range_locked_by t.locks (TM.current ()))
+    TM.critical (sregion t) (fun () ->
+        L.range_locked_by t.locks (TM.current ()))
 
   let holds_first_lock t =
-    critical t (fun () -> L.first_locked_by t.locks (TM.current ()))
+    TM.critical (sregion t) (fun () ->
+        L.first_locked_by t.locks (TM.current ()))
 
   let holds_last_lock t =
-    critical t (fun () -> L.last_locked_by t.locks (TM.current ()))
+    TM.critical (sregion t) (fun () ->
+        L.last_locked_by t.locks (TM.current ()))
 
-  let outstanding_locks t = critical t (fun () -> L.total_lockers t.locks)
+  let outstanding_locks t =
+    L.critical_all t.locks (fun () -> L.total_lockers t.locks)
 
-  (* Live rendering of Table 6's state inventory. *)
+  let outstanding_range_locks t =
+    TM.critical (sregion t) (fun () -> L.range_locker_count t.locks)
+
+  (* Live rendering of Table 6's state inventory (local state is the
+     calling domain's). *)
   let dump_state ppf t =
-    critical t (fun () ->
+    L.critical_all t.locks (fun () ->
         Format.fprintf ppf "Committed state:@.";
         Format.fprintf ppf "  sortedMap           %d bindings@." (M.size t.map);
         Format.fprintf ppf "  comparator          (read-only)@.";
@@ -590,13 +704,14 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
           (L.last_locker_count t.locks);
         Format.fprintf ppf "  rangeLockers        %d@."
           (L.range_locker_count t.locks);
+        let d = Domain.DLS.get t.dls in
         Format.fprintf ppf "Local transactional state (%d active txns):@."
-          (Hashtbl.length t.locals);
+          (Hashtbl.length d.tbl);
         Hashtbl.iter
           (fun id l ->
             Format.fprintf ppf
               "  txn %-6d sortedStoreBuffer=%d entries, keyLocks=%d@." id
               (Coll.Ordmap.size l.buffer)
               (List.length l.key_locks))
-          t.locals)
+          d.tbl)
 end

@@ -15,19 +15,31 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) : sig
   type write_policy = Optimistic | Pessimistic_aggressive | Pessimistic_timid
 
   val create :
+    ?stripes:int ->
+    ?hash:(M.key -> int) ->
     ?isempty_policy:isempty_policy ->
     ?write_policy:write_policy ->
     ?copy_key:(M.key -> M.key) ->
     unit ->
     'v t
+  (** [stripes] (default 8) shards the key-lock tables: point reads of
+      disjoint keys proceed in parallel with each other and with ordered
+      reads.  Writers still serialise at commit — the shared ordered
+      structure and the range/endpoint locks live behind one structure
+      region.  [hash] picks a key's stripe (default [Hashtbl.hash]). *)
 
   val wrap :
+    ?stripes:int ->
+    ?hash:(M.key -> int) ->
     ?isempty_policy:isempty_policy ->
     ?write_policy:write_policy ->
     ?copy_key:(M.key -> M.key) ->
     'v M.t ->
     'v t
+
   val compare_key : M.key -> M.key -> int
+
+  val stripe_count : 'v t -> int
 
   (** {1 Point operations} (as TransactionalMap) *)
 
@@ -116,6 +128,11 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) : sig
   val holds_first_lock : 'v t -> bool
   val holds_last_lock : 'v t -> bool
   val outstanding_locks : 'v t -> int
+
+  val outstanding_range_locks : 'v t -> int
+  (** Number of (range, owner) pairs currently registered.  Ranges coalesce
+      on insertion, so a cursor sweeping an interval incrementally holds a
+      bounded count (the regression test for unbounded range-lock growth). *)
 
   val dump_state : Format.formatter -> 'v t -> unit
   (** Live rendering of Table 6's state inventory. *)

@@ -22,7 +22,7 @@ let test_acquire_release_balance () =
   L.lock_key t b 1;
   L.lock_key t a 2;
   L.lock_size t a;
-  L.lock_range t b { L.lo = Some 0; hi = Some 10 };
+  L.lock_range t b ~compare:Int.compare { L.lo = Some 0; hi = Some 10 };
   Alcotest.(check int) "five locks held" 5 (L.total_lockers t);
   L.release_all t a ~keys:[ 1; 2 ];
   Alcotest.(check int) "a's locks gone" 2 (L.total_lockers t);
@@ -42,7 +42,7 @@ let test_idempotent_acquire () =
 let test_range_overlap_semantics () =
   let t : int L.t = L.create () in
   let a = handle () in
-  L.lock_range t a { L.lo = Some 10; hi = Some 20 };
+  L.lock_range t a ~compare:Int.compare { L.lo = Some 10; hi = Some 20 };
   let contains k = L.range_contains Int.compare { L.lo = Some 10; hi = Some 20 } k in
   Alcotest.(check bool) "lo inclusive" true (contains 10);
   Alcotest.(check bool) "hi exclusive" false (contains 20);
@@ -62,6 +62,64 @@ let test_writer_entry () =
   L.release_all t a ~keys:[ 5 ];
   Alcotest.(check bool) "writer released" true (L.key_writer t 5 = None);
   Alcotest.(check int) "table empty" 0 (L.total_lockers t)
+
+let test_range_coalescing () =
+  let t : int L.t = L.create () in
+  let a = handle () and b = handle () in
+  let lock owner r = L.lock_range t owner ~compare:Int.compare r in
+  (* Duplicate and overlapping ranges collapse into one entry. *)
+  lock a { L.lo = Some 0; hi = Some 10 };
+  lock a { L.lo = Some 0; hi = Some 10 };
+  lock a { L.lo = Some 5; hi = Some 15 };
+  Alcotest.(check int) "duplicates+overlaps coalesce" 1 (L.range_locker_count t);
+  (* Adjacent half-open ranges ([10,20) after [0,15)->[0,15)) merge too. *)
+  lock a { L.lo = Some 15; hi = Some 20 };
+  Alcotest.(check int) "adjacent ranges merge" 1 (L.range_locker_count t);
+  Alcotest.(check bool) "merged range covers the union" true
+    (L.range_contains Int.compare { L.lo = Some 0; hi = Some 20 } 17);
+  (* A separated range stays its own entry... *)
+  lock a { L.lo = Some 100; hi = Some 110 };
+  Alcotest.(check int) "gap keeps two entries" 2 (L.range_locker_count t);
+  (* ...until a bridging range connects everything (one pass must absorb
+     both existing entries). *)
+  lock a { L.lo = Some 10; hi = Some 105 };
+  Alcotest.(check int) "bridge collapses to one" 1 (L.range_locker_count t);
+  (* Unbounded swallows everything. *)
+  lock a { L.lo = None; hi = None };
+  Alcotest.(check int) "unbounded coalesces" 1 (L.range_locker_count t);
+  (* Per-owner isolation: another owner's range is a separate entry. *)
+  lock b { L.lo = Some 0; hi = Some 1 };
+  Alcotest.(check int) "per-owner entries" 2 (L.range_locker_count t);
+  L.release_all t a ~keys:[];
+  L.release_all t b ~keys:[];
+  Alcotest.(check int) "released" 0 (L.range_locker_count t)
+
+let test_striped_geometry () =
+  let t : int L.t = L.create ~stripes:4 () in
+  Alcotest.(check int) "stripe count" 4 (L.stripe_count t);
+  for k = 0 to 100 do
+    let i = L.stripe_index t k in
+    Alcotest.(check bool) "index in range" true (i >= 0 && i < 4)
+  done;
+  (* Lock bookkeeping is unchanged by striping. *)
+  let a = handle () and b = handle () in
+  L.lock_key t a 1;
+  L.lock_key t b 1;
+  L.lock_key t a 2;
+  L.lock_size t a;
+  Alcotest.(check int) "four locks held" 4 (L.total_lockers t);
+  Alcotest.(check bool) "a holds key 1" true (L.key_locked_by t a 1);
+  L.release_all t a ~keys:[ 1; 2 ];
+  Alcotest.(check int) "b's lock remains" 1 (L.total_lockers t);
+  L.release_all t b ~keys:[ 1 ];
+  Alcotest.(check int) "empty" 0 (L.total_lockers t);
+  (* K = 1 shares the structure region with its only stripe; K > 1 has
+     distinct regions per stripe. *)
+  let t1 : int L.t = L.create ~stripes:1 () in
+  Alcotest.(check bool) "K=1 stripe region is the struct region" true
+    (L.stripe_region t1 0 == L.struct_region t1);
+  Alcotest.(check bool) "K>1 stripes are distinct regions" true
+    (L.stripe_region t 0 != L.stripe_region t 1)
 
 let prop_model_consistency =
   QCheck.Test.make ~name:"lock table agrees with reference model" ~count:150
@@ -101,6 +159,8 @@ let suites =
           test_acquire_release_balance;
         Alcotest.test_case "idempotent acquire" `Quick test_idempotent_acquire;
         Alcotest.test_case "range semantics" `Quick test_range_overlap_semantics;
+        Alcotest.test_case "range coalescing" `Quick test_range_coalescing;
+        Alcotest.test_case "striped geometry" `Quick test_striped_geometry;
         Alcotest.test_case "writer entries" `Quick test_writer_entry;
         QCheck_alcotest.to_alcotest prop_model_consistency;
       ] );

@@ -29,12 +29,14 @@ let test_dispatch_centre () =
   let billing = Counter.create () in
   let stamps = Uidgen.create ~first:1 () in
 
+  let producer_done = Atomic.make false in
   let producer () =
     for j = 1 to n_jobs do
       Stm.atomic (fun () ->
           ignore (StatusMap.put status j 0);
           Q.put jobs j)
-    done
+    done;
+    Atomic.set producer_done true
   in
 
   let completed = Atomic.make 0 in
@@ -42,7 +44,11 @@ let test_dispatch_centre () =
   let worker seed () =
     let rng = Random.State.make [| seed |] in
     let idle = ref 0 in
+    (* Spin freely while the producer is still enqueueing (on few cores a
+       worker can otherwise exhaust its idle budget before any job lands);
+       only idle iterations after production completes count toward exit. *)
     while !idle < 3000 do
+      if not (Atomic.get producer_done) then idle := 0;
       let progressed =
         try
           Stm.atomic (fun () ->

@@ -1,0 +1,231 @@
+(* Striping must change contention, never semantics: the traced lock rows
+   of Tables 2 and 5 are identical for every stripe count, single-threaded
+   behaviour is identical across K, range locks stay bounded under
+   incremental cursors (the coalescing regression), and the multi-domain
+   chaos soak converges when every worker targets one shared striped
+   map. *)
+
+module Stm = Tcc_stm.Stm
+module LT = Harness.Locktables
+module Chaos = Harness.Chaos
+module IM = Txcoll.Host.Map (Txcoll.Host.Int_hashed)
+module SM = Txcoll.Host.Sorted_map (Txcoll.Host.Int_ordered)
+
+let ks = [ 1; 4; 16 ]
+
+(* ---------------- Tables 2/5: lock rows are K-invariant ---------------- *)
+
+let map_ops : (string * (int LT.IM.t -> unit)) list =
+  [
+    ("containsKey(10) [present]", fun m -> ignore (LT.IM.mem m 10));
+    ("containsKey(77) [absent]", fun m -> ignore (LT.IM.mem m 77));
+    ("get(10)", fun m -> ignore (LT.IM.find m 10));
+    ("size", fun m -> ignore (LT.IM.size m));
+    ("isEmpty", fun m -> ignore (LT.IM.is_empty m));
+    ("entrySet iteration", fun m -> ignore (LT.IM.to_list m));
+    ("put(10, v)", fun m -> ignore (LT.IM.put m 10 0));
+    ("put(77, v) [new key]", fun m -> ignore (LT.IM.put m 77 0));
+    ("putBlind(10, v)", fun m -> LT.IM.put_blind m 10 0);
+    ("remove(10)", fun m -> ignore (LT.IM.remove m 10));
+    ("removeBlind(10)", fun m -> LT.IM.remove_blind m 10);
+  ]
+
+let sorted_ops : (string * (int LT.SM.t -> unit)) list =
+  [
+    ("firstKey", fun m -> ignore (LT.SM.first_key m));
+    ("lastKey", fun m -> ignore (LT.SM.last_key m));
+    ("entrySet iteration", fun m -> ignore (LT.SM.to_list m));
+    ( "subMap(15,25) iteration",
+      fun m ->
+        ignore (LT.SM.fold_range (fun _ _ a -> a) m () ~lo:(Some 15) ~hi:(Some 25)) );
+    ("get(10)", fun m -> ignore (LT.SM.find m 10));
+    ("put(77, v) [new key]", fun m -> ignore (LT.SM.put m 77 0));
+    ("remove(10)", fun m -> ignore (LT.SM.remove m 10));
+  ]
+
+let test_map_rows_stripe_invariant () =
+  List.iter
+    (fun (name, op) ->
+      let baseline = LT.probe_map ~stripes:1 op in
+      List.iter
+        (fun k ->
+          Alcotest.(check (list string))
+            (Printf.sprintf "%s locks identical at K=%d" name k)
+            baseline
+            (LT.probe_map ~stripes:k op))
+        ks)
+    map_ops
+
+let test_sorted_rows_stripe_invariant () =
+  List.iter
+    (fun (name, op) ->
+      let baseline = LT.probe_sorted ~stripes:1 op in
+      List.iter
+        (fun k ->
+          Alcotest.(check (list string))
+            (Printf.sprintf "%s locks identical at K=%d" name k)
+            baseline
+            (LT.probe_sorted ~stripes:k op))
+        ks)
+    sorted_ops
+
+(* Table 8 has no striped variant (the queue is deliberately K = 1), but
+   the rows must still trace as specified with the lock manager striped
+   underneath the shared Semlock functor. *)
+let test_queue_rows_unchanged () =
+  let module Q = Txcoll.Host.Queue in
+  Alcotest.(check (list string))
+    "peek on empty takes the empty lock" [ "empty" ]
+    (LT.probe_queue ~empty:true (fun q -> ignore (Q.peek q)));
+  Alcotest.(check (list string))
+    "peek on non-empty takes nothing" []
+    (LT.probe_queue ~empty:false (fun q -> ignore (Q.peek q)))
+
+(* ---------------- behavioural equivalence across K ---------------- *)
+
+let test_single_thread_equivalence () =
+  (* The same operation script against K = 1 and K = 16 must produce the
+     same observable results and the same final contents. *)
+  let script m =
+    Stm.atomic (fun () ->
+        for i = 0 to 63 do
+          ignore (IM.put m i (i * i))
+        done);
+    let obs1 =
+      Stm.atomic (fun () ->
+          let a = IM.find m 17 in
+          ignore (IM.remove m 17);
+          let b = IM.find m 17 in
+          (a, b, IM.size m))
+    in
+    let obs2 =
+      Stm.atomic (fun () ->
+          IM.fold (fun k v acc -> acc + k + v) m 0)
+    in
+    (obs1, obs2, List.sort compare (IM.to_list m))
+  in
+  let r1 = script (IM.create ~stripes:1 ()) in
+  let r16 = script (IM.create ~stripes:16 ()) in
+  let (a1, b1, s1), f1, l1 = r1 and (a16, b16, s16), f16, l16 = r16 in
+  Alcotest.(check (option int)) "find before remove" a1 a16;
+  Alcotest.(check (option int)) "find after remove" b1 b16;
+  Alcotest.(check int) "size" s1 s16;
+  Alcotest.(check int) "fold" f1 f16;
+  Alcotest.(check bool) "contents identical" true (l1 = l16)
+
+let test_stripe_count_clamped () =
+  Alcotest.(check int) "default" 16 (IM.stripe_count (IM.create ()));
+  Alcotest.(check int) "explicit" 4 (IM.stripe_count (IM.create ~stripes:4 ()));
+  Alcotest.(check int) "clamped low" 1 (IM.stripe_count (IM.create ~stripes:0 ()));
+  Alcotest.(check int) "clamped high" 62
+    (IM.stripe_count (IM.create ~stripes:1000 ()));
+  Alcotest.(check int) "sorted default" 8 (SM.stripe_count (SM.create ()))
+
+(* ---------------- range-lock growth regression ---------------- *)
+
+let test_cursor_range_locks_bounded () =
+  (* An incremental cursor extends its range lock one binding at a time;
+     coalescing must keep the registered count O(1), not O(keys seen). *)
+  let m = SM.create ~stripes:4 () in
+  Stm.atomic (fun () ->
+      for i = 1 to 200 do
+        ignore (SM.put m i i)
+      done);
+  let seen = ref 0 in
+  let worst = ref 0 in
+  (try
+     Stm.atomic (fun () ->
+         let c = SM.cursor m in
+         let rec go () =
+           match SM.cursor_next c with
+           | Some _ ->
+               incr seen;
+               worst := max !worst (SM.outstanding_range_locks m);
+               go ()
+           | None -> ()
+         in
+         go ();
+         Stm.self_abort ())
+   with Stm.Aborted -> ());
+  Alcotest.(check int) "cursor visited every binding" 200 !seen;
+  Alcotest.(check bool)
+    (Printf.sprintf "range locks stay bounded (worst %d)" !worst)
+    true (!worst <= 2);
+  Alcotest.(check int) "released on abort" 0 (SM.outstanding_range_locks m)
+
+let test_repeated_folds_coalesce () =
+  let m = SM.create () in
+  Stm.atomic (fun () ->
+      for i = 1 to 100 do
+        ignore (SM.put m i i)
+      done);
+  (try
+     Stm.atomic (fun () ->
+         (* Overlapping and adjacent spans from one transaction: one entry. *)
+         for lo = 0 to 9 do
+           ignore
+             (SM.fold_range
+                (fun _ _ a -> a)
+                m ()
+                ~lo:(Some (lo * 10))
+                ~hi:(Some ((lo * 10) + 15)))
+         done;
+         Alcotest.(check int) "ten overlapping folds, one range entry" 1
+           (SM.outstanding_range_locks m);
+         Stm.self_abort ())
+   with Stm.Aborted -> ());
+  Alcotest.(check int) "released" 0 (SM.outstanding_range_locks m)
+
+(* ---------------- multi-domain striped soak ---------------- *)
+
+let test_striped_soak_matrix () =
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun stripes ->
+          let r =
+            Chaos.run_striped_soak ~stripes
+              (Chaos.default_soak ~domains:2 ~ops_per_domain:600 ~seed 0.05)
+          in
+          if not r.ok then
+            Alcotest.failf "striped soak seed=%d K=%d: %s" seed stripes
+              (String.concat "; " r.errors);
+          Alcotest.(check bool)
+            (Printf.sprintf "work committed (seed=%d K=%d)" seed stripes)
+            true (r.committed > 0))
+        [ 1; 4; 16 ])
+    [ 11; 12 ]
+
+let test_striped_soak_deterministic () =
+  let soak () =
+    Chaos.run_striped_soak ~stripes:8
+      (Chaos.default_soak ~domains:1 ~ops_per_domain:800 ~seed:5 0.1)
+  in
+  let a = soak () and b = soak () in
+  Alcotest.(check bool) "run A converged" true a.ok;
+  Alcotest.(check bool) "run B converged" true b.ok;
+  Alcotest.(check string) "same seed, same fingerprint" a.fingerprint
+    b.fingerprint
+
+let suites =
+  [
+    ( "striping",
+      [
+        Alcotest.test_case "map lock rows K-invariant" `Quick
+          test_map_rows_stripe_invariant;
+        Alcotest.test_case "sorted lock rows K-invariant" `Quick
+          test_sorted_rows_stripe_invariant;
+        Alcotest.test_case "queue rows unchanged" `Quick test_queue_rows_unchanged;
+        Alcotest.test_case "single-thread equivalence" `Quick
+          test_single_thread_equivalence;
+        Alcotest.test_case "stripe count clamped" `Quick test_stripe_count_clamped;
+        Alcotest.test_case "cursor range locks bounded" `Quick
+          test_cursor_range_locks_bounded;
+        Alcotest.test_case "repeated folds coalesce" `Quick
+          test_repeated_folds_coalesce;
+        Alcotest.test_case "striped soak (2 seeds x 3 K)" `Slow
+          test_striped_soak_matrix;
+        Alcotest.test_case "striped soak deterministic" `Quick
+          test_striped_soak_deterministic;
+      ] );
+  ]
