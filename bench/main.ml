@@ -416,7 +416,77 @@ let semscale_run ~stripes ~domains ~txns_per_domain =
     ss_region_waits = Stm.commit_region_waits () - waits_before;
   }
 
-let stmscale_json ~cores ~chaos_rows ~starvation_rows ~semscale_rows rows =
+(* Same experiment over the sorted map: one shared
+   TransactionalSortedMap, each domain overwriting its own disjoint key
+   interval.  With B = 1 every commit serialises on the collection's
+   single region; with interval splitters at the per-domain boundaries
+   each writer's commit plan names only its own interval region, so
+   disjoint-range writers commit in parallel. *)
+
+module SOM = Txcoll.Host.Sorted_map (Txcoll.Host.Int_ordered)
+
+type sortedscale_row = {
+  so_intervals : int;
+  so_domains : int;
+  so_total_txns : int;
+  so_elapsed_s : float;
+  so_commits_per_s : float;
+  so_p99_us : float;
+  so_region_waits : int;
+}
+
+let sortedscale_intervals = 8
+let sortedscale_keys_per_domain = 1024
+
+let sortedscale_run ~intervals ~domains ~txns_per_domain =
+  (* Splitters at the per-domain key-range boundaries: domain d's keys
+     [d*K, (d+1)*K) land in interval d (for d < B). *)
+  let splitters =
+    List.init (intervals - 1) (fun i ->
+        (i + 1) * sortedscale_keys_per_domain)
+  in
+  let m = SOM.create ~splitters () in
+  for d = 0 to domains - 1 do
+    for i = 0 to sortedscale_keys_per_domain - 1 do
+      ignore (SOM.put m ((d * sortedscale_keys_per_domain) + i) 0)
+    done
+  done;
+  let waits_before = Stm.commit_region_waits () in
+  let t0 = Unix.gettimeofday () in
+  let ds =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            let lat = Array.make txns_per_domain 0. in
+            let base = d * sortedscale_keys_per_domain in
+            for i = 0 to txns_per_domain - 1 do
+              let k = base + (i land (sortedscale_keys_per_domain - 1)) in
+              let s = Unix.gettimeofday () in
+              (* Presence-preserving overwrite: the commit plan stays the
+                 key's interval region alone. *)
+              Stm.atomic (fun () -> ignore (SOM.put m k i));
+              lat.(i) <- Unix.gettimeofday () -. s
+            done;
+            lat))
+  in
+  let lats = List.map Domain.join ds in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let all = Array.concat lats in
+  Array.sort Float.compare all;
+  let n = Array.length all in
+  let p99 = all.(min (n - 1) (n * 99 / 100)) in
+  let total = domains * txns_per_domain in
+  {
+    so_intervals = intervals;
+    so_domains = domains;
+    so_total_txns = total;
+    so_elapsed_s = elapsed;
+    so_commits_per_s = float_of_int total /. elapsed;
+    so_p99_us = p99 *. 1e6;
+    so_region_waits = Stm.commit_region_waits () - waits_before;
+  }
+
+let stmscale_json ~cores ~chaos_rows ~starvation_rows ~semscale_rows
+    ~sortedscale_rows rows =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
   Buffer.add_string b (Printf.sprintf "  \"cores\": %d,\n" cores);
@@ -454,6 +524,35 @@ let stmscale_json ~cores ~chaos_rows ~starvation_rows ~semscale_rows rows =
   in
   Buffer.add_string b
     (Printf.sprintf "  \"semscale_scaling_1_to_4\": %.3f,\n" (ss_ratio 1 4));
+  let so_ratio intervals d1 d2 =
+    let find d =
+      List.find_opt
+        (fun r -> r.so_domains = d && r.so_intervals = intervals)
+        sortedscale_rows
+    in
+    match (find d1, find d2) with
+    | Some a, Some bx -> bx.so_commits_per_s /. a.so_commits_per_s
+    | _ -> 0.
+  in
+  Buffer.add_string b
+    (Printf.sprintf "  \"sortedscale_scaling_1_to_4\": %.3f,\n"
+       (so_ratio sortedscale_intervals 1 4));
+  Buffer.add_string b
+    (Printf.sprintf "  \"sortedscale_b1_scaling_1_to_4\": %.3f,\n"
+       (so_ratio 1 1 4));
+  Buffer.add_string b "  \"sortedscale\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"intervals\": %d, \"domains\": %d, \"txns\": %d, \
+            \"elapsed_s\": %.4f, \"commits_per_s\": %.1f, \"p99_us\": %.1f, \
+            \"region_waits\": %d}%s\n"
+           r.so_intervals r.so_domains r.so_total_txns r.so_elapsed_s
+           r.so_commits_per_s r.so_p99_us r.so_region_waits
+           (if i = List.length sortedscale_rows - 1 then "" else ",")))
+    sortedscale_rows;
+  Buffer.add_string b "  ],\n";
   Buffer.add_string b "  \"semscale\": [\n";
   List.iteri
     (fun i r ->
@@ -560,12 +659,34 @@ let stmscale () =
         r.ss_domains r.ss_total_txns r.ss_commits_per_s r.ss_p99_us
         r.ss_region_waits)
     semscale_rows;
+  (* Same-collection scaling for the sorted map: B = 1 regenerates the
+     single-region baseline, B = 8 puts each writer's key range in its
+     own interval.  The gated ratio compares the two. *)
+  let sortedscale_rows =
+    List.concat_map
+      (fun intervals ->
+        List.map
+          (fun domains -> sortedscale_run ~intervals ~domains ~txns_per_domain)
+          semscale_domains)
+      [ 1; sortedscale_intervals ]
+  in
+  Fmt.pf ppf
+    "@.Sorted-map same-collection scaling (disjoint per-domain intervals)@.";
+  Fmt.pf ppf "  %9s %7s %10s %14s %10s %13s@." "intervals" "domains" "txns"
+    "commits/s" "p99 (us)" "region_waits";
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "  %9d %7d %10d %14.0f %10.1f %13d@." r.so_intervals
+        r.so_domains r.so_total_txns r.so_commits_per_s r.so_p99_us
+        r.so_region_waits)
+    sortedscale_rows;
   (* Robustness columns: a lighter chaos matrix plus the three-policy
      starvation comparison ride along into the same JSON record. *)
   let chaos_rows = chaos_matrix ~ops_per_domain:400 in
   let starvation_rows = starve_rows () in
   let json =
-    stmscale_json ~cores ~chaos_rows ~starvation_rows ~semscale_rows rows
+    stmscale_json ~cores ~chaos_rows ~starvation_rows ~semscale_rows
+      ~sortedscale_rows rows
   in
   let oc = open_out "BENCH_stm.json" in
   output_string oc json;

@@ -322,7 +322,15 @@ let check name cond errors = if not cond then errors := name :: !errors
 let run_soak sc =
   install sc.chaos;
   let map = Map.create () in
-  let sorted = Sorted.create () in
+  (* Interval splitters at the per-worker partition boundaries: multi-domain
+     soaks exercise interval-partitioned commit plans (cross-partition
+     probes and endpoint reads still cross intervals); a single domain gets
+     B = 1, the historical unsharded behaviour. *)
+  let sorted =
+    Sorted.create
+      ~splitters:(List.init (max 0 (sc.domains - 1)) (fun i -> (i + 1) * sc.key_space))
+      ()
+  in
   let queue = Queue.create () in
   let counter = Tvar.make 0 in
   let doms =

@@ -28,8 +28,10 @@ let probe_map ?stripes op =
    with Stm.Aborted -> ());
   List.rev !held
 
-let probe_sorted ?stripes op =
-  let m = SM.create ?stripes () in
+(* [splitters] exercises the interval-partitioned lock manager the same
+   way: lock rows must be invariant in the partition. *)
+let probe_sorted ?splitters op =
+  let m = SM.create ?splitters () in
   List.iter (fun k -> ignore (SM.put m k k)) [ 10; 20; 30 ];
   let held = ref [] in
   (try

@@ -1,40 +1,65 @@
 (* Semantic lock tables for one collection instance, sharded into K
-   cache-padded key stripes.
+   cache-padded stripes.
 
    Lock owners are top-level transactions (paper §3.1: "The owner of a lock
    is the top-level transaction at the time of the read operation").
 
-   Striping (scalability of the semantic layer itself): per-key state —
-   reader/writer entries keyed by the collection key — lives in stripe
-   [hash key mod K], each stripe behind its own [TM.critical] region, so
-   operations and commits touching disjoint keys of the same collection
-   never contend.  Whole-structure state — size/isEmpty/first/last and
-   range locks, which any key mutation may conflict with — lives in a
-   dedicated structure stripe behind [struct_region].  Deadlock freedom:
-   the structure region is created first, so its rid is the lowest of the
-   collection's regions and stripe rids ascend with stripe index;
-   operations nest structure-then-stripe criticals and commits pre-acquire
-   their rid-sorted region plan, so every acquisition order is ascending.
+   Partitioning (scalability of the semantic layer itself): per-key state —
+   reader/writer entries keyed by the collection key — lives in a stripe
+   chosen by the table's partition function, each stripe behind its own
+   [TM.critical] region, so operations and commits touching disjoint keys
+   of the same collection never contend.  Two partition modes exist:
+
+   - [Hashed]: stripe [hash key mod K].  Used by the unordered map; range
+     locks make no sense per-stripe under a hash (a range overlaps every
+     stripe), so they live in the structure stripe as before.
+   - [Intervals]: B ordered intervals cut by a sorted splitter array
+     (interval i = [s_{i-1}, s_i), unbounded at the edges); the stripe of
+     [k] is found by binary search.  Because intervals respect key order,
+     a range lock is registered in exactly the stripes its span overlaps
+     ([interval_span]), and [conflict_range k] needs to consult only the
+     stripe owning [k] — any range containing [k] necessarily overlaps
+     [k]'s interval and is registered there.  Per-stripe registration
+     stores the *uncut* range in each overlapped stripe; coalescing is
+     per-stripe, and merging only touching half-open ranges is exact
+     (the merge is the union), so stripe-local verdicts equal the verdict
+     of the raw fragment list.
+
+   Whole-structure state — size/isEmpty/first/last lockers, and range
+   locks in hashed mode — lives in a dedicated structure stripe behind
+   [struct_region].  Deadlock freedom: the structure region is created
+   first, so its rid is the lowest of the collection's regions and stripe
+   rids ascend with stripe index; operations nest structure-then-stripe
+   criticals in ascending order and commits pre-acquire their rid-sorted
+   region plan, so every acquisition order is ascending.
 
    Synchronisation discipline: per-key functions ([lock_key],
    [conflict_key], [release_key], ...) require the caller to hold
-   [region_of_key t k]; structure functions ([lock_size], [conflict_range],
-   [release_structure], ...) require [struct_region t].  [release_all] and
-   the whole-table introspection helpers synchronise internally (regions
-   are reentrant, so calling them with regions held is fine).
+   [region_of_key t k]; [lock_range]/[release_ranges_in_stripe] require
+   the overlapped stripe regions (interval mode) or [struct_region]
+   (hashed mode); [conflict_range t k] requires [region_of_key t k] in
+   interval mode and [struct_region] in hashed mode; structure functions
+   ([lock_size], [release_structure], ...) require [struct_region t].
+   [release_all] and the whole-table introspection helpers synchronise
+   internally (regions are reentrant, so calling them with regions held is
+   fine).
 
    Membership structures are keyed by [TM.txn_id] — which coincides with
    [TM.same_txn] equality on both TM implementations — so acquiring,
    releasing and re-checking a lock are O(1) instead of list scans, and
    [any_other_writer] is O(1) per stripe via a maintained per-transaction
-   write-lock count.  The commit-time conflict checks iterate the tables
-   directly and allocate nothing.
+   write-lock count.  Key write locks track *every* pending writer (a
+   lockers table, not a single slot): a second writer registering on the
+   same key must not displace the first, or the first's write-write
+   conflict would be lost at commit time.  The commit-time conflict checks
+   iterate the tables directly and allocate nothing.
 
    Conflict detection is optimistic (paper §5.1): writers examine these
-   tables at commit time and abort conflicting readers through
-   program-directed abort.  [remote_abort] returning [false] means the
-   reader already passed its commit point and thereby serialised before the
-   committing writer, which is not a conflict. *)
+   tables at commit time and abort conflicting readers (and conflicting
+   pending writers) through program-directed abort.  [remote_abort]
+   returning [false] means the victim already passed its commit point and
+   thereby serialised before the committing writer, which is not a
+   conflict. *)
 
 module Make (TM : Tm_intf.TM_OPS) = struct
   type 'k range = { lo : 'k option; hi : 'k option }
@@ -45,9 +70,11 @@ module Make (TM : Tm_intf.TM_OPS) = struct
 
   type key_entry = {
     readers : lockers;
-    mutable writer : TM.txn option;
-        (* Exclusive writer, used only by the pessimistic/undo-logging
-           variants (§5.1); the optimistic wrapper never sets it. *)
+    writers : lockers;
+        (* Pending writers, used only by the pessimistic/undo-logging
+           variants (§5.1); the optimistic wrapper never writes here.
+           Plural: concurrent writers of the same key must all stay
+           registered so each one's commit conflicts with the others. *)
   }
 
   type 'k stripe = {
@@ -55,6 +82,11 @@ module Make (TM : Tm_intf.TM_OPS) = struct
     key_lockers : ('k, key_entry) Coll.Chain_hashmap.t;
     st_writers : (int, int) Hashtbl.t;
         (* txn_id -> number of key write-locks held in this stripe *)
+    st_ranges : (int, 'k range list * TM.txn) Hashtbl.t;
+        (* Interval mode only: txn_id -> coalesced ranges overlapping this
+           stripe's interval (hashed mode keeps ranges in the structure
+           stripe). *)
+    mutable st_range_count : int; (* total (range, owner) pairs here *)
     (* Pad the hot fields apart: stripes sit in one array and are locked
        from different domains, so without padding two stripes share a
        cache line and "disjoint" critical sections still ping-pong. *)
@@ -65,18 +97,27 @@ module Make (TM : Tm_intf.TM_OPS) = struct
     mutable st_pad4 : int;
   }
 
+  type 'k partition =
+    | Hashed of ('k -> int)
+    | Intervals of { splitters : 'k array; cmp : 'k -> 'k -> int }
+        (* [splitters] sorted ascending, no duplicates; B = len + 1
+           intervals: interval 0 = (-inf, s0), interval i = [s_{i-1}, s_i),
+           interval B-1 = [s_{B-2}, +inf). *)
+
   type 'k t = {
     stripes : 'k stripe array;
-    hash : 'k -> int;
+    partition : 'k partition;
     sregion : TM.region;
-        (* structure stripe: size/isEmpty/first/last/range locks *)
+        (* structure stripe: size/isEmpty/first/last (+ hashed-mode range)
+           locks *)
     size_lockers : lockers;
     isempty_lockers : lockers;
     first_lockers : lockers;
     last_lockers : lockers;
     range_lockers : (int, 'k range list * TM.txn) Hashtbl.t;
-        (* txn_id -> pairwise non-touching ranges, coalesced on insertion *)
-    mutable range_count : int; (* total (range, owner) pairs *)
+        (* hashed mode: txn_id -> pairwise non-touching ranges, coalesced
+           on insertion *)
+    mutable range_count : int; (* total (range, owner) pairs, hashed mode *)
   }
 
   let max_stripes = 62
@@ -87,6 +128,8 @@ module Make (TM : Tm_intf.TM_OPS) = struct
       st_region = region;
       key_lockers = Coll.Chain_hashmap.create ();
       st_writers = Hashtbl.create 8;
+      st_ranges = Hashtbl.create 8;
+      st_range_count = 0;
       st_pad0 = 0;
       st_pad1 = 0;
       st_pad2 = 0;
@@ -94,20 +137,19 @@ module Make (TM : Tm_intf.TM_OPS) = struct
       st_pad4 = 0;
     }
 
-  let create ?(stripes = 1) ?(hash = Hashtbl.hash) () =
-    let k = max 1 (min stripes max_stripes) in
-    (* The structure region is created first so its rid is the lowest of
-       the collection; when K = 1 the single key stripe shares it, making
-       the unsharded instance behave exactly like the historical
-       one-region table. *)
+  (* The structure region is created first so its rid is the lowest of
+     the collection; when there is a single stripe it shares the structure
+     region, making the unsharded instance behave exactly like the
+     historical one-region table. *)
+  let build partition n =
     let sregion = TM.new_region () in
     let stripes =
-      if k = 1 then [| make_stripe sregion |]
-      else Array.init k (fun _ -> make_stripe (TM.new_region ()))
+      if n = 1 then [| make_stripe sregion |]
+      else Array.init n (fun _ -> make_stripe (TM.new_region ()))
     in
     {
       stripes;
-      hash;
+      partition;
       sregion;
       size_lockers = Hashtbl.create 8;
       isempty_lockers = Hashtbl.create 8;
@@ -117,13 +159,76 @@ module Make (TM : Tm_intf.TM_OPS) = struct
       range_count = 0;
     }
 
+  let create ?(stripes = 1) ?(hash = Hashtbl.hash) () =
+    let k = max 1 (min stripes max_stripes) in
+    build (Hashed hash) k
+
+  (* Interval-partitioned table: [splitters] (any order, duplicates fine)
+     is sorted, deduplicated and clamped to [max_stripes - 1] cut points. *)
+  let create_intervals ~splitters ~compare () =
+    let sorted = Array.copy splitters in
+    Array.sort compare sorted;
+    let dedup =
+      Array.of_list
+        (Array.fold_right
+           (fun s acc ->
+             match acc with
+             | s' :: _ when compare s s' = 0 -> acc
+             | _ -> s :: acc)
+           sorted [])
+    in
+    let dedup =
+      if Array.length dedup > max_stripes - 1 then Array.sub dedup 0 (max_stripes - 1)
+      else dedup
+    in
+    build (Intervals { splitters = dedup; cmp = compare }) (Array.length dedup + 1)
+
   (* -------------------- stripe geometry -------------------------------- *)
 
   let stripe_count t = Array.length t.stripes
   let struct_region t = t.sregion
-  let stripe_index t k = t.hash k land max_int mod Array.length t.stripes
+
+  (* Number of splitters [pred]-related to the probe: binary search over the
+     sorted splitter array. *)
+  let count_splitters pred splitters =
+    let rec go lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if pred splitters.(mid) then go (mid + 1) hi else go lo mid
+    in
+    go 0 (Array.length splitters)
+
+  let stripe_index t k =
+    match t.partition with
+    | Hashed hash -> hash k land max_int mod Array.length t.stripes
+    | Intervals { splitters; cmp } ->
+        (* interval index = #{ s | s <= k } *)
+        count_splitters (fun s -> cmp s k <= 0) splitters
+
   let stripe_region t i = t.stripes.(i).st_region
   let region_of_key t k = (t.stripes.(stripe_index t k)).st_region
+
+  (* Inclusive stripe span overlapped by the half-open range [lo, hi).
+     Hashed mode destroys order, so every stripe is overlapped.  Interval
+     mode: the upper index counts splitters *strictly below* [hi], so a
+     range ending exactly on a splitter stays inside the interval below
+     it.  Degenerate (empty) ranges clamp to a single stripe. *)
+  let interval_span t ~lo ~hi =
+    match t.partition with
+    | Hashed _ -> (0, Array.length t.stripes - 1)
+    | Intervals { splitters; cmp } ->
+        let ilo =
+          match lo with
+          | None -> 0
+          | Some l -> count_splitters (fun s -> cmp s l <= 0) splitters
+        in
+        let ihi =
+          match hi with
+          | None -> Array.length t.stripes - 1
+          | Some h -> count_splitters (fun s -> cmp s h < 0) splitters
+        in
+        (ilo, max ilo ihi)
 
   (* Nested criticals over the structure region then every stripe region in
      ascending index (= ascending rid) order: whole-table operations
@@ -159,7 +264,7 @@ module Make (TM : Tm_intf.TM_OPS) = struct
     match Coll.Chain_hashmap.find st.key_lockers k with
     | Some e -> e
     | None ->
-        let e = { readers = Hashtbl.create 4; writer = None } in
+        let e = { readers = Hashtbl.create 4; writers = Hashtbl.create 2 } in
         Coll.Chain_hashmap.add st.key_lockers k e;
         e
 
@@ -167,16 +272,16 @@ module Make (TM : Tm_intf.TM_OPS) = struct
     let e = entry_for t.stripes.(stripe_index t k) k in
     add_locker e.readers txn
 
+  (* Register [txn] as a pending writer of [k].  Idempotent per
+     transaction; every distinct writer stays registered, so a later
+     writer's commit still conflicts with an earlier one. *)
   let lock_key_write t txn k =
     let st = t.stripes.(stripe_index t k) in
     let e = entry_for st k in
-    (match e.writer with
-    | Some w when TM.same_txn w txn -> ()
-    | Some w ->
-        writer_decr st w;
-        writer_incr st txn
-    | None -> writer_incr st txn);
-    e.writer <- Some txn
+    if not (locker_mem e.writers txn) then begin
+      add_locker e.writers txn;
+      writer_incr st txn
+    end
 
   (* Allocation-free reader probe for the pessimistic write policies: does
      any transaction other than [self] hold a read lock on [k]? *)
@@ -191,10 +296,24 @@ module Make (TM : Tm_intf.TM_OPS) = struct
           false
         with Exit -> true)
 
+  (* Some registered writer of [k], if any (introspection; when several
+     writers are pending the choice is arbitrary — callers that need
+     "a writer other than me" must use [key_has_foreign_writer]). *)
   let key_writer t k =
     match Coll.Chain_hashmap.find t.stripes.(stripe_index t k).key_lockers k with
     | None -> None
-    | Some e -> e.writer
+    | Some e -> Hashtbl.fold (fun _ w _ -> Some w) e.writers None
+
+  let key_has_foreign_writer t ~self k =
+    match Coll.Chain_hashmap.find t.stripes.(stripe_index t k).key_lockers k with
+    | None -> false
+    | Some e -> (
+        try
+          Hashtbl.iter
+            (fun _ owner -> if not (TM.same_txn self owner) then raise Exit)
+            e.writers;
+          false
+        with Exit -> true)
 
   let any_other_writer t ~self =
     let id = TM.txn_id self in
@@ -215,7 +334,9 @@ module Make (TM : Tm_intf.TM_OPS) = struct
      increments holds one growing range instead of an unbounded pile of
      overlapping fragments.  One filter pass is complete: existing ranges
      are mutually separated by gaps, so the merged range can only absorb
-     ranges the *new* range already touches. *)
+     ranges the *new* range already touches.  Merging touching half-open
+     ranges is exact (the merge equals the union), so coalescing never
+     changes which keys a transaction's ranges cover. *)
   let touches compare a b =
     (* half-open ranges union into one interval iff max lo <= min hi *)
     let lo_le_hi lo hi =
@@ -238,12 +359,11 @@ module Make (TM : Tm_intf.TM_OPS) = struct
     in
     { lo; hi }
 
-  let lock_range t txn ~compare range =
-    let id = TM.txn_id txn in
+  (* Coalescing insert into one txn_id-keyed range table; returns the
+     entry-count delta. *)
+  let insert_range_coalesced ~compare tbl id txn range =
     let existing =
-      match Hashtbl.find_opt t.range_lockers id with
-      | None -> []
-      | Some (rs, _) -> rs
+      match Hashtbl.find_opt tbl id with None -> [] | Some (rs, _) -> rs
     in
     let merged = ref range in
     let kept =
@@ -257,8 +377,26 @@ module Make (TM : Tm_intf.TM_OPS) = struct
         existing
     in
     let rs = !merged :: kept in
-    t.range_count <- t.range_count + List.length rs - List.length existing;
-    Hashtbl.replace t.range_lockers id (rs, txn)
+    Hashtbl.replace tbl id (rs, txn);
+    List.length rs - List.length existing
+
+  (* Hashed mode: caller holds [struct_region].  Interval mode: caller
+     holds the stripe regions of [interval_span t ~lo:range.lo
+     ~hi:range.hi]; the uncut range is registered in each overlapped
+     stripe. *)
+  let lock_range t txn ~compare range =
+    let id = TM.txn_id txn in
+    match t.partition with
+    | Hashed _ ->
+        t.range_count <-
+          t.range_count + insert_range_coalesced ~compare t.range_lockers id txn range
+    | Intervals _ ->
+        let ilo, ihi = interval_span t ~lo:range.lo ~hi:range.hi in
+        for i = ilo to ihi do
+          let st = t.stripes.(i) in
+          st.st_range_count <-
+            st.st_range_count + insert_range_coalesced ~compare st.st_ranges id txn range
+        done
 
   (* -------------------- release (commit/abort handlers) ---------------- *)
 
@@ -268,13 +406,22 @@ module Make (TM : Tm_intf.TM_OPS) = struct
     | None -> ()
     | Some e ->
         drop_locker e.readers txn;
-        (match e.writer with
-        | Some w when TM.same_txn w txn ->
-            writer_decr st w;
-            e.writer <- None
-        | _ -> ());
-        if Hashtbl.length e.readers = 0 && e.writer = None then
+        if locker_mem e.writers txn then begin
+          drop_locker e.writers txn;
+          writer_decr st txn
+        end;
+        if Hashtbl.length e.readers = 0 && Hashtbl.length e.writers = 0 then
           Coll.Chain_hashmap.remove st.key_lockers k
+
+  (* Caller holds [stripe_region t i]. *)
+  let release_ranges_in_stripe t txn i =
+    let st = t.stripes.(i) in
+    let id = TM.txn_id txn in
+    match Hashtbl.find_opt st.st_ranges id with
+    | None -> ()
+    | Some (rs, _) ->
+        st.st_range_count <- st.st_range_count - List.length rs;
+        Hashtbl.remove st.st_ranges id
 
   (* Caller holds [struct_region]. *)
   let release_structure t txn =
@@ -295,6 +442,11 @@ module Make (TM : Tm_intf.TM_OPS) = struct
     List.iter
       (fun k -> TM.critical (region_of_key t k) (fun () -> release_key t txn k))
       keys;
+    Array.iteri
+      (fun i st ->
+        if st.st_range_count > 0 then
+          TM.critical st.st_region (fun () -> release_ranges_in_stripe t txn i))
+      t.stripes;
     TM.critical t.sregion (fun () -> release_structure t txn)
 
   (* -------------------- conflict detection (write commit) -------------- *)
@@ -309,7 +461,7 @@ module Make (TM : Tm_intf.TM_OPS) = struct
     | None -> ()
     | Some e ->
         abort_others ~self e.readers;
-        (match e.writer with Some w -> abort_other ~self w | None -> ())
+        abort_others ~self e.writers
 
   let conflict_size t ~self = abort_others ~self t.size_lockers
   let conflict_isempty t ~self = abort_others ~self t.isempty_lockers
@@ -320,29 +472,55 @@ module Make (TM : Tm_intf.TM_OPS) = struct
     (match lo with None -> true | Some b -> compare k b >= 0)
     && match hi with None -> true | Some b -> compare k b < 0
 
+  (* Hashed mode scans the structure table (caller holds [struct_region]).
+     Interval mode consults only [k]'s stripe (caller holds
+     [region_of_key t k]): any range containing [k] overlaps [k]'s
+     interval and is registered there. *)
   let conflict_range t ~self ~compare k =
-    Hashtbl.iter
-      (fun _ (ranges, owner) ->
-        if
-          (not (TM.same_txn self owner))
-          && List.exists (fun r -> range_contains compare r k) ranges
-        then ignore (TM.remote_abort owner))
-      t.range_lockers
+    let scan tbl =
+      Hashtbl.iter
+        (fun _ (ranges, owner) ->
+          if
+            (not (TM.same_txn self owner))
+            && List.exists (fun r -> range_contains compare r k) ranges
+          then ignore (TM.remote_abort owner))
+        tbl
+    in
+    match t.partition with
+    | Hashed _ -> scan t.range_lockers
+    | Intervals _ -> scan t.stripes.(stripe_index t k).st_ranges
 
   (* -------------------- introspection (tests, Table 2/5 traces) -------- *)
 
   let key_locked_by t txn k =
     match Coll.Chain_hashmap.find t.stripes.(stripe_index t k).key_lockers k with
     | None -> false
-    | Some e -> (
-        locker_mem e.readers txn
-        || match e.writer with Some w -> TM.same_txn w txn | None -> false)
+    | Some e -> locker_mem e.readers txn || locker_mem e.writers txn
 
   let size_locked_by t txn = locker_mem t.size_lockers txn
   let isempty_locked_by t txn = locker_mem t.isempty_lockers txn
   let first_locked_by t txn = locker_mem t.first_lockers txn
   let last_locked_by t txn = locker_mem t.last_lockers txn
-  let range_locked_by t txn = Hashtbl.mem t.range_lockers (TM.txn_id txn)
+
+  let range_locked_by t txn =
+    let id = TM.txn_id txn in
+    Hashtbl.mem t.range_lockers id
+    || Array.exists (fun st -> Hashtbl.mem st.st_ranges id) t.stripes
+
+  (* Does some range lock held by [txn] cover [k]?  Exact under
+     coalescing: merged ranges equal the union of the inserted ones. *)
+  let range_covered_by t txn ~compare k =
+    let id = TM.txn_id txn in
+    let covered tbl =
+      match Hashtbl.find_opt tbl id with
+      | None -> false
+      | Some (rs, _) -> List.exists (fun r -> range_contains compare r k) rs
+    in
+    covered t.range_lockers
+    ||
+    match t.partition with
+    | Hashed _ -> false
+    | Intervals _ -> covered t.stripes.(stripe_index t k).st_ranges
 
   (* Entry counts for state dumps (the tables themselves are abstract). *)
   let key_entry_count t =
@@ -354,16 +532,17 @@ module Make (TM : Tm_intf.TM_OPS) = struct
   let isempty_locker_count t = Hashtbl.length t.isempty_lockers
   let first_locker_count t = Hashtbl.length t.first_lockers
   let last_locker_count t = Hashtbl.length t.last_lockers
-  let range_locker_count t = t.range_count
+
+  let range_locker_count t =
+    Array.fold_left (fun acc st -> acc + st.st_range_count) t.range_count t.stripes
 
   let total_lockers t =
     Array.fold_left
       (fun acc st ->
         Coll.Chain_hashmap.fold
-          (fun _ e acc ->
-            acc + Hashtbl.length e.readers
-            + match e.writer with Some _ -> 1 | None -> 0)
-          st.key_lockers acc)
+          (fun _ e acc -> acc + Hashtbl.length e.readers + Hashtbl.length e.writers)
+          st.key_lockers acc
+        + st.st_range_count)
       0 t.stripes
     + Hashtbl.length t.size_lockers
     + Hashtbl.length t.isempty_lockers

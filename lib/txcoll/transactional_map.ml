@@ -374,10 +374,7 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) = struct
     | Pessimistic_timid ->
         let others =
           L.key_has_other_reader t.locks ~self:l.txn k
-          ||
-          match L.key_writer t.locks k with
-          | Some w -> not (TM.same_txn w l.txn)
-          | None -> false
+          || L.key_has_foreign_writer t.locks ~self:l.txn k
         in
         if others then `Retry else `Ok
 

@@ -119,10 +119,11 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) = struct
       l.key_locks <- k :: l.key_locks
     end
 
+  (* Precise even when several writers are pending on [k]: [key_writer]
+     could return [l.txn] itself while a different writer is also
+     registered, so the blocked-check must ask the table directly. *)
   let foreign_writer t l k =
-    match L.key_writer t.locks k with
-    | Some w -> not (TM.same_txn w l.txn)
-    | None -> false
+    L.key_has_foreign_writer t.locks ~self:l.txn k
 
   (* Run [f] in the critical region, retrying the whole transaction while
      [blocked] holds (wait-by-retry: the paper's "have the conflicting

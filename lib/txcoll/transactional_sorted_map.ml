@@ -15,21 +15,31 @@
    enumeration must merge local changes in key order) and the list of range
    locks held.
 
-   Striping.  Key locks are sharded into stripes as in the plain map, but
-   the committed state stays one ordered structure and every ordered /
-   range / endpoint lock lives behind the structure region: an interval
-   does not map onto hash stripes, so range-heavy semantics serialise
-   there.  What striping buys here is read-side scaling: point reads hold
-   only their key's stripe region, so disjoint-key readers of the same
-   sorted map proceed in parallel with each other and with structure
-   readers.  Writers (non-empty store buffer) plan {e all} regions at
-   commit — the apply mutates the shared ordered structure that point
-   readers traverse under their stripe alone, so the writer must exclude
-   every stripe.  Region nesting is always ascending (structure region
-   first, then stripes by index), and commit plans are rid-sorted by the
-   TM, so acquisition stays deadlock-free.  Mapping range locks onto
-   interval-partitioned stripe sets (so disjoint-range writers also scale)
-   is left open in ROADMAP.md. *)
+   Interval partitioning.  The key space is cut into B ordered intervals by
+   [~splitters] (B = 1 by default: one interval, exactly the historical
+   single-structure behaviour).  Each interval owns its own committed
+   sub-map (shard) and its own commit region, and the semantic lock table
+   uses the same partition ([Semlock.create_intervals]), so key locks,
+   pending-writer tables *and range locks* are all interval-local: a range
+   lock registers in exactly the stripes its span overlaps, and the
+   commit-time [conflict_range k] consults only [k]'s interval.  A writer's
+   commit plan therefore names only the intervals its buffered keys and
+   locked ranges touch — plus the structure region when a presence change
+   moves size/isEmpty/first/last — instead of all B+1 regions, so writers
+   in disjoint intervals commit in parallel.  The exceptions that still
+   plan every region are removals (the new first/last may live in any
+   interval, so the endpoint rescan needs them all).
+
+   Boundary linearizability: ordered operations acquire the regions of
+   every interval their span overlaps, nested in ascending index (= region
+   id) order, so the merged view across interval boundaries is a stable
+   snapshot; committed size and the first/last endpoints are maintained
+   counters/keys guarded by the structure region, which every
+   presence-changing commit enters, so size/isEmpty/first/last reads stay
+   linearizable without touching the interval shards.  Region nesting is
+   always ascending (structure region first, then intervals by index), and
+   commit plans are rid-sorted by the TM, so acquisition stays
+   deadlock-free. *)
 
 module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
   module L = Semlock.Make (TM)
@@ -44,8 +54,9 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
     txn : TM.txn;
     buffer : (M.key, 'v write) Coll.Ordmap.t; (* sortedStoreBuffer *)
     mutable key_locks : M.key list;
-    mutable stripes_mask : int; (* stripes of held key locks *)
-    mutable struct_locked : bool; (* holds size/isEmpty/first/last/range *)
+    mutable stripes_mask : int; (* intervals of held key locks + blind keys *)
+    mutable ranges_mask : int; (* intervals of held range locks *)
+    mutable struct_locked : bool; (* holds size/isEmpty/first/last *)
   }
 
   (* Locals are domain-local (a transaction runs, commits and compensates
@@ -54,8 +65,11 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
   type 'v domain_locals = { tbl : (int, 'v local) Hashtbl.t }
 
   type 'v t = {
-    map : 'v M.t;
+    shards : 'v M.t array; (* shard i = interval i's committed bindings *)
     locks : M.key L.t;
+    mutable csize : int; (* committed size; structure region *)
+    mutable cmin : M.key option; (* committed endpoints; structure region *)
+    mutable cmax : M.key option;
     dls : 'v domain_locals Domain.DLS.key;
     isempty_policy : isempty_policy;
     write_policy : write_policy;
@@ -64,26 +78,41 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
 
   type 'v view = { parent : 'v t; lo : M.key option; hi : M.key option }
 
-  let default_stripes = 8
-
-  let wrap ?(stripes = default_stripes) ?hash ?(isempty_policy = Dedicated)
+  let wrap ?(splitters = []) ?(isempty_policy = Dedicated)
       ?(write_policy = Optimistic) ?(copy_key = Fun.id) map =
+    let locks =
+      L.create_intervals ~splitters:(Array.of_list splitters)
+        ~compare:M.compare_key ()
+    in
+    let b = L.stripe_count locks in
+    let shards =
+      if b = 1 then [| map |]
+      else begin
+        let shards = Array.init b (fun _ -> M.create ()) in
+        M.iter (fun k v -> M.add shards.(L.stripe_index locks k) k v) map;
+        shards
+      end
+    in
     {
-      map;
-      locks = L.create ~stripes ?hash ();
+      shards;
+      locks;
+      csize = M.size map;
+      cmin = Option.map fst (M.min_binding map);
+      cmax = Option.map fst (M.max_binding map);
       dls = Domain.DLS.new_key (fun () -> { tbl = Hashtbl.create 8 });
       isempty_policy;
       write_policy;
       copy_key;
     }
 
-  let create ?stripes ?hash ?isempty_policy ?write_policy ?copy_key () =
-    wrap ?stripes ?hash ?isempty_policy ?write_policy ?copy_key (M.create ())
+  let create ?splitters ?isempty_policy ?write_policy ?copy_key () =
+    wrap ?splitters ?isempty_policy ?write_policy ?copy_key (M.create ())
 
   let compare_key = M.compare_key
   let sregion t = L.struct_region t.locks
   let key_region t k = L.region_of_key t.locks k
   let stripe_count t = L.stripe_count t.locks
+  let shard_of t k = t.shards.(L.stripe_index t.locks k)
 
   let all_regions t =
     let acc = ref [] in
@@ -91,6 +120,26 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
       acc := L.stripe_region t.locks i :: !acc
     done;
     sregion t :: !acc
+
+  let all_region_count t = List.length (all_regions t)
+
+  (* Nested criticals over the interval regions [i..j], ascending index
+     (= ascending rid). *)
+  let rec critical_stripes t i j f =
+    if i > j then f ()
+    else
+      TM.critical (L.stripe_region t.locks i) (fun () ->
+          critical_stripes t (i + 1) j f)
+
+  (* Ordered iteration of the committed bindings in [lo, hi): shards hold
+     disjoint ascending intervals, so visiting them in index order yields
+     global key order.  Caller holds the regions of the overlapped span;
+     [f] may raise (early exit). *)
+  let iter_committed t f ~lo ~hi =
+    let ilo, ihi = L.interval_span t.locks ~lo ~hi in
+    for i = ilo to ihi do
+      M.iter_range f t.shards.(i) ~lo ~hi
+    done
 
   (* ---------------- handlers ---------------- *)
 
@@ -101,31 +150,58 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
       (fun k ->
         TM.critical (key_region t k) (fun () -> L.release_key t.locks l.txn k))
       l.key_locks;
+    if l.ranges_mask <> 0 then
+      for i = 0 to stripe_count t - 1 do
+        if l.ranges_mask land (1 lsl i) <> 0 then
+          TM.critical (L.stripe_region t.locks i) (fun () ->
+              L.release_ranges_in_stripe t.locks l.txn i)
+      done;
     if l.struct_locked then
       TM.critical (sregion t) (fun () -> L.release_structure t.locks l.txn);
     Hashtbl.remove (Domain.DLS.get t.dls).tbl (TM.txn_id l.txn)
 
-  (* Commit region plan.  A writer's apply mutates the shared ordered map,
-     which point readers traverse under their stripe region alone, so a
-     non-empty buffer plans every region.  A read-only handler (in a mixed
-     commit with some other written collection) plans the stripes of its
-     key locks plus the structure region when it holds structure locks —
-     exactly what [cleanup] will re-enter. *)
+  (* Commit region plan.  The apply mutates only the shards of the buffered
+     keys' intervals, so the plan names those intervals (all buffered keys
+     are in [stripes_mask]: non-blind writes lock the key, blind writes
+     record the interval at buffering time) plus the intervals of held
+     range locks, plus the structure region when a presence change can move
+     size/isEmpty/first/last (or structure locks are held and cleanup will
+     re-enter).  Removals still plan every region: deleting the committed
+     minimum/maximum forces an endpoint rescan across all shards. *)
   let regions_plan t l () =
-    if not (Coll.Ordmap.is_empty l.buffer) then all_regions t
+    let removal = ref false in
+    let struct_needed = ref l.struct_locked in
+    Coll.Ordmap.iter
+      (fun _ w ->
+        (match w.prior with
+        | None -> struct_needed := true
+        | Some p -> if p <> Option.is_some w.pending then struct_needed := true);
+        if w.pending = None && w.prior <> Some false then removal := true)
+      l.buffer;
+    if !removal then all_regions t
     else begin
+      let mask = l.stripes_mask lor l.ranges_mask in
       let acc = ref [] in
       for i = stripe_count t - 1 downto 0 do
-        if l.stripes_mask land (1 lsl i) <> 0 then
+        if mask land (1 lsl i) <> 0 then
           acc := L.stripe_region t.locks i :: !acc
       done;
-      if l.struct_locked then sregion t :: !acc else !acc
+      if !struct_needed then sregion t :: !acc else !acc
     end
 
+  (* Presence delta of the buffer against the committed shards.  Non-blind
+     priors are trusted (the key lock was held since the read, so a
+     conflicting committer would have aborted us); blind priors probe the
+     key's shard under its own interval region. *)
   let presence_changes t l =
     Coll.Ordmap.fold
       (fun k w acc ->
-        let prior = match w.prior with Some p -> p | None -> M.mem t.map k in
+        let prior =
+          match w.prior with
+          | Some p -> p
+          | None ->
+              TM.critical (key_region t k) (fun () -> M.mem (shard_of t k) k)
+        in
         let after = Option.is_some w.pending in
         if after && not prior then acc + 1
         else if (not after) && prior then acc - 1
@@ -133,72 +209,124 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
       l.buffer 0
 
   (* Prepare phase (before the TM's commit point, read-only, may raise):
-     size/isEmpty conflicts plus per-entry key and range conflicts.
-     Endpoint (first/last) conflicts are detected in the apply phase
-     below, where each write is compared against the committed state as
-     it evolves — the same point the seed detected them at, so a loser of
-     an endpoint race is aborted by the committer rather than deferring
-     it (committer wins, as in the seed semantics).  A non-empty buffer
-     implies the plan holds every region, so the criticals below only
-     re-enter. *)
+     per-entry key and range conflicts under the key's interval region,
+     then size/isEmpty conflicts under the structure region when the
+     presence delta is non-zero (which implies the plan holds the
+     structure region).  Endpoint (first/last) conflicts are detected in
+     the apply phase below, where each write is compared against the
+     committed endpoints as they evolve — the same point the seed detected
+     them at, so a loser of an endpoint race is aborted by the committer
+     rather than deferring it (committer wins, as in the seed semantics).
+     All criticals below only re-enter regions the plan holds. *)
   let prepare_handler t l () =
-    if not (Coll.Ordmap.is_empty l.buffer) then
-      L.critical_all t.locks (fun () ->
-          let self = l.txn in
-          let was_size = M.size t.map in
-          let delta = presence_changes t l in
-          if delta <> 0 then L.conflict_size t.locks ~self;
-          if (was_size = 0) <> (was_size + delta = 0) then
-            L.conflict_isempty t.locks ~self;
-          Coll.Ordmap.iter
-            (fun k _ ->
+    if not (Coll.Ordmap.is_empty l.buffer) then begin
+      let self = l.txn in
+      Coll.Ordmap.iter
+        (fun k _ ->
+          TM.critical (key_region t k) (fun () ->
               L.conflict_key t.locks ~self k;
-              L.conflict_range t.locks ~self ~compare:M.compare_key k)
-            l.buffer)
+              L.conflict_range t.locks ~self ~compare:M.compare_key k))
+        l.buffer;
+      let delta = presence_changes t l in
+      if delta <> 0 then
+        TM.critical (sregion t) (fun () ->
+            L.conflict_size t.locks ~self;
+            let was_size = t.csize in
+            if (was_size = 0) <> (was_size + delta = 0) then
+              L.conflict_isempty t.locks ~self)
+    end
 
+  (* Recompute the committed endpoints after a removal may have deleted
+     one.  Shards are interval-ordered, so the first non-empty shard holds
+     the minimum and the last non-empty shard the maximum.  Caller holds
+     every region (removals plan [all_regions]). *)
+  let recompute_endpoints t =
+    let n = Array.length t.shards in
+    let mn = ref None in
+    let i = ref 0 in
+    while !mn = None && !i < n do
+      (match M.min_binding t.shards.(!i) with
+      | Some (k, _) -> mn := Some k
+      | None -> ());
+      incr i
+    done;
+    let mx = ref None in
+    let j = ref (n - 1) in
+    while !mx = None && !j >= 0 do
+      (match M.max_binding t.shards.(!j) with
+      | Some (k, _) -> mx := Some k
+      | None -> ());
+      decr j
+    done;
+    t.cmin <- !mn;
+    t.cmax <- !mx
+
+  (* Apply phase: mutate each buffered key's shard under its interval
+     region; presence-changing entries additionally enter the structure
+     region (held by the plan) to fire first/last conflicts against the
+     maintained endpoints and update them, and the committed size is
+     adjusted at the end.  Removing a committed endpoint triggers a
+     cross-shard rescan — legal because removals plan every region. *)
   let apply_handler t l () =
-    if not (Coll.Ordmap.is_empty l.buffer) then
-      L.critical_all t.locks (fun () ->
-          let self = l.txn in
-          (* Check and apply entry by entry: endpoint-change detection
-             compares each write against the committed state as it
-             evolves. *)
-          Coll.Ordmap.iter
-            (fun k w ->
-              let min_k = Option.map fst (M.min_binding t.map) in
-              let max_k = Option.map fst (M.max_binding t.map) in
-              let present = M.mem t.map k in
-              match w.pending with
-              | Some v ->
-                  if not present then begin
-                    (match min_k with
-                    | None ->
-                        (* empty -> non-empty: both endpoints change *)
-                        L.conflict_first t.locks ~self;
-                        L.conflict_last t.locks ~self
-                    | Some mn ->
-                        if M.compare_key k mn < 0 then
-                          L.conflict_first t.locks ~self);
-                    match max_k with
-                    | None -> ()
-                    | Some mx ->
-                        if M.compare_key k mx > 0 then
-                          L.conflict_last t.locks ~self
-                  end;
-                  M.add t.map k v
-              | None ->
-                  if present then begin
-                    (match min_k with
-                    | Some mn when M.compare_key k mn = 0 ->
-                        L.conflict_first t.locks ~self
-                    | _ -> ());
-                    (match max_k with
-                    | Some mx when M.compare_key k mx = 0 ->
-                        L.conflict_last t.locks ~self
-                    | _ -> ());
-                    M.remove t.map k
-                  end)
-            l.buffer);
+    if not (Coll.Ordmap.is_empty l.buffer) then begin
+      let self = l.txn in
+      let delta = ref 0 in
+      let removed_endpoint = ref false in
+      Coll.Ordmap.iter
+        (fun k w ->
+          let before =
+            TM.critical (key_region t k) (fun () ->
+                let shard = shard_of t k in
+                let b =
+                  match w.prior with Some p -> p | None -> M.mem shard k
+                in
+                (match w.pending with
+                | Some v -> M.add shard k v
+                | None -> if b then M.remove shard k);
+                b)
+          in
+          let after = Option.is_some w.pending in
+          if after && not before then begin
+            incr delta;
+            TM.critical (sregion t) (fun () ->
+                (match t.cmin with
+                | None ->
+                    (* empty -> non-empty: both endpoints change *)
+                    L.conflict_first t.locks ~self;
+                    L.conflict_last t.locks ~self;
+                    t.cmin <- Some k;
+                    t.cmax <- Some k
+                | Some mn ->
+                    if M.compare_key k mn < 0 then begin
+                      L.conflict_first t.locks ~self;
+                      t.cmin <- Some k
+                    end;
+                    (match t.cmax with
+                    | Some mx when M.compare_key k mx > 0 ->
+                        L.conflict_last t.locks ~self;
+                        t.cmax <- Some k
+                    | _ -> ())))
+          end
+          else if (not after) && before then begin
+            decr delta;
+            TM.critical (sregion t) (fun () ->
+                (match t.cmin with
+                | Some mn when M.compare_key k mn = 0 ->
+                    L.conflict_first t.locks ~self;
+                    removed_endpoint := true
+                | _ -> ());
+                match t.cmax with
+                | Some mx when M.compare_key k mx = 0 ->
+                    L.conflict_last t.locks ~self;
+                    removed_endpoint := true
+                | _ -> ())
+          end)
+        l.buffer;
+      if !delta <> 0 || !removed_endpoint then
+        TM.critical (sregion t) (fun () ->
+            t.csize <- t.csize + !delta;
+            if !removed_endpoint then recompute_endpoints t)
+    end;
     cleanup t l
 
   let abort_handler t l () = cleanup t l
@@ -216,6 +344,7 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
             buffer = Coll.Ordmap.create ~compare:M.compare_key ();
             key_locks = [];
             stripes_mask = 0;
+            ranges_mask = 0;
             struct_locked = false;
           }
         in
@@ -233,7 +362,7 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
         l
 
   (* Takes the key's stripe critical itself: callers hold either that same
-     stripe (point operations — reentrant) or the structure region (ordered
+     stripe (point operations — reentrant) or lower-rid regions (ordered
      operations — ascending-rid nesting). *)
   let lock_key t l k =
     TM.critical (key_region t k) (fun () ->
@@ -246,8 +375,9 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
         end)
 
   (* Pessimistic early conflict detection (§5.1); the [`Retry] verdict is
-     acted on outside the critical regions.  Caller holds the structure
-     region and the key's stripe (write path nesting). *)
+     acted on outside the critical regions.  Caller holds the key's
+     interval region — range locks are interval-local, so even the
+     range-examining aggressive policy needs no structure region. *)
   let pessimistic_status t l k =
     match t.write_policy with
     | Optimistic -> `Ok
@@ -260,12 +390,12 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
 
   (* ---------------- point operations (as TransactionalMap) ------------- *)
 
-  (* Point reads hold only the key's stripe region: the underlying ordered
-     [find] is a pure traversal, and any committing writer holds every
-     stripe, so the traversal never races a mutation. *)
+  (* Point reads hold only the key's interval region: the underlying
+     ordered [find] is a pure traversal, and any committing writer of that
+     interval holds its region, so the traversal never races a mutation. *)
   let find t k =
     if not (TM.in_txn ()) then
-      TM.critical (key_region t k) (fun () -> M.find t.map k)
+      TM.critical (key_region t k) (fun () -> M.find (shard_of t k) k)
     else begin
       let l = local_of t in
       TM.critical (key_region t k) (fun () ->
@@ -273,24 +403,24 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
           | Some w -> w.pending
           | None ->
               lock_key t l k;
-              M.find t.map k)
+              M.find (shard_of t k) k)
     end
 
   let mem t k = Option.is_some (find t k)
 
   let size t =
-    if not (TM.in_txn ()) then TM.critical (sregion t) (fun () -> M.size t.map)
+    if not (TM.in_txn ()) then TM.critical (sregion t) (fun () -> t.csize)
     else begin
       let l = local_of t in
       TM.critical (sregion t) (fun () ->
           L.lock_size t.locks l.txn;
           l.struct_locked <- true;
-          M.size t.map + presence_changes t l)
+          t.csize + presence_changes t l)
     end
 
   let is_empty t =
     if not (TM.in_txn ()) then
-      TM.critical (sregion t) (fun () -> M.size t.map = 0)
+      TM.critical (sregion t) (fun () -> t.csize = 0)
     else begin
       let l = local_of t in
       TM.critical (sregion t) (fun () ->
@@ -298,7 +428,7 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
           | Dedicated -> L.lock_isempty t.locks l.txn
           | Via_size -> L.lock_size t.locks l.txn);
           l.struct_locked <- true;
-          M.size t.map + presence_changes t l = 0)
+          t.csize + presence_changes t l = 0)
     end
 
   let buffer_write t l k pending ~blind =
@@ -310,26 +440,30 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
     | None ->
         if blind then begin
           Coll.Ordmap.add l.buffer k { pending; prior = None };
+          (* No key lock, but the commit plan must still cover the key's
+             interval. *)
+          l.stripes_mask <-
+            l.stripes_mask lor (1 lsl L.stripe_index t.locks k);
           None
         end
         else begin
           lock_key t l k;
-          let old = M.find t.map k in
+          let old = M.find (shard_of t k) k in
           Coll.Ordmap.add l.buffer k { pending; prior = Some (Option.is_some old) };
           old
         end
 
-  (* Transactional writes nest structure-then-stripe (ascending rid): the
-     pessimistic policies examine range locks (structure) as well as the
-     key's stripe. *)
+  (* Transactional writes hold only the key's interval region: range locks
+     are interval-local (so even the pessimistic policies find them there),
+     and the structure region is not needed until commit decides a
+     presence change happened. *)
   let rec write_op t k pending ~blind =
     let l = local_of t in
     let verdict =
-      TM.critical (sregion t) (fun () ->
-          TM.critical (key_region t k) (fun () ->
-              match pessimistic_status t l k with
-              | `Retry -> `Retry
-              | `Ok -> `Done (buffer_write t l k pending ~blind)))
+      TM.critical (key_region t k) (fun () ->
+          match pessimistic_status t l k with
+          | `Retry -> `Retry
+          | `Ok -> `Done (buffer_write t l k pending ~blind))
     in
     match verdict with
     | `Done old -> old
@@ -337,14 +471,32 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
         TM.retry () |> ignore;
         write_op t k pending ~blind
 
-  (* Non-transactional writes mutate the shared ordered structure that
-     point readers traverse under their stripe alone: hold everything. *)
+  (* Non-transactional writes mutate the shared committed state including
+     size/endpoints: hold everything. *)
   let nontxn_write t k pending =
     L.critical_all t.locks (fun () ->
-        let old = M.find t.map k in
+        let shard = shard_of t k in
+        let old = M.find shard k in
         (match pending with
-        | Some v -> M.add t.map k v
-        | None -> M.remove t.map k);
+        | Some v -> M.add shard k v
+        | None -> M.remove shard k);
+        (match (old, pending) with
+        | None, Some _ ->
+            t.csize <- t.csize + 1;
+            (match t.cmin with
+            | None -> t.cmin <- Some k
+            | Some mn -> if M.compare_key k mn < 0 then t.cmin <- Some k);
+            (match t.cmax with
+            | None -> t.cmax <- Some k
+            | Some mx -> if M.compare_key k mx > 0 then t.cmax <- Some k)
+        | Some _, None ->
+            t.csize <- t.csize - 1;
+            let was_endpoint ep =
+              match ep with Some e -> M.compare_key k e = 0 | None -> false
+            in
+            if was_endpoint t.cmin || was_endpoint t.cmax then
+              recompute_endpoints t
+        | _ -> ());
         old)
 
   let put t k v =
@@ -365,16 +517,17 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
 
   (* ---------------- ordered views and iteration ---------------- *)
 
-  (* Merge the underlying map and the sorted store buffer over [lo, hi),
-     in key order; buffered entries override underlying ones. *)
+  (* Merge the committed shards and the sorted store buffer over [lo, hi),
+     in key order; buffered entries override committed ones.  Caller holds
+     the span's interval regions. *)
   let merged_range t l ~lo ~hi =
     let under = ref [] in
-    M.iter_range
+    iter_committed t
       (fun k v ->
         match Coll.Ordmap.find l.buffer k with
         | Some _ -> () (* overridden by the buffer *)
         | None -> under := (k, v) :: !under)
-      t.map ~lo ~hi;
+      ~lo ~hi;
     let buf = ref [] in
     Coll.Ordmap.iter_range
       (fun k w ->
@@ -384,46 +537,74 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
       (fun (a, _) (b, _) -> M.compare_key a b)
       (List.rev !under) (List.rev !buf)
 
+  (* Registers the range in the lock table (caller holds the span's
+     interval regions) and records the overlapped intervals so the commit
+     plan covers them and cleanup releases them. *)
   let take_range_lock t l range =
+    let ilo, ihi =
+      L.interval_span t.locks ~lo:range.L.lo ~hi:range.L.hi
+    in
     L.lock_range t.locks l.txn ~compare:M.compare_key range;
-    l.struct_locked <- true
+    for i = ilo to ihi do
+      l.ranges_mask <- l.ranges_mask lor (1 lsl i)
+    done
 
   (* Ordered fold over [lo, hi) with Table 5 locking: range lock over the
      iterated span, first lock when the span starts at the map's minimum,
-     last lock when it runs past the maximum.  Runs under the structure
-     region (committing writers hold it, so the merged view is stable);
-     per-key locks nest into each key's stripe. *)
+     last lock when it runs past the maximum.  Runs under the span's
+     interval regions, nested ascending (committing writers of those
+     intervals hold them, so the merged view is stable); the structure
+     region is entered first — it has the lowest rid — only when an
+     unbounded end needs a first/last lock.  The user callback runs after
+     the regions are released: the registered locks, not the regions, are
+     what guarantee serializability of the observed snapshot. *)
   let fold_range f t init ~lo ~hi =
-    if not (TM.in_txn ()) then
-      TM.critical (sregion t) (fun () ->
-          let acc = ref init in
-          M.iter_range (fun k v -> acc := f k v !acc) t.map ~lo ~hi;
-          !acc)
+    let ilo, ihi = L.interval_span t.locks ~lo ~hi in
+    if not (TM.in_txn ()) then begin
+      let items =
+        critical_stripes t ilo ihi (fun () ->
+            let acc = ref [] in
+            iter_committed t (fun k v -> acc := (k, v) :: !acc) ~lo ~hi;
+            List.rev !acc)
+      in
+      List.fold_left (fun acc (k, v) -> f k v acc) init items
+    end
     else begin
       let l = local_of t in
-      TM.critical (sregion t) (fun () ->
-          take_range_lock t l { lo; hi };
-          if lo = None then L.lock_first t.locks l.txn;
-          if hi = None then L.lock_last t.locks l.txn;
-          List.fold_left (fun acc (k, v) -> f k v acc) init (merged_range t l ~lo ~hi))
+      let run () =
+        critical_stripes t ilo ihi (fun () ->
+            take_range_lock t l { lo; hi };
+            merged_range t l ~lo ~hi)
+      in
+      let items =
+        if lo = None || hi = None then
+          TM.critical (sregion t) (fun () ->
+              if lo = None then L.lock_first t.locks l.txn;
+              if hi = None then L.lock_last t.locks l.txn;
+              l.struct_locked <- true;
+              run ())
+        else run ()
+      in
+      List.fold_left (fun acc (k, v) -> f k v acc) init items
     end
 
   let fold f t init = fold_range f t init ~lo:None ~hi:None
   let iter f t = fold (fun k v () -> f k v) t ()
   let to_list t = List.rev (fold (fun k v acc -> (k, v) :: acc) t [])
 
-  (* First/last bindings of the merged view of [lo, hi). *)
+  (* First/last bindings of the merged view of [lo, hi).  Caller holds the
+     span's interval regions. *)
   let merged_first t l ~lo ~hi =
     let under = ref None in
     (try
-       M.iter_range
+       iter_committed t
          (fun k v ->
            match Coll.Ordmap.find l.buffer k with
            | Some _ -> ()
            | None ->
                under := Some (k, v);
                raise Exit)
-         t.map ~lo ~hi
+         ~lo ~hi
      with Exit -> ());
     let buf = ref None in
     (try
@@ -450,13 +631,13 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
     in
     let under = ref None in
     (try
-       M.iter_range
+       iter_committed t
          (fun k v ->
            if strictly k && Coll.Ordmap.find l.buffer k = None then begin
              under := Some (k, v);
              raise Exit
            end)
-         t.map ~lo:scan_lo ~hi
+         ~lo:scan_lo ~hi
      with Exit -> ());
     let buf = ref None in
     (try
@@ -477,26 +658,54 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
   let merged_last t l ~lo ~hi =
     match List.rev (merged_range t l ~lo ~hi) with [] -> None | x :: _ -> Some x
 
+  (* firstKey/lastKey read the maintained committed endpoints under the
+     structure region; only a transaction with local buffered writes needs
+     the full merged view (and then holds every interval region, nested
+     ascending from the structure region). *)
   let first_binding t =
+    let committed_at k =
+      TM.critical (key_region t k) (fun () ->
+          match M.find (shard_of t k) k with
+          | Some v -> Some (k, v)
+          | None -> None)
+    in
     if not (TM.in_txn ()) then
-      TM.critical (sregion t) (fun () -> M.min_binding t.map)
+      TM.critical (sregion t) (fun () ->
+          match t.cmin with None -> None | Some k -> committed_at k)
     else begin
       let l = local_of t in
       TM.critical (sregion t) (fun () ->
           L.lock_first t.locks l.txn;
           l.struct_locked <- true;
-          merged_first t l ~lo:None ~hi:None)
+          if Coll.Ordmap.is_empty l.buffer then
+            match t.cmin with None -> None | Some k -> committed_at k
+          else
+            critical_stripes t 0
+              (stripe_count t - 1)
+              (fun () -> merged_first t l ~lo:None ~hi:None))
     end
 
   let last_binding t =
+    let committed_at k =
+      TM.critical (key_region t k) (fun () ->
+          match M.find (shard_of t k) k with
+          | Some v -> Some (k, v)
+          | None -> None)
+    in
     if not (TM.in_txn ()) then
-      TM.critical (sregion t) (fun () -> M.max_binding t.map)
+      TM.critical (sregion t) (fun () ->
+          match t.cmax with None -> None | Some k -> committed_at k)
     else begin
       let l = local_of t in
       TM.critical (sregion t) (fun () ->
           L.lock_last t.locks l.txn;
           l.struct_locked <- true;
-          merged_last t l ~lo:None ~hi:None)
+          if Coll.Ordmap.is_empty l.buffer then
+            match t.cmax with None -> None | Some k -> committed_at k
+          else
+            critical_stripes t 0
+              (stripe_count t - 1)
+              (fun () -> merged_last t l ~lo:None ~hi:None))
     end
 
   let first_key t = Option.map fst (first_binding t)
@@ -535,20 +744,21 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
        a range lock over that prefix plus a key lock on the found key. *)
     let first_binding v =
       let t = v.parent in
+      let ilo, ihi = L.interval_span t.locks ~lo:v.lo ~hi:v.hi in
       if not (TM.in_txn ()) then
-        TM.critical (sregion t) (fun () ->
+        critical_stripes t ilo ihi (fun () ->
             let r = ref None in
             (try
-               M.iter_range
+               iter_committed t
                  (fun k value ->
                    r := Some (k, value);
                    raise Exit)
-                 t.map ~lo:v.lo ~hi:v.hi
+                 ~lo:v.lo ~hi:v.hi
              with Exit -> ());
             !r)
       else begin
         let l = local_of t in
-        TM.critical (sregion t) (fun () ->
+        critical_stripes t ilo ihi (fun () ->
             match merged_first t l ~lo:v.lo ~hi:v.hi with
             | None ->
                 take_range_lock t l { lo = v.lo; hi = v.hi };
@@ -561,15 +771,16 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
 
     let last_binding v =
       let t = v.parent in
+      let ilo, ihi = L.interval_span t.locks ~lo:v.lo ~hi:v.hi in
       if not (TM.in_txn ()) then
-        TM.critical (sregion t) (fun () ->
+        critical_stripes t ilo ihi (fun () ->
             let r = ref None in
-            M.iter_range (fun k value -> r := Some (k, value)) t.map ~lo:v.lo
+            iter_committed t (fun k value -> r := Some (k, value)) ~lo:v.lo
               ~hi:v.hi;
             !r)
       else begin
         let l = local_of t in
-        TM.critical (sregion t) (fun () ->
+        critical_stripes t ilo ihi (fun () ->
             match merged_last t l ~lo:v.lo ~hi:v.hi with
             | None ->
                 take_range_lock t l { lo = v.lo; hi = v.hi };
@@ -597,7 +808,10 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
      of the cursor stays unlocked, so inserts ahead of the cursor commute
      (and are observed live) while inserts behind it abort the iterator.
      Range insertions coalesce in the lock table, so the incremental span
-     extension holds a bounded number of range entries. *)
+     extension holds a bounded number of range entries.  Each [next] holds
+     the interval regions of the remaining span (advancing the cursor
+     shrinks that span), plus the structure region when the upper bound is
+     unbounded (exhaustion must take the last lock there). *)
   type 'v cursor = {
     cparent : 'v t;
     clo : M.key option;
@@ -619,12 +833,15 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
 
   let cursor_next c =
     let t = c.cparent in
+    let span_lo = match c.cpos with Some _ as p -> p | None -> c.clo in
+    let ilo, ihi = L.interval_span t.locks ~lo:span_lo ~hi:c.chi in
     if not (TM.in_txn ()) then
-      TM.critical (sregion t) (fun () ->
-          (* Outside a transaction: plain ordered walk of the committed map. *)
+      critical_stripes t ilo ihi (fun () ->
+          (* Outside a transaction: plain ordered walk of the committed
+             shards. *)
           let r = ref None in
           (try
-             M.iter_range
+             iter_committed t
                (fun k v ->
                  let ok =
                    match c.cpos with
@@ -635,27 +852,32 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
                    r := Some (k, v);
                    raise Exit
                  end)
-               t.map ~lo:c.clo ~hi:c.chi
+               ~lo:span_lo ~hi:c.chi
            with Exit -> ());
           (match !r with Some (k, _) -> c.cpos <- Some k | None -> ());
           !r)
     else begin
       let l = local_of t in
-      TM.critical (sregion t) (fun () ->
-          let span_lo = match c.cpos with Some _ as p -> p | None -> c.clo in
-          match merged_first_above t l ~above:c.cpos ~lo:c.clo ~hi:c.chi with
-          | Some (k, v) ->
-              take_range_lock t l { lo = span_lo; hi = Some k };
-              lock_key t l k;
-              c.cpos <- Some k;
-              Some (k, v)
-          | None ->
-              if not c.cexhausted then begin
-                c.cexhausted <- true;
-                take_range_lock t l { lo = span_lo; hi = c.chi };
-                if c.chi = None then L.lock_last t.locks l.txn
-              end;
-              None)
+      let run () =
+        critical_stripes t ilo ihi (fun () ->
+            match merged_first_above t l ~above:c.cpos ~lo:c.clo ~hi:c.chi with
+            | Some (k, v) ->
+                take_range_lock t l { lo = span_lo; hi = Some k };
+                lock_key t l k;
+                c.cpos <- Some k;
+                Some (k, v)
+            | None ->
+                if not c.cexhausted then begin
+                  c.cexhausted <- true;
+                  take_range_lock t l { lo = span_lo; hi = c.chi };
+                  if c.chi = None then begin
+                    L.lock_last t.locks l.txn;
+                    l.struct_locked <- true
+                  end
+                end;
+                None)
+      in
+      if c.chi = None then TM.critical (sregion t) run else run ()
     end
 
   (* ---------------- introspection ---------------- *)
@@ -669,7 +891,7 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
         L.size_locked_by t.locks (TM.current ()))
 
   let holds_range_lock t =
-    TM.critical (sregion t) (fun () ->
+    L.critical_all t.locks (fun () ->
         L.range_locked_by t.locks (TM.current ()))
 
   let holds_first_lock t =
@@ -684,14 +906,21 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
     L.critical_all t.locks (fun () -> L.total_lockers t.locks)
 
   let outstanding_range_locks t =
-    TM.critical (sregion t) (fun () -> L.range_locker_count t.locks)
+    L.critical_all t.locks (fun () -> L.range_locker_count t.locks)
+
+  (* Number of regions the calling transaction's commit would plan right
+     now (meaningful only inside a transaction).  Lets tests assert that a
+     single-interval writer plans strictly fewer regions than
+     [all_region_count]. *)
+  let commit_plan_size t = List.length (regions_plan t (local_of t) ())
 
   (* Live rendering of Table 6's state inventory (local state is the
      calling domain's). *)
   let dump_state ppf t =
     L.critical_all t.locks (fun () ->
         Format.fprintf ppf "Committed state:@.";
-        Format.fprintf ppf "  sortedMap           %d bindings@." (M.size t.map);
+        Format.fprintf ppf "  sortedMap           %d bindings (%d intervals)@."
+          t.csize (stripe_count t);
         Format.fprintf ppf "  comparator          (read-only)@.";
         Format.fprintf ppf "Shared transactional state (open-nested):@.";
         Format.fprintf ppf "  key2lockers         %d entries@."

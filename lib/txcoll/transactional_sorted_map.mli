@@ -15,22 +15,24 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) : sig
   type write_policy = Optimistic | Pessimistic_aggressive | Pessimistic_timid
 
   val create :
-    ?stripes:int ->
-    ?hash:(M.key -> int) ->
+    ?splitters:M.key list ->
     ?isempty_policy:isempty_policy ->
     ?write_policy:write_policy ->
     ?copy_key:(M.key -> M.key) ->
     unit ->
     'v t
-  (** [stripes] (default 8) shards the key-lock tables: point reads of
-      disjoint keys proceed in parallel with each other and with ordered
-      reads.  Writers still serialise at commit — the shared ordered
-      structure and the range/endpoint locks live behind one structure
-      region.  [hash] picks a key's stripe (default [Hashtbl.hash]). *)
+  (** [splitters] cuts the key space into B = [length splitters + 1]
+      ordered intervals (sorted and deduplicated internally, clamped to 61
+      cut points), each owning its own committed sub-map, commit region and
+      key/range/writer lock tables: point operations and range scans of
+      disjoint intervals proceed in parallel, and a writer's commit plan
+      names only the intervals its buffered keys and locked ranges touch
+      (plus the structure region on presence changes; removals still plan
+      every region for the endpoint rescan).  The default (no splitters) is
+      a single interval — exactly the historical unsharded behaviour. *)
 
   val wrap :
-    ?stripes:int ->
-    ?hash:(M.key -> int) ->
+    ?splitters:M.key list ->
     ?isempty_policy:isempty_policy ->
     ?write_policy:write_policy ->
     ?copy_key:(M.key -> M.key) ->
@@ -40,6 +42,7 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) : sig
   val compare_key : M.key -> M.key -> int
 
   val stripe_count : 'v t -> int
+  (** Number of intervals B. *)
 
   (** {1 Point operations} (as TransactionalMap) *)
 
@@ -130,9 +133,20 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) : sig
   val outstanding_locks : 'v t -> int
 
   val outstanding_range_locks : 'v t -> int
-  (** Number of (range, owner) pairs currently registered.  Ranges coalesce
-      on insertion, so a cursor sweeping an interval incrementally holds a
-      bounded count (the regression test for unbounded range-lock growth). *)
+  (** Number of (range, owner) pairs currently registered across all
+      interval stripes.  Ranges coalesce on insertion, so a cursor sweeping
+      an interval incrementally holds a bounded count (the regression test
+      for unbounded range-lock growth); a range overlapping several
+      intervals counts once per overlapped stripe. *)
+
+  val commit_plan_size : 'v t -> int
+  (** Number of commit regions the calling transaction's commit would plan
+      right now.  Meaningful only inside a transaction; compare against
+      [all_region_count] to check that interval-local writers do not plan
+      the whole map. *)
+
+  val all_region_count : 'v t -> int
+  (** Size of the full region plan (structure region + every interval). *)
 
   val dump_state : Format.formatter -> 'v t -> unit
   (** Live rendering of Table 6's state inventory. *)

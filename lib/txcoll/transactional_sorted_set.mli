@@ -6,10 +6,9 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) : sig
 
   type t = unit Map.t
 
-  (** [stripes]/[hash] as in {!Transactional_sorted_map.Make.create}. *)
+  (** [splitters] as in {!Transactional_sorted_map.Make.create}. *)
   val create :
-    ?stripes:int ->
-    ?hash:(M.key -> int) ->
+    ?splitters:M.key list ->
     ?isempty_policy:Map.isempty_policy ->
     unit ->
     t

@@ -151,6 +151,28 @@ let test_undo_write_write_waits () =
     Alcotest.(check int) "no leaks" 0 (UM.outstanding_locks m)
   done
 
+let test_undo_write_write_no_lost_update () =
+  (* Regression companion to the Semlock.lock_key_write displacement fix:
+     with a single writer slot, a second registered writer silently
+     deregistered the first, so the first's write-write conflict could be
+     lost.  Two transactions doing read-modify-write increments of one key
+     must serialise with no lost update: every registered writer stays
+     visible to the blocked-check and to the committer's conflict_key. *)
+  let m = UM.create () in
+  ignore (UM.put m 0 0);
+  let n = 200 in
+  let worker () =
+    for _ = 1 to n do
+      Stm.atomic (fun () ->
+          let v = Option.value (UM.find m 0) ~default:0 in
+          ignore (UM.put m 0 (v + 1)))
+    done
+  in
+  let ds = [ Domain.spawn worker; Domain.spawn worker ] in
+  List.iter Domain.join ds;
+  Alcotest.(check (option int)) "no lost increments" (Some (2 * n)) (UM.find m 0);
+  Alcotest.(check int) "no leaks" 0 (UM.outstanding_locks m)
+
 let test_undo_model_property () =
   let prop =
     QCheck.Test.make ~name:"undo map equals model after mixed commits/aborts"

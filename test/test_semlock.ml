@@ -63,6 +63,34 @@ let test_writer_entry () =
   Alcotest.(check bool) "writer released" true (L.key_writer t 5 = None);
   Alcotest.(check int) "table empty" 0 (L.total_lockers t)
 
+(* Regression: a second transaction write-locking the same key must not
+   displace the first — both stay registered, so the displaced writer's
+   write-write conflict is still visible at commit time (the pre-fix code
+   silently deregistered the first writer). *)
+let test_multiple_writers_tracked () =
+  let t : int L.t = L.create () in
+  let a = handle () and b = handle () in
+  L.lock_key_write t a 5;
+  L.lock_key_write t b 5;
+  Alcotest.(check int) "both writers registered" 2 (L.total_lockers t);
+  Alcotest.(check bool) "a still locked_by" true (L.key_locked_by t a 5);
+  Alcotest.(check bool) "b locked_by" true (L.key_locked_by t b 5);
+  Alcotest.(check bool) "a sees a foreign writer" true
+    (L.key_has_foreign_writer t ~self:a 5);
+  Alcotest.(check bool) "b sees a foreign writer" true
+    (L.key_has_foreign_writer t ~self:b 5);
+  (* Releasing b must leave a's write lock intact (pre-fix, a's entry was
+     already gone and the table leaked b's writer count instead). *)
+  L.release_all t b ~keys:[ 5 ];
+  Alcotest.(check bool) "a survives b's release" true (L.key_locked_by t a 5);
+  Alcotest.(check bool) "a is the remaining writer" true
+    (L.key_writer t 5 <> None);
+  Alcotest.(check bool) "no foreign writer for a now" false
+    (L.key_has_foreign_writer t ~self:a 5);
+  L.release_all t a ~keys:[ 5 ];
+  Alcotest.(check int) "table empty" 0 (L.total_lockers t);
+  Alcotest.(check int) "no key entries leak" 0 (L.key_entry_count t)
+
 let test_range_coalescing () =
   let t : int L.t = L.create () in
   let a = handle () and b = handle () in
@@ -121,6 +149,72 @@ let test_striped_geometry () =
   Alcotest.(check bool) "K>1 stripes are distinct regions" true
     (L.stripe_region t 0 != L.stripe_region t 1)
 
+let test_interval_geometry () =
+  (* Splitters arrive unsorted with duplicates: table sorts/dedups to
+     [10; 20; 30] = 4 intervals. *)
+  let t : int L.t =
+    L.create_intervals ~splitters:[| 30; 10; 20; 20 |] ~compare:Int.compare ()
+  in
+  Alcotest.(check int) "four intervals" 4 (L.stripe_count t);
+  Alcotest.(check int) "below first splitter" 0 (L.stripe_index t 9);
+  Alcotest.(check int) "splitter starts its interval" 1 (L.stripe_index t 10);
+  Alcotest.(check int) "mid interval" 2 (L.stripe_index t 25);
+  Alcotest.(check int) "last splitter" 3 (L.stripe_index t 30);
+  Alcotest.(check int) "unbounded top" 3 (L.stripe_index t 1000);
+  let span lo hi = L.interval_span t ~lo ~hi in
+  Alcotest.(check (pair int int)) "unbounded span" (0, 3) (span None None);
+  Alcotest.(check (pair int int)) "inside one" (1, 1) (span (Some 12) (Some 18));
+  Alcotest.(check (pair int int)) "boundary-aligned stays inside" (1, 1)
+    (span (Some 10) (Some 20));
+  Alcotest.(check (pair int int)) "crossing" (0, 2) (span (Some 5) (Some 21));
+  Alcotest.(check (pair int int)) "unbounded hi hits the edge" (2, 3)
+    (span (Some 20) None);
+  Alcotest.(check (pair int int)) "empty range clamps to one stripe" (2, 2)
+    (span (Some 25) (Some 5));
+  let t1 : int L.t = L.create_intervals ~splitters:[||] ~compare:Int.compare () in
+  Alcotest.(check bool) "B=1 stripe region is the struct region" true
+    (L.stripe_region t1 0 == L.struct_region t1)
+
+(* Satellite: under coalescing, the registered ranges must cover exactly
+   the keys the raw fragments cover — [range_covered_by] is the predicate
+   [conflict_range] uses to pick abort victims, so identical coverage
+   means identical abort verdicts.  And the registered count must return
+   to zero after each lock/release cycle (no drift), in both partition
+   modes. *)
+let prop_range_coalescing_exact =
+  QCheck.Test.make ~name:"coalesced ranges match raw-fragment verdicts"
+    ~count:80
+    QCheck.(list (pair (option (int_bound 100)) (option (int_bound 100))))
+    (fun script ->
+      let tables : (string * int L.t) list =
+        [
+          ("hashed", L.create ());
+          ( "intervals",
+            L.create_intervals ~splitters:[| 25; 50; 75 |] ~compare:Int.compare
+              () );
+        ]
+      in
+      let a = handle () in
+      let raw = List.map (fun (lo, hi) -> { L.lo; hi }) script in
+      List.for_all
+        (fun (_name, t) ->
+          let ok = ref true in
+          (* Two cycles: counts must not drift across lock/release. *)
+          for _cycle = 1 to 2 do
+            List.iter (fun r -> L.lock_range t a ~compare:Int.compare r) raw;
+            for k = -2 to 102 do
+              let covered = L.range_covered_by t a ~compare:Int.compare k in
+              let expected =
+                List.exists (fun r -> L.range_contains Int.compare r k) raw
+              in
+              if covered <> expected then ok := false
+            done;
+            L.release_all t a ~keys:[];
+            if L.range_locker_count t <> 0 then ok := false
+          done;
+          !ok)
+        tables)
+
 let prop_model_consistency =
   QCheck.Test.make ~name:"lock table agrees with reference model" ~count:150
     QCheck.(list (triple (int_bound 3) (int_bound 7) bool))
@@ -161,7 +255,11 @@ let suites =
         Alcotest.test_case "range semantics" `Quick test_range_overlap_semantics;
         Alcotest.test_case "range coalescing" `Quick test_range_coalescing;
         Alcotest.test_case "striped geometry" `Quick test_striped_geometry;
+        Alcotest.test_case "interval geometry" `Quick test_interval_geometry;
         Alcotest.test_case "writer entries" `Quick test_writer_entry;
+        Alcotest.test_case "multiple writers tracked" `Quick
+          test_multiple_writers_tracked;
+        QCheck_alcotest.to_alcotest prop_range_coalescing_exact;
         QCheck_alcotest.to_alcotest prop_model_consistency;
       ] );
   ]

@@ -56,17 +56,48 @@ let test_map_rows_stripe_invariant () =
         ks)
     map_ops
 
-let test_sorted_rows_stripe_invariant () =
+(* Splitter lists exercising B ∈ {1, 2, 4}; the last one puts cut points
+   exactly on probed keys, so boundary-aligned routing is covered. *)
+let splitter_lists = [ []; [ 25 ]; [ 15; 25; 35 ]; [ 10; 20; 30 ] ]
+
+let test_sorted_rows_interval_invariant () =
   List.iter
     (fun (name, op) ->
-      let baseline = LT.probe_sorted ~stripes:1 op in
+      let baseline = LT.probe_sorted ~splitters:[] op in
       List.iter
-        (fun k ->
+        (fun splitters ->
           Alcotest.(check (list string))
-            (Printf.sprintf "%s locks identical at K=%d" name k)
+            (Printf.sprintf "%s locks identical at B=%d" name
+               (List.length splitters + 1))
             baseline
-            (LT.probe_sorted ~stripes:k op))
-        ks)
+            (LT.probe_sorted ~splitters op))
+        splitter_lists)
+    sorted_ops
+
+(* B = 1 rows pinned against the pre-interval-partitioning behaviour:
+   these literals were traced from the single-structure implementation and
+   must never drift. *)
+let test_sorted_rows_b1_baseline () =
+  let expect =
+    [
+      ("firstKey", [ "first" ]);
+      ("lastKey", [ "last" ]);
+      ("entrySet iteration", [ "range"; "first"; "last" ]);
+      ("subMap(15,25) iteration", [ "range" ]);
+      ("get(10)", [ "key(10)" ]);
+      ("put(77, v) [new key]", [ "key(77)" ]);
+      ("remove(10)", [ "key(10)" ]);
+    ]
+  in
+  List.iter
+    (fun (name, op) ->
+      let rows = LT.probe_sorted ~splitters:[] op in
+      match List.assoc_opt name expect with
+      | Some want ->
+          Alcotest.(check (list string))
+            (Printf.sprintf "%s matches pre-PR rows" name)
+            want rows
+      | None -> Alcotest.failf "no pinned baseline for %s" name)
     sorted_ops
 
 (* Table 8 has no striped variant (the queue is deliberately K = 1), but
@@ -119,14 +150,21 @@ let test_stripe_count_clamped () =
   Alcotest.(check int) "clamped low" 1 (IM.stripe_count (IM.create ~stripes:0 ()));
   Alcotest.(check int) "clamped high" 62
     (IM.stripe_count (IM.create ~stripes:1000 ()));
-  Alcotest.(check int) "sorted default" 8 (SM.stripe_count (SM.create ()))
+  Alcotest.(check int) "sorted default one interval" 1
+    (SM.stripe_count (SM.create ()));
+  Alcotest.(check int) "splitters cut intervals" 4
+    (SM.stripe_count (SM.create ~splitters:[ 10; 20; 30 ] ()));
+  Alcotest.(check int) "splitters deduplicated" 2
+    (SM.stripe_count (SM.create ~splitters:[ 5; 5; 5 ] ()));
+  Alcotest.(check int) "splitters clamped to 62 intervals" 62
+    (SM.stripe_count (SM.create ~splitters:(List.init 100 Fun.id) ()))
 
 (* ---------------- range-lock growth regression ---------------- *)
 
 let test_cursor_range_locks_bounded () =
   (* An incremental cursor extends its range lock one binding at a time;
      coalescing must keep the registered count O(1), not O(keys seen). *)
-  let m = SM.create ~stripes:4 () in
+  let m = SM.create ~splitters:[ 50; 100; 150 ] () in
   Stm.atomic (fun () ->
       for i = 1 to 200 do
         ignore (SM.put m i i)
@@ -148,9 +186,12 @@ let test_cursor_range_locks_bounded () =
          Stm.self_abort ())
    with Stm.Aborted -> ());
   Alcotest.(check int) "cursor visited every binding" 200 !seen;
+  (* The coalesced lock registers once per overlapped interval, so the
+     bound is O(B), never O(keys seen): one entry per stripe the sweep
+     has crossed so far. *)
   Alcotest.(check bool)
     (Printf.sprintf "range locks stay bounded (worst %d)" !worst)
-    true (!worst <= 2);
+    true (!worst <= SM.stripe_count m);
   Alcotest.(check int) "released on abort" 0 (SM.outstanding_range_locks m)
 
 let test_repeated_folds_coalesce () =
@@ -175,6 +216,116 @@ let test_repeated_folds_coalesce () =
          Stm.self_abort ())
    with Stm.Aborted -> ());
   Alcotest.(check int) "released" 0 (SM.outstanding_range_locks m)
+
+(* ---------------- interval-partitioned commit plans ---------------- *)
+
+let test_commit_plan_interval_scoped () =
+  (* B = 8; a writer whose buffered keys and ranges fall in one interval
+     must plan strictly fewer regions than all_regions. *)
+  let m = SM.create ~splitters:[ 100; 200; 300; 400; 500; 600; 700 ] () in
+  Alcotest.(check int) "eight intervals" 8 (SM.stripe_count m);
+  for i = 0 to 799 do
+    ignore (SM.put m i i)
+  done;
+  let all = SM.all_region_count m in
+  Alcotest.(check int) "full plan covers structure + intervals" 9 all;
+  (try
+     Stm.atomic (fun () ->
+         (* Presence-preserving overwrite of one key: one interval, no
+            structure region. *)
+         ignore (SM.put m 150 0);
+         Alcotest.(check int) "overwrite plans its interval only" 1
+           (SM.commit_plan_size m);
+         Stm.self_abort ())
+   with Stm.Aborted -> ());
+  (try
+     Stm.atomic (fun () ->
+         (* New key: its interval plus the structure region (size and
+            possibly endpoints move). *)
+         ignore (SM.put m 850 0);
+         Alcotest.(check int) "insert adds the structure region" 2
+           (SM.commit_plan_size m);
+         Stm.self_abort ())
+   with Stm.Aborted -> ());
+  (try
+     Stm.atomic (fun () ->
+         (* A bounded scan inside one interval: that interval only. *)
+         ignore (SM.fold_range (fun _ _ a -> a) m () ~lo:(Some 110) ~hi:(Some 150));
+         ignore (SM.put m 150 0);
+         Alcotest.(check bool) "scan+overwrite still under full plan" true
+           (SM.commit_plan_size m < all);
+         Stm.self_abort ())
+   with Stm.Aborted -> ());
+  (try
+     Stm.atomic (fun () ->
+         (* Removals rescan the endpoints: full plan. *)
+         ignore (SM.remove m 150);
+         Alcotest.(check int) "removal plans every region" all
+           (SM.commit_plan_size m);
+         Stm.self_abort ())
+   with Stm.Aborted -> ())
+
+(* Satellite probe: optimistic point writes must not enter the structure
+   region at operation time, and disjoint-interval writers' commit plans
+   must not overlap — so two domains hammering different intervals cause
+   exactly zero blocked region acquisitions. *)
+let test_optimistic_writes_no_region_waits () =
+  let keys_per_domain = 256 in
+  let m =
+    SM.create
+      ~splitters:(List.init 7 (fun i -> (i + 1) * keys_per_domain))
+      ()
+  in
+  for d = 0 to 1 do
+    for i = 0 to keys_per_domain - 1 do
+      ignore (SM.put m ((d * keys_per_domain) + i) 0)
+    done
+  done;
+  let waits_before = Stm.commit_region_waits () in
+  let worker d () =
+    let base = d * keys_per_domain in
+    for i = 0 to 499 do
+      Stm.atomic (fun () -> ignore (SM.put m (base + (i mod keys_per_domain)) i))
+    done
+  in
+  let doms = List.init 2 (fun d -> Domain.spawn (worker d)) in
+  List.iter Domain.join doms;
+  Alcotest.(check int) "no blocked region acquisitions" 0
+    (Stm.commit_region_waits () - waits_before)
+
+(* The same ordered-operation script against B = 1 and a partitioned map
+   must produce identical observations: merged iteration, endpoints and
+   size are linearizable across interval boundaries. *)
+let test_sorted_single_thread_equivalence () =
+  let script m =
+    Stm.atomic (fun () ->
+        for i = 0 to 99 do
+          ignore (SM.put m i (i * 3))
+        done);
+    let obs1 =
+      Stm.atomic (fun () ->
+          ignore (SM.remove m 0);
+          ignore (SM.remove m 99);
+          ignore (SM.put m 250 7);
+          (* Buffered writes merged with committed state across boundaries. *)
+          let ordered = SM.fold_range (fun k _ acc -> k :: acc) m [] ~lo:(Some 20) ~hi:(Some 60) in
+          (SM.first_key m, SM.last_key m, SM.size m, List.rev ordered))
+    in
+    let cursor_keys =
+      Stm.atomic (fun () ->
+          let c = SM.cursor ~lo:15 m in
+          let rec go acc =
+            match SM.cursor_next c with
+            | Some (k, _) -> go (k :: acc)
+            | None -> List.rev acc
+          in
+          go [])
+    in
+    (obs1, cursor_keys, SM.to_list m)
+  in
+  let r1 = script (SM.create ()) in
+  let r4 = script (SM.create ~splitters:[ 25; 50; 75 ] ()) in
+  Alcotest.(check bool) "observations identical across B" true (r1 = r4)
 
 (* ---------------- multi-domain striped soak ---------------- *)
 
@@ -213,8 +364,16 @@ let suites =
       [
         Alcotest.test_case "map lock rows K-invariant" `Quick
           test_map_rows_stripe_invariant;
-        Alcotest.test_case "sorted lock rows K-invariant" `Quick
-          test_sorted_rows_stripe_invariant;
+        Alcotest.test_case "sorted lock rows interval-invariant" `Quick
+          test_sorted_rows_interval_invariant;
+        Alcotest.test_case "sorted B=1 rows match pre-PR baseline" `Quick
+          test_sorted_rows_b1_baseline;
+        Alcotest.test_case "commit plans interval-scoped" `Quick
+          test_commit_plan_interval_scoped;
+        Alcotest.test_case "optimistic writes cause no region waits" `Quick
+          test_optimistic_writes_no_region_waits;
+        Alcotest.test_case "sorted single-thread equivalence across B" `Quick
+          test_sorted_single_thread_equivalence;
         Alcotest.test_case "queue rows unchanged" `Quick test_queue_rows_unchanged;
         Alcotest.test_case "single-thread equivalence" `Quick
           test_single_thread_equivalence;
