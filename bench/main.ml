@@ -222,6 +222,18 @@ let chaos_matrix ~ops_per_domain =
         chaos_seeds)
     chaos_probs
 
+(* Snapshot-reader prefix-consistency soak: one seeded run per CI seed,
+   writers under injection committing mirror map/sorted pairs while a
+   snapshot reader checks every section for torn reads. *)
+let snapshot_soak_matrix ~ops_per_domain =
+  List.map
+    (fun seed ->
+      ( seed,
+        Harness.Chaos.run_snapshot_soak
+          (Harness.Chaos.default_soak ~domains:2 ~ops_per_domain ~key_space:48
+             ~seed 0.05) ))
+    chaos_seeds
+
 let chaos () =
   let rows = chaos_matrix ~ops_per_domain:800 in
   Fmt.pf ppf "@.Chaos soak (2 domains, map+sorted+queue, seeded injection)@.";
@@ -237,6 +249,14 @@ let chaos () =
         r.ok r.committed c ra hf d;
       List.iter (fun e -> Fmt.pf ppf "        FAILED: %s@." e) r.errors)
     rows;
+  Fmt.pf ppf
+    "@.Snapshot-reader soak (2 writer domains + 1 snapshot reader, mirror \
+     writes)@.";
+  List.iter
+    (fun (seed, (r : Harness.Chaos.snapshot_soak_report)) ->
+      if not r.sn_ok then failed := true;
+      Fmt.pf ppf "  seed %d: %a@." seed Harness.Chaos.pp_snapshot_report r)
+    (snapshot_soak_matrix ~ops_per_domain:800);
   if !failed then begin
     Fmt.pf ppf "  CHAOS SOAK FAILED@.";
     exit 1
@@ -280,65 +300,91 @@ type stmscale_row = {
   total_txns : int;
   elapsed_s : float;
   commits_per_s : float;
+  p99_us : float;
   region_waits : int;
+  aborts : int;
   minor_words_per_commit : float;
   clock_bumps : int;
   read_only_commits : int;
+  snapshot_reads : int;
 }
 
-(* Key range of the read-only workload: every transaction finds one key of
-   a shared prepopulated map and commits on the read-only fast path. *)
+(* Key range of the read workloads: every read finds one key of a shared
+   prepopulated map.  "read_only" runs each find in [Stm.snapshot] — the
+   abort-free multi-version mode: no validation, no commit region, no
+   clock interaction, so its rows must report region_waits = 0 and
+   aborts = 0 at every domain count (CI-gated).  "read_mostly" is the
+   95/5 mix: 19 snapshot finds per one small write transaction. *)
 let ro_keys = 1024
+
+let stat_aborts (s : Stm.stats) =
+  s.conflict_aborts + s.remote_aborts + s.explicit_aborts
 
 let stmscale_run ~workload ~domains ~txns_per_domain =
   (* [~stripes:1] keeps these workloads' historical meaning now that maps
      stripe by default: "shared" measures commits serialising on ONE
      region (the un-striped semantic layer), the baseline the semscale
-     workload below is compared against. *)
+     workload below is compared against.  The read workloads stay
+     un-striped too: snapshot reads never touch regions, so striping
+     could only mask a fast-path regression. *)
   let shared =
     match workload with
-    | "shared" | "read_only" -> Some (IM.create ~stripes:1 ())
+    | "shared" | "read_only" | "read_mostly" -> Some (IM.create ~stripes:1 ())
     | _ -> None
   in
   (match (workload, shared) with
-  | "read_only", Some m ->
+  | ("read_only" | "read_mostly"), Some m ->
       for k = 0 to ro_keys - 1 do
         ignore (IM.put m k k)
       done
   | _ -> ());
-  let body d (m : int IM.t) =
+  let op d (m : int IM.t) =
     match workload with
     | "read_only" ->
-        for i = 1 to txns_per_domain do
-          Stm.atomic (fun () ->
+        fun i ->
+          Stm.snapshot (fun () ->
               ignore (IM.find m (((d * 37) + i) land (ro_keys - 1))))
-        done
+    | "read_mostly" ->
+        fun i ->
+          let k = ((d * 37) + i) land (ro_keys - 1) in
+          if i mod 20 = 0 then Stm.atomic (fun () -> ignore (IM.put m k i))
+          else Stm.snapshot (fun () -> ignore (IM.find m k))
     | _ ->
-        for i = 1 to txns_per_domain do
+        fun i ->
           Stm.atomic (fun () ->
               let k = (d * txns_per_domain) + i in
               ignore (IM.put m k i);
               if i > 1 then ignore (IM.find m (k - 1)))
-        done
   in
   Stm.reset_stats ();
   let waits_before = Stm.commit_region_waits () in
   let stats_before = Stm.global_stats () in
   let t0 = Unix.gettimeofday () in
   (* [Gc.minor_words] is domain-local: each worker measures its own
-     allocation delta around the workload and returns it through join. *)
+     allocation delta around the workload and returns it through join,
+     along with its per-transaction latencies (preallocated float array;
+     the constant timing overhead is identical across workloads). *)
   let ds =
     List.init domains (fun d ->
         Domain.spawn (fun () ->
-            let m =
-              match shared with Some m -> m | None -> IM.create ()
-            in
+            let m = match shared with Some m -> m | None -> IM.create () in
+            let f = op d m in
+            let lat = Array.make txns_per_domain 0. in
             let w0 = Gc.minor_words () in
-            body d m;
-            Gc.minor_words () -. w0))
+            for i = 1 to txns_per_domain do
+              let s = Unix.gettimeofday () in
+              f i;
+              lat.(i - 1) <- Unix.gettimeofday () -. s
+            done;
+            (Gc.minor_words () -. w0, lat)))
   in
-  let words = List.fold_left (fun acc d -> acc +. Domain.join d) 0. ds in
+  let results = List.map Domain.join ds in
   let elapsed = Unix.gettimeofday () -. t0 in
+  let words = List.fold_left (fun acc (w, _) -> acc +. w) 0. results in
+  let all = Array.concat (List.map snd results) in
+  Array.sort Float.compare all;
+  let n = Array.length all in
+  let p99 = all.(min (n - 1) (n * 99 / 100)) in
   let stats_after = Stm.global_stats () in
   let total = domains * txns_per_domain in
   {
@@ -347,11 +393,15 @@ let stmscale_run ~workload ~domains ~txns_per_domain =
     total_txns = total;
     elapsed_s = elapsed;
     commits_per_s = float_of_int total /. elapsed;
+    p99_us = p99 *. 1e6;
     region_waits = Stm.commit_region_waits () - waits_before;
+    aborts = stat_aborts stats_after - stat_aborts stats_before;
     minor_words_per_commit = words /. float_of_int total;
     clock_bumps = stats_after.clock_bumps - stats_before.clock_bumps;
     read_only_commits =
       stats_after.read_only_commits - stats_before.read_only_commits;
+    snapshot_reads =
+      stats_after.snapshot_reads - stats_before.snapshot_reads;
   }
 
 (* Same-collection scaling: every domain hammers its own disjoint key
@@ -426,6 +476,7 @@ let semscale_run ~stripes ~domains ~txns_per_domain =
 module SOM = Txcoll.Host.Sorted_map (Txcoll.Host.Int_ordered)
 
 type sortedscale_row = {
+  so_workload : string;  (* "write" | "snapshot_read" *)
   so_intervals : int;
   so_domains : int;
   so_total_txns : int;
@@ -476,6 +527,7 @@ let sortedscale_run ~intervals ~domains ~txns_per_domain =
   let p99 = all.(min (n - 1) (n * 99 / 100)) in
   let total = domains * txns_per_domain in
   {
+    so_workload = "write";
     so_intervals = intervals;
     so_domains = domains;
     so_total_txns = total;
@@ -485,8 +537,71 @@ let sortedscale_run ~intervals ~domains ~txns_per_domain =
     so_region_waits = Stm.commit_region_waits () - waits_before;
   }
 
-let stmscale_json ~cores ~chaos_rows ~starvation_rows ~semscale_rows
-    ~sortedscale_rows rows =
+(* Snapshot-read row: the same interval-partitioned sorted map, but each
+   domain runs [Stm.snapshot] sections doing a point find plus a range
+   fold over a window straddling its interval boundary — the
+   cross-interval read that used to take range locks across two commit
+   regions.  In snapshot mode it touches neither: region_waits must stay
+   0 at every domain count. *)
+let sortedscale_snapshot_run ~intervals ~domains ~txns_per_domain =
+  let splitters =
+    List.init (intervals - 1) (fun i -> (i + 1) * sortedscale_keys_per_domain)
+  in
+  let m = SOM.create ~splitters () in
+  for d = 0 to max 1 domains - 1 do
+    for i = 0 to sortedscale_keys_per_domain - 1 do
+      ignore (SOM.put m ((d * sortedscale_keys_per_domain) + i) 0)
+    done
+  done;
+  let waits_before = Stm.commit_region_waits () in
+  let t0 = Unix.gettimeofday () in
+  let ds =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            let lat = Array.make txns_per_domain 0. in
+            let base = d * sortedscale_keys_per_domain in
+            (* Window straddling the upper interval boundary of this
+               domain's key range (clamped inside the populated space). *)
+            let edge =
+              min
+                (base + sortedscale_keys_per_domain)
+                ((max 1 domains * sortedscale_keys_per_domain) - 16)
+            in
+            for i = 0 to txns_per_domain - 1 do
+              let k = base + (i land (sortedscale_keys_per_domain - 1)) in
+              let s = Unix.gettimeofday () in
+              Stm.snapshot (fun () ->
+                  ignore (SOM.find m k);
+                  ignore
+                    (SOM.fold_range
+                       (fun _ _ n -> n + 1)
+                       m 0
+                       ~lo:(Some (edge - 16))
+                       ~hi:(Some (edge + 16))));
+              lat.(i) <- Unix.gettimeofday () -. s
+            done;
+            lat))
+  in
+  let lats = List.map Domain.join ds in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let all = Array.concat lats in
+  Array.sort Float.compare all;
+  let n = Array.length all in
+  let p99 = all.(min (n - 1) (n * 99 / 100)) in
+  let total = domains * txns_per_domain in
+  {
+    so_workload = "snapshot_read";
+    so_intervals = intervals;
+    so_domains = domains;
+    so_total_txns = total;
+    so_elapsed_s = elapsed;
+    so_commits_per_s = float_of_int total /. elapsed;
+    so_p99_us = p99 *. 1e6;
+    so_region_waits = Stm.commit_region_waits () - waits_before;
+  }
+
+let stmscale_json ~cores ~chaos_rows ~snapshot_soak_rows ~starvation_rows
+    ~semscale_rows ~sortedscale_rows rows =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
   Buffer.add_string b (Printf.sprintf "  \"cores\": %d,\n" cores);
@@ -496,9 +611,11 @@ let stmscale_json ~cores ~chaos_rows ~starvation_rows ~semscale_rows
      never serialise. minor_words_per_commit = minor-heap words allocated \
      per committed transaction (domain-local Gc.minor_words deltas summed \
      over workers). clock_bumps = global version-clock advances; the \
-     read_only workload must report 0. Wall-clock scaling requires cores \
-     >= domains; cores = Domain.recommended_domain_count of the generating \
-     host.\",\n";
+     read_only workload (multi-version snapshot reads) must report 0 \
+     clock_bumps, 0 region_waits and 0 aborts at every domain count. \
+     read_mostly = 95% snapshot finds / 5% write transactions on the same \
+     shared map. Wall-clock scaling requires cores >= domains; cores = \
+     Domain.recommended_domain_count of the generating host.\",\n";
   let ratio w d1 d2 =
     let find d =
       List.find_opt (fun r -> r.workload = w && r.domains = d) rows
@@ -512,6 +629,12 @@ let stmscale_json ~cores ~chaos_rows ~starvation_rows ~semscale_rows
        (ratio "disjoint" 1 4));
   Buffer.add_string b
     (Printf.sprintf "  \"shared_scaling_1_to_4\": %.3f,\n" (ratio "shared" 1 4));
+  Buffer.add_string b
+    (Printf.sprintf "  \"read_only_scaling_1_to_4\": %.3f,\n"
+       (ratio "read_only" 1 4));
+  Buffer.add_string b
+    (Printf.sprintf "  \"read_mostly_scaling_1_to_4\": %.3f,\n"
+       (ratio "read_mostly" 1 4));
   let ss_ratio d1 d2 =
     let find d =
       List.find_opt
@@ -527,7 +650,9 @@ let stmscale_json ~cores ~chaos_rows ~starvation_rows ~semscale_rows
   let so_ratio intervals d1 d2 =
     let find d =
       List.find_opt
-        (fun r -> r.so_domains = d && r.so_intervals = intervals)
+        (fun r ->
+          r.so_workload = "write" && r.so_domains = d
+          && r.so_intervals = intervals)
         sortedscale_rows
     in
     match (find d1, find d2) with
@@ -545,11 +670,11 @@ let stmscale_json ~cores ~chaos_rows ~starvation_rows ~semscale_rows
     (fun i r ->
       Buffer.add_string b
         (Printf.sprintf
-           "    {\"intervals\": %d, \"domains\": %d, \"txns\": %d, \
-            \"elapsed_s\": %.4f, \"commits_per_s\": %.1f, \"p99_us\": %.1f, \
-            \"region_waits\": %d}%s\n"
-           r.so_intervals r.so_domains r.so_total_txns r.so_elapsed_s
-           r.so_commits_per_s r.so_p99_us r.so_region_waits
+           "    {\"workload\": \"%s\", \"intervals\": %d, \"domains\": %d, \
+            \"txns\": %d, \"elapsed_s\": %.4f, \"commits_per_s\": %.1f, \
+            \"p99_us\": %.1f, \"region_waits\": %d}%s\n"
+           r.so_workload r.so_intervals r.so_domains r.so_total_txns
+           r.so_elapsed_s r.so_commits_per_s r.so_p99_us r.so_region_waits
            (if i = List.length sortedscale_rows - 1 then "" else ",")))
     sortedscale_rows;
   Buffer.add_string b "  ],\n";
@@ -572,14 +697,26 @@ let stmscale_json ~cores ~chaos_rows ~starvation_rows ~semscale_rows
       Buffer.add_string b
         (Printf.sprintf
            "    {\"workload\": \"%s\", \"domains\": %d, \"txns\": %d, \
-            \"elapsed_s\": %.4f, \"commits_per_s\": %.1f, \"region_waits\": \
-            %d, \"minor_words_per_commit\": %.1f, \"clock_bumps\": %d, \
-            \"read_only_commits\": %d}%s\n"
+            \"elapsed_s\": %.4f, \"commits_per_s\": %.1f, \"p99_us\": %.1f, \
+            \"region_waits\": %d, \"aborts\": %d, \
+            \"minor_words_per_commit\": %.1f, \"clock_bumps\": %d, \
+            \"read_only_commits\": %d, \"snapshot_reads\": %d}%s\n"
            r.workload r.domains r.total_txns r.elapsed_s r.commits_per_s
-           r.region_waits r.minor_words_per_commit r.clock_bumps
-           r.read_only_commits
+           r.p99_us r.region_waits r.aborts r.minor_words_per_commit
+           r.clock_bumps r.read_only_commits r.snapshot_reads
            (if i = List.length rows - 1 then "" else ",")))
     rows;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b "  \"snapshot_soak\": [\n";
+  List.iteri
+    (fun i (seed, (r : Harness.Chaos.snapshot_soak_report)) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"seed\": %d, \"ok\": %b, \"snapshots\": %d, \
+            \"writer_commits\": %d}%s\n"
+           seed r.sn_ok r.sn_snapshots r.sn_writer_commits
+           (if i = List.length snapshot_soak_rows - 1 then "" else ",")))
+    snapshot_soak_rows;
   Buffer.add_string b "  ],\n";
   Buffer.add_string b "  \"chaos\": [\n";
   List.iteri
@@ -622,17 +759,18 @@ let stmscale () =
         List.map
           (fun domains -> stmscale_run ~workload ~domains ~txns_per_domain)
           [ 1; 2; 4; 8 ])
-      [ "disjoint"; "shared"; "read_only" ]
+      [ "disjoint"; "shared"; "read_only"; "read_mostly" ]
   in
   Fmt.pf ppf "@.STM commit scaling (host STM, %d core%s available)@." cores
     (if cores = 1 then "" else "s");
-  Fmt.pf ppf "  %-9s %7s %10s %14s %13s %10s %12s@." "workload" "domains"
-    "txns" "commits/s" "region_waits" "mw/commit" "clock_bumps";
+  Fmt.pf ppf "  %-11s %7s %10s %14s %10s %13s %7s %10s %12s@." "workload"
+    "domains" "txns" "commits/s" "p99 (us)" "region_waits" "aborts"
+    "mw/commit" "clock_bumps";
   List.iter
     (fun r ->
-      Fmt.pf ppf "  %-9s %7d %10d %14.0f %13d %10.1f %12d@." r.workload
-        r.domains r.total_txns r.commits_per_s r.region_waits
-        r.minor_words_per_commit r.clock_bumps)
+      Fmt.pf ppf "  %-11s %7d %10d %14.0f %10.1f %13d %7d %10.1f %12d@."
+        r.workload r.domains r.total_txns r.commits_per_s r.p99_us
+        r.region_waits r.aborts r.minor_words_per_commit r.clock_bumps)
     rows;
   (* Same-collection scaling over the striped map (domains up to at least
      4 so the recorded 1→4 ratio is meaningful, further if the host has
@@ -669,24 +807,33 @@ let stmscale () =
           (fun domains -> sortedscale_run ~intervals ~domains ~txns_per_domain)
           semscale_domains)
       [ 1; sortedscale_intervals ]
+    (* Snapshot-read rows: cross-interval range reads in [Stm.snapshot];
+       region_waits must stay 0 at every domain count. *)
+    @ List.map
+        (fun domains ->
+          sortedscale_snapshot_run ~intervals:sortedscale_intervals ~domains
+            ~txns_per_domain)
+        semscale_domains
   in
   Fmt.pf ppf
     "@.Sorted-map same-collection scaling (disjoint per-domain intervals)@.";
-  Fmt.pf ppf "  %9s %7s %10s %14s %10s %13s@." "intervals" "domains" "txns"
-    "commits/s" "p99 (us)" "region_waits";
+  Fmt.pf ppf "  %-13s %9s %7s %10s %14s %10s %13s@." "workload" "intervals"
+    "domains" "txns" "commits/s" "p99 (us)" "region_waits";
   List.iter
     (fun r ->
-      Fmt.pf ppf "  %9d %7d %10d %14.0f %10.1f %13d@." r.so_intervals
-        r.so_domains r.so_total_txns r.so_commits_per_s r.so_p99_us
-        r.so_region_waits)
+      Fmt.pf ppf "  %-13s %9d %7d %10d %14.0f %10.1f %13d@." r.so_workload
+        r.so_intervals r.so_domains r.so_total_txns r.so_commits_per_s
+        r.so_p99_us r.so_region_waits)
     sortedscale_rows;
-  (* Robustness columns: a lighter chaos matrix plus the three-policy
-     starvation comparison ride along into the same JSON record. *)
+  (* Robustness columns: a lighter chaos matrix, the snapshot-reader
+     prefix-consistency soak and the three-policy starvation comparison
+     ride along into the same JSON record. *)
   let chaos_rows = chaos_matrix ~ops_per_domain:400 in
+  let snapshot_soak_rows = snapshot_soak_matrix ~ops_per_domain:400 in
   let starvation_rows = starve_rows () in
   let json =
-    stmscale_json ~cores ~chaos_rows ~starvation_rows ~semscale_rows
-      ~sortedscale_rows rows
+    stmscale_json ~cores ~chaos_rows ~snapshot_soak_rows ~starvation_rows
+      ~semscale_rows ~sortedscale_rows rows
   in
   let oc = open_out "BENCH_stm.json" in
   output_string oc json;

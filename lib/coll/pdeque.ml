@@ -1,0 +1,35 @@
+(* Persistent FIFO deque (two-list Okasaki queue with front restore): the
+   value type of the transactional queue's version chain.  Every committed
+   queue state is one immutable value, so snapshot readers observe a whole
+   queue at a point in time without touching the live structure. *)
+
+type 'v t = { front : 'v list; rear : 'v list; len : int }
+(* Invariant: elements leave from [front] head; [rear] is reversed. *)
+
+let empty = { front = []; rear = []; len = 0 }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let enqueue t v = { t with rear = v :: t.rear; len = t.len + 1 }
+
+let push_front t v = { t with front = v :: t.front; len = t.len + 1 }
+
+let norm t =
+  match t.front with
+  | [] when t.rear <> [] -> { t with front = List.rev t.rear; rear = [] }
+  | _ -> t
+
+let peek t =
+  let t = norm t in
+  match t.front with v :: _ -> Some v | [] -> None
+
+let dequeue t =
+  let t = norm t in
+  match t.front with
+  | v :: front -> (Some v, { t with front; len = t.len - 1 })
+  | [] -> (None, t)
+
+let to_list t = t.front @ List.rev t.rear
+
+let of_list l = { front = l; rear = []; len = List.length l }

@@ -1,0 +1,14 @@
+(** Persistent FIFO deque: each committed state of the transactional work
+    queue is one immutable value, published into its version chain. *)
+
+type 'v t
+
+val empty : 'v t
+val length : 'v t -> int
+val is_empty : 'v t -> bool
+val enqueue : 'v t -> 'v -> 'v t
+val push_front : 'v t -> 'v -> 'v t
+val peek : 'v t -> 'v option
+val dequeue : 'v t -> 'v option * 'v t
+val to_list : 'v t -> 'v list
+val of_list : 'v list -> 'v t

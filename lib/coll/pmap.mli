@@ -1,0 +1,28 @@
+(** Persistent balanced map with a runtime comparator: the value type of a
+    semantic shard's version chain.  Each committed shard state is one
+    immutable tree; successive versions share untouched subtrees. *)
+
+type ('k, 'v) t
+
+val empty : compare:('k -> 'k -> int) -> ('k, 'v) t
+val size : ('k, 'v) t -> int
+val is_empty : ('k, 'v) t -> bool
+val find : ('k, 'v) t -> 'k -> 'v option
+val mem : ('k, 'v) t -> 'k -> bool
+
+val add : ('k, 'v) t -> 'k -> 'v -> ('k, 'v) t
+(** Insert or replace; O(log n), shares untouched subtrees. *)
+
+val remove : ('k, 'v) t -> 'k -> ('k, 'v) t
+val min_binding : ('k, 'v) t -> ('k * 'v) option
+val max_binding : ('k, 'v) t -> ('k * 'v) option
+val fold : ('k -> 'v -> 'a -> 'a) -> ('k, 'v) t -> 'a -> 'a
+val iter : ('k -> 'v -> unit) -> ('k, 'v) t -> unit
+
+val iter_range :
+  ('k -> 'v -> unit) -> ('k, 'v) t -> lo:'k option -> hi:'k option -> unit
+(** In-order over [lo <= k < hi] (missing bound = unbounded); [f] may
+    raise for early exit. *)
+
+val of_seq : compare:('k -> 'k -> int) -> ('k * 'v) Seq.t -> ('k, 'v) t
+val to_list : ('k, 'v) t -> ('k * 'v) list

@@ -1,0 +1,108 @@
+(* Bounded multi-version chain: the last K committed versions of one cell,
+   newest first, each stamped with the commit-clock value that published
+   it.  The chain is one immutable list behind an [Atomic.t]:
+
+   - readers [Atomic.get] the list once and walk it without any lock —
+     a torn view is impossible (the list cells are immutable) and a
+     concurrent publication simply isn't part of the snapshot;
+   - publishers are expected to be externally serialised per chain (the
+     STM publishes tvar chains while holding the tvar's versioned lock,
+     and semantic shadow chains while holding the shard's commit region),
+     so publication is a plain read-modify-write, no CAS loop.
+
+   Reclamation is lazy and keyed off the oldest active reader epoch
+   ([min_epoch], supplied by the publisher): a version may be dropped only
+   when it is (a) beyond the [keep] bound and (b) *shadowed* for every
+   epoch still reachable — some newer entry has a stamp <= the oldest
+   active epoch, so no pinned reader can resolve to it.  While an old
+   reader stays pinned the chain grows beyond [keep] (grow-only, never
+   blocking the writer); once the oldest reader epoch advances the next
+   publication trims it back to the bound. *)
+
+type 'a t = (int * 'a) list Atomic.t
+
+let make stamp v = Atomic.make [ (stamp, v) ]
+
+let length t = List.length (Atomic.get t)
+
+let latest t =
+  match Atomic.get t with
+  | (_, v) :: _ -> v
+  | [] -> assert false (* chains are never empty *)
+
+let latest_stamp t =
+  match Atomic.get t with (s, _) :: _ -> s | [] -> assert false
+
+(* Newest committed version with stamp <= [ts].  Under the snapshot pin
+   protocol such an entry always exists (the pin caps every later trim at
+   the pinned epoch); the [None] case means the caller read an unpinned
+   timestamp. *)
+let read_at_opt t ts =
+  let rec go = function
+    | (s, v) :: _ when s <= ts -> Some v
+    | _ :: rest -> go rest
+    | [] -> None
+  in
+  go (Atomic.get t)
+
+(* Total variant: falls back to the oldest surviving version when nothing
+   is stamped <= [ts] — reachable only outside the pin protocol. *)
+let read_at t ts =
+  let rec go last = function
+    | (s, v) :: _ when s <= ts -> v
+    | (_, v) :: rest -> go v rest
+    | [] -> last
+  in
+  match Atomic.get t with
+  | [] -> assert false
+  | (_, newest) :: _ as l -> go newest l
+
+(* Keep the newest-first prefix through max(first entry stamped <=
+   min_epoch, keep); everything older is shadowed for every reachable
+   epoch and reclaimed.  When no entry is stamped <= min_epoch a reader
+   pinned at the oldest epoch still needs the whole tail: keep it all
+   (grow-only under a long-pinned reader). *)
+let trim ~keep ~min_epoch l =
+  let rec first_shadow i = function
+    | [] -> max_int
+    | (s, _) :: _ when s <= min_epoch -> i
+    | _ :: rest -> first_shadow (i + 1) rest
+  in
+  let fs = first_shadow 0 l in
+  if fs = max_int then (l, 0)
+  else
+    let cutoff = max fs (keep - 1) in
+    let rec take i = function
+      | [] -> ([], 0)
+      | e :: rest ->
+          if i < cutoff then
+            let rest', d = take (i + 1) rest in
+            (e :: rest', d)
+          else ([ e ], List.length rest)
+    in
+    take 0 l
+
+(* Publish a new version stamped [stamp] and lazily reclaim shadowed
+   entries beyond the bound.  Publishers are serialised per chain and
+   stamps grow monotonically (each publisher advances the commit clock
+   while holding the serialising lock), so the plain insert-at-head is
+   order-correct; the sorted insert below is a defensive fallback for a
+   stamp race that the locking discipline should make impossible.
+   Returns the number of versions reclaimed. *)
+let publish t ~keep ~min_epoch stamp v =
+  let l = Atomic.get t in
+  let l' =
+    match l with
+    | (s, _) :: _ when s >= stamp ->
+        (* Out-of-order stamp (defensive): sorted insert, newest first. *)
+        let rec ins = function
+          | ((s', _) :: _) as rest when s' < stamp -> (stamp, v) :: rest
+          | e :: rest -> e :: ins rest
+          | [] -> [ (stamp, v) ]
+        in
+        ins l
+    | _ -> (stamp, v) :: l
+  in
+  let trimmed, dropped = trim ~keep ~min_epoch l' in
+  Atomic.set t trimmed;
+  dropped

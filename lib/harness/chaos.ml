@@ -610,6 +610,175 @@ let run_striped_soak ?(stripes = 16) sc =
     fingerprint;
   }
 
+(* ---------------- snapshot-reader soak ---------------- *)
+
+(* Prefix-consistency soak for the multi-version snapshot mode: writer
+   domains run under injection and only ever commit *mirror* transactions
+   — the same (key, value) written to the hash map AND the sorted map in
+   one atomic block (or removed from both), plus a tvar pair kept equal —
+   while a dedicated reader domain loops [Stm.snapshot] sections
+   concurrently and checks, inside every single snapshot:
+
+   - the mirror invariant: [Map.find k = Sorted.find k] for every key of
+     the shared space (a torn multi-collection read breaks it, because no
+     committed prefix ever has the two collections disagreeing);
+   - structural consistency of each collection: the number of bindings
+     seen by a full fold equals [size] (the struct chain and the shard
+     chains must come from the same committed cut, across every stripe
+     and interval boundary);
+   - ordered iteration: the sorted map's snapshot fold is strictly
+     ascending across interval boundaries;
+   - the tvar pair is equal and re-reads are pinned (repeatable).
+
+   Chaos events fire only inside [Stm.atomic] attempts, so injection
+   stresses the writers (including their commit-time version
+   publication) while the reader stays abort-free by construction. *)
+
+type snapshot_soak_report = {
+  sn_ok : bool;
+  sn_errors : string list;
+  sn_snapshots : int;  (* snapshot sections the reader completed *)
+  sn_writer_commits : int;
+  sn_injections : int * int * int * int;
+}
+
+let run_snapshot_soak sc =
+  install sc.chaos;
+  let map = Map.create ~stripes:8 () in
+  let sorted =
+    Sorted.create
+      ~splitters:
+        (List.init (max 0 (sc.domains - 1)) (fun i -> (i + 1) * sc.key_space))
+      ()
+  in
+  let pair_a = Tvar.make 0 and pair_b = Tvar.make 0 in
+  let stop = Atomic.make false in
+  let key_count = sc.domains * sc.key_space in
+  let reader () =
+    let errors = ref [] in
+    let fail fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+    let snapshots = ref 0 in
+    while not (Atomic.get stop) do
+      Stm.snapshot (fun () ->
+          incr snapshots;
+          (* Tvar pair: equal in every committed prefix, and pinned. *)
+          let a = Tvar.get pair_a and b = Tvar.get pair_b in
+          if a <> b then fail "torn tvar pair: a=%d b=%d" a b;
+          if Tvar.get pair_a <> a then fail "snapshot tvar read not pinned";
+          (* Mirror invariant across the two collections. *)
+          for k = 0 to key_count - 1 do
+            let mv = Map.find map k and sv = Sorted.find sorted k in
+            if mv <> sv then
+              fail "torn mirror at key %d: map=%s sorted=%s" k
+                (match mv with Some v -> string_of_int v | None -> "-")
+                (match sv with Some v -> string_of_int v | None -> "-")
+          done;
+          (* Struct/shard cut consistency: fold count = size, per
+             collection, across all stripes / intervals. *)
+          let mc = Map.fold (fun _ _ n -> n + 1) map 0 in
+          let ms = Map.size map in
+          if mc <> ms then fail "map fold=%d disagrees with size=%d" mc ms;
+          let sc' = Sorted.fold (fun _ _ n -> n + 1) sorted 0 in
+          let ss = Sorted.size sorted in
+          if sc' <> ss then fail "sorted fold=%d disagrees with size=%d" sc' ss;
+          (* Ordered iteration across interval boundaries. *)
+          let prev = ref min_int in
+          Sorted.iter
+            (fun k _ ->
+              if k <= !prev then fail "sorted fold not ascending at %d" k;
+              prev := k)
+            sorted)
+    done;
+    (!snapshots, List.rev !errors)
+  in
+  let writer index =
+    register_worker sc.chaos ~index;
+    let rng = stream_of_seed (sc.chaos.seed lxor 0x5a9) (index + 1) in
+    let committed = ref 0 in
+    let errs = ref [] in
+    let base = index * sc.key_space in
+    let run body =
+      match Stm.atomic ~policy:sc.policy body with
+      | () -> incr committed
+      | exception Stm.Handler_failure { committed = c; failures } ->
+          List.iter
+            (fun e ->
+              match e with
+              | Chaos_fault _ -> ()
+              | e ->
+                  errs :=
+                    ("unexpected handler failure: " ^ Printexc.to_string e)
+                    :: !errs)
+            failures;
+          if c then incr committed
+      | exception e ->
+          errs := ("writer raised: " ^ Printexc.to_string e) :: !errs
+    in
+    for i = 1 to sc.ops_per_domain do
+      let k = base + rand_int rng sc.key_space in
+      let dice = rand_int rng 100 in
+      if dice < 60 then
+        (* Mirror write: both collections get the same binding, atomically. *)
+        run (fun () ->
+            ignore (Map.put map k i);
+            ignore (Sorted.put sorted k i))
+      else if dice < 85 then
+        run (fun () ->
+            ignore (Map.remove map k);
+            ignore (Sorted.remove sorted k))
+      else
+        (* Tvar pair: both cells move together. *)
+        run (fun () ->
+            let v = Tvar.get pair_a + 1 in
+            Tvar.set pair_a v;
+            Tvar.set pair_b v)
+    done;
+    (!committed, List.rev !errs)
+  in
+  let reader_dom = Domain.spawn reader in
+  let writer_doms =
+    List.init sc.domains (fun index -> Domain.spawn (fun () -> writer index))
+  in
+  let writer_results = List.map Domain.join writer_doms in
+  Atomic.set stop true;
+  let snapshots, reader_errors = Domain.join reader_dom in
+  uninstall ();
+  let errors = ref (List.rev reader_errors) in
+  List.iter
+    (fun (_, es) -> List.iter (fun e -> errors := e :: !errors) es)
+    writer_results;
+  (* Quiescent cross-check: the final committed states mirror exactly. *)
+  let final_map = List.sort compare (Map.to_list map) in
+  let final_sorted = Sorted.to_list sorted in
+  if final_map <> final_sorted then
+    errors := "final map and sorted-map contents disagree" :: !errors;
+  if Tvar.get pair_a <> Tvar.get pair_b then
+    errors := "final tvar pair disagrees" :: !errors;
+  check "no leaked map locks" (Map.outstanding_locks map = 0) errors;
+  check "no leaked sorted-map locks" (Sorted.outstanding_locks sorted = 0)
+    errors;
+  check "no held commit regions" (Stm.regions_held () = 0) errors;
+  check "reader completed at least one snapshot" (snapshots > 0) errors;
+  {
+    sn_ok = !errors = [];
+    sn_errors = List.rev !errors;
+    sn_snapshots = snapshots;
+    sn_writer_commits = List.fold_left (fun a (c, _) -> a + c) 0 writer_results;
+    sn_injections =
+      ( Atomic.get injected_conflicts,
+        Atomic.get injected_remote_aborts,
+        Atomic.get injected_handler_faults,
+        Atomic.get injected_delays );
+  }
+
+let pp_snapshot_report ppf (r : snapshot_soak_report) =
+  let c, ra, hf, d = r.sn_injections in
+  Format.fprintf ppf
+    "ok=%b snapshots=%d writer_commits=%d injected(conflict=%d remote=%d \
+     handler=%d delay=%d)"
+    r.sn_ok r.sn_snapshots r.sn_writer_commits c ra hf d;
+  List.iter (fun e -> Format.fprintf ppf "@.  FAILED: %s" e) r.sn_errors
+
 let pp_report ppf r =
   let c, ra, hf, d = r.injections in
   Format.fprintf ppf

@@ -244,6 +244,17 @@ module Tm_ops : Tm_intf.TM_OPS with type txn = txn = struct
      only scopes conflict detection, not handler serialisation. *)
   let on_commit _region h = on_commit h
 
+  (* Commit stamps: the simulated machine keeps no multi-version state,
+     but the collections still publish into their shard chains through
+     the shared interface, so stamps must be unique and monotone.  The
+     sim is single-threaded (and host-side use is quiescent), so a plain
+     counter suffices. *)
+  let stamp_counter = ref 0
+
+  let next_stamp () =
+    incr stamp_counter;
+    !stamp_counter
+
   (* No separate prepare phase on the simulated machine: the hardware
      commit is already atomic under the commit token, so the two halves
      run back-to-back inside it.  The read-only certificate is likewise
@@ -254,10 +265,21 @@ module Tm_ops : Tm_intf.TM_OPS with type txn = txn = struct
   let on_commit_prepared ?read_only:_ ?regions:_ region ~prepare ~apply =
     on_commit region (fun () ->
         prepare ();
-        apply ())
+        apply (next_stamp ()))
 
   let on_abort = on_abort
   let remote_abort = remote_abort
   let self_abort () = self_abort ()
   let retry () = retry_now ()
+
+  (* No multi-version snapshot mode on the simulated machine: reads are
+     conflict-tracked by the hardware, so the snapshot paths are never
+     taken and reclamation never applies. *)
+  let in_snapshot () = false
+  let snapshot_stamp () = 0
+  let begin_publish () = next_stamp ()
+  let end_publish () = ()
+  let reclaim_epoch () = max_int
+  let note_reclaimed _ = ()
+  let version_chain_bound = 8
 end

@@ -59,7 +59,7 @@ let on_commit_in region h =
           ch_regions = None;
           ch_prepare = None;
           ch_read_only = never_read_only;
-          ch_apply = h;
+          ch_apply = (fun _ -> h ());
         }
         :: t.commit_handlers
 
@@ -84,7 +84,7 @@ let on_top_commit_in region h =
           ch_regions = None;
           ch_prepare = None;
           ch_read_only = never_read_only;
-          ch_apply = h;
+          ch_apply = (fun _ -> h ());
         }
         :: top.commit_handlers
 
@@ -105,8 +105,14 @@ let on_top_commit_prepared ?(read_only = never_read_only) ?regions region
     ~prepare ~apply =
   match !(context ()) with
   | None ->
+      (* Auto-commit: the operation is its own transaction; it still needs
+         a commit stamp so any version it publishes lands in the chains,
+         and the publication window so concurrent snapshot pins order
+         against it. *)
       prepare ();
-      apply ()
+      publish_window_enter ();
+      let wv = bump_clock () in
+      Fun.protect ~finally:publish_window_exit (fun () -> apply wv)
   | Some t ->
       let top = t.top in
       top.commit_handlers <-
@@ -259,13 +265,14 @@ let commit_regions handlers =
 (* Run every apply handler even if some raise; failures are aggregated
    (in registration order) and surfaced after the commit completes.  A
    raising handler can therefore never skip another collection's buffer
-   application or semantic lock release. *)
-let run_applies handlers =
+   application or semantic lock release.  [wv] is the commit stamp the
+   handlers publish their shard versions at (0 on read-only paths). *)
+let run_applies wv handlers =
   List.rev
     (List.fold_left
        (fun acc h ->
          try
-           h.ch_apply ();
+           h.ch_apply wv;
            acc
          with e ->
            let s = my_stats () in
@@ -273,22 +280,37 @@ let run_applies handlers =
            e :: acc)
        [] handlers)
 
-(* Publish the redo log and finish the commit.  Transactions with no
-   memory writes need no write version: skipping the clock bump keeps
-   pure-semantic commits off the shared clock cache line entirely. *)
-let publish_and_finish top =
-  if top.wlen > 0 then begin
-    let wv = bump_clock () in
-    Hashtbl.iter (fun _ (W (tv, v)) -> Atomic.set tv.value v) top.writes;
-    for i = 0 to top.wlen - 1 do
-      let (W (tv, _)) = Hashtbl.find top.writes top.wids.(i) in
-      Atomic.set tv.vlock wv
-    done;
-    ring_publish wv (Array.sub top.wids 0 top.wlen)
-  end;
+(* Publish the redo log at write version [wv]: per tvar — value, version
+   chain (while the write lock is still held: chain publications are
+   serialised by the vlock), then the unlocking vlock store.  The caller
+   has opened the publication window ([publish_window_enter] before the
+   bump that produced [wv]), so a concurrent snapshot pin either waits
+   this publication out or pins above [wv]. *)
+let publish_writes top wv =
+  let min_epoch = oldest_active_epoch () in
+  for i = 0 to top.wlen - 1 do
+    let (W (tv, v)) = Hashtbl.find top.writes top.wids.(i) in
+    Atomic.set tv.value v;
+    hist_publish tv ~min_epoch wv v;
+    Atomic.set tv.vlock wv
+  done;
+  ring_publish wv (Array.sub top.wids 0 top.wlen)
+
+let finish_commit top =
   Atomic.set top.top_status Committed;
   let s = my_stats () in
   s.s_commits <- s.s_commits + 1
+
+(* Publish the redo log and finish a handler-less writing commit.  Every
+   mutating commit draws a write version: snapshot readers key visibility
+   off unique commit stamps, so even commits that only mutate semantic
+   state (handler path below) must advance the clock. *)
+let publish_and_finish top =
+  publish_window_enter ();
+  let wv = bump_clock () in
+  publish_writes top wv;
+  publish_window_exit ();
+  finish_commit top
 
 let finish_read_only top =
   Atomic.set top.top_status Committed;
@@ -366,7 +388,7 @@ let commit_top ?(run_handlers = true) top =
     if not (Atomic.compare_and_set top.top_status Active Committing) then
       raise Remote_aborted_exn;
     (* Commit point passed. *)
-    let failures = run_applies handlers in
+    let failures = run_applies 0 handlers in
     finish_read_only top;
     if failures <> [] then raise (Handler_failure { committed = true; failures })
   end
@@ -392,9 +414,19 @@ let commit_top ?(run_handlers = true) top =
            top.in_prepare <- false;
            release_locks top top.wlen;
            raise e);
-        (* Commit point passed. *)
-        let failures = run_applies handlers in
-        publish_and_finish top;
+        (* Commit point passed.  The publication window opens before the
+           bump: a snapshot pin concurrent with this commit either waits
+           out the chain publications below (tvar chains and the semantic
+           shard chains the applies publish at [wv]) or pins above [wv].
+           Every mutating commit draws a write version here — semantic-
+           only commits included — because snapshot visibility is keyed
+           off unique commit stamps. *)
+        publish_window_enter ();
+        let wv = bump_clock () in
+        let failures = run_applies wv handlers in
+        publish_writes top wv;
+        publish_window_exit ();
+        finish_commit top;
         if failures <> [] then
           raise (Handler_failure { committed = true; failures }))
   end
@@ -563,6 +595,8 @@ let closed_nested_in parent f =
   attempt 0
 
 let atomic ?policy ?budget ?on_starved f =
+  if Types.in_snapshot () then
+    invalid_arg "Stm.atomic: inside a snapshot read section";
   match !(context ()) with
   | None -> (
       match on_starved with
@@ -611,6 +645,47 @@ let open_nested f =
           ctx := parent.self_opt;
           raise e)
 
+(* ------------------------------------------------------------------ *)
+(* Snapshot reads: the abort-free read-only mode.  [snapshot f] pins a
+   snapshot timestamp once (see [Types.snap_pin] for the protocol and its
+   correctness argument) and runs [f] with the pin recorded in
+   domain-local state: every [Tvar.get] and every collection read inside
+   resolves against the version chains at the pinned stamp — no read-set,
+   no validation, no commit regions, no clock interaction on exit, and no
+   possible abort.  Multi-collection and cross-interval reads inside one
+   snapshot observe a single prefix-consistent committed state.
+
+   Writes are rejected ([Tvar.set] and the collections' mutating
+   operations raise [Invalid_argument]), as is entering from inside a
+   transaction — a transaction's store buffer could not be reconciled
+   with a frozen timestamp.  Nested snapshots share the outer pin. *)
+
+let in_snapshot = Types.in_snapshot
+let snapshot_stamp = Types.snapshot_stamp
+let version_chain_bound = Types.version_chain_bound
+
+let snapshot f =
+  if in_txn () then invalid_arg "Stm.snapshot: inside a transaction";
+  let st = Domain.DLS.get snap_key in
+  if st.snap_depth > 0 then begin
+    st.snap_depth <- st.snap_depth + 1;
+    Fun.protect ~finally:(fun () -> st.snap_depth <- st.snap_depth - 1) f
+  end
+  else begin
+    let ts = snap_pin () in
+    st.snap_ts <- ts;
+    st.snap_depth <- 1;
+    Fun.protect
+      ~finally:(fun () ->
+        st.snap_depth <- 0;
+        snap_unpin ();
+        let s = my_stats () in
+        s.s_commits <- s.s_commits + 1;
+        s.s_ro_commits <- s.s_ro_commits + 1;
+        s.s_snapshot_reads <- s.s_snapshot_reads + 1)
+      f
+  end
+
 let retries () = match !(context ()) with None -> 0 | Some t -> t.top.retries
 
 (* Total number of distinct read entries across the current nesting stack
@@ -657,6 +732,8 @@ type stats = {
   handler_failures : int;
   clock_bumps : int;
   clock_cas_retries : int;
+  snapshot_reads : int;
+  versions_reclaimed : int;
 }
 
 let global_stats () =
@@ -673,6 +750,8 @@ let global_stats () =
     handler_failures = stats_sum (fun s -> s.s_handler_failures);
     clock_bumps = stats_sum (fun s -> s.s_clock_bumps);
     clock_cas_retries = stats_sum (fun s -> s.s_clock_cas_retries);
+    snapshot_reads = stats_sum (fun s -> s.s_snapshot_reads);
+    versions_reclaimed = stats_sum (fun s -> s.s_versions_reclaimed);
   }
 
 let commit_region_waits () = stats_sum (fun s -> s.s_region_waits)
@@ -712,4 +791,15 @@ module Tm_ops : Tm_intf.TM_OPS with type txn = handle = struct
   let remote_abort = remote_abort
   let self_abort () = self_abort ()
   let retry () = retry_now ()
+  let in_snapshot = Types.in_snapshot
+  let snapshot_stamp = Types.snapshot_stamp
+
+  let begin_publish () =
+    publish_window_enter ();
+    bump_clock ()
+
+  let end_publish () = publish_window_exit ()
+  let reclaim_epoch () = oldest_active_epoch ()
+  let note_reclaimed = Types.note_reclaimed
+  let version_chain_bound = Types.version_chain_bound
 end

@@ -122,6 +122,38 @@ val open_nested : (unit -> 'a) -> 'a
     view.  Commit/abort handlers registered inside migrate to the parent
     when the open transaction commits. *)
 
+(** {1 Snapshot reads} — the abort-free multi-version read-only mode.
+
+    Writer commits publish every new committed version (tvars and the
+    collections' semantic shards) into bounded version chains stamped
+    with the commit clock.  [snapshot f] pins a snapshot timestamp once
+    and resolves every read inside [f] against the newest chain entry
+    [<=] that stamp: no read-set, no validation, no write or region
+    locks, no clock interaction on exit — and no possibility of abort,
+    including multi-collection and cross-interval sorted-map reads,
+    which observe one prefix-consistent committed state. *)
+
+val snapshot : (unit -> 'a) -> 'a
+(** [snapshot f] runs [f] as an abort-free snapshot read.  Raises
+    [Invalid_argument] when called inside {!atomic} (a transaction's
+    store buffer cannot be reconciled with a frozen timestamp); nested
+    [snapshot] calls share the outer pin.  {!Tvar.set} and mutating
+    collection operations inside raise [Invalid_argument].  Counted in
+    {!global_stats} as a commit, a read-only commit and a
+    [snapshot_reads]. *)
+
+val in_snapshot : unit -> bool
+(** [true] iff the calling thread is inside a {!snapshot} section. *)
+
+val snapshot_stamp : unit -> int
+(** The pinned snapshot timestamp (meaningful only {!in_snapshot}). *)
+
+val version_chain_bound : int
+(** K: committed versions retained per chain once no older snapshot
+    reader is pinned.  Chains grow beyond K only while an old reader
+    holds its epoch pinned, and are trimmed back lazily at the next
+    publication. *)
+
 val serialised : (unit -> 'a) -> 'a
 (** Starvation fallback: run [f] as a top-level transaction while holding
     the process-wide fallback commit region for the whole attempt, so
@@ -243,11 +275,21 @@ type stats = {
   remote_aborts_delivered : int;  (** {!remote_abort_outcome} = [Delivered] *)
   remote_aborts_late : int;  (** {!remote_abort_outcome} = [Too_late] *)
   handler_failures : int;  (** commit/abort handlers that raised *)
-  clock_bumps : int;  (** global version-clock advances (writer commits) *)
+  clock_bumps : int;
+      (** global version-clock advances (every mutating commit, including
+          semantic-only handler commits: version-chain entries need a
+          unique stamp) *)
   clock_cas_retries : int;
       (** clock CAS losses settled by adopting the winner's value with a
           single wait-free fetch-and-add — never more than one extra
           atomic step per conflicting bump *)
+  snapshot_reads : int;
+      (** completed {!snapshot} sections (each also counts as a commit
+          and a read-only commit) *)
+  versions_reclaimed : int;
+      (** version-chain entries reclaimed by epoch-based lazy trimming —
+          with {!snapshot_reads}, the observability handle on the
+          multi-version memory story *)
 }
 
 val global_stats : unit -> stats

@@ -130,6 +130,8 @@ type domain_stats = {
   mutable s_regions_held : int;
   mutable s_clock_bumps : int;
   mutable s_clock_cas_retries : int;
+  mutable s_snapshot_reads : int; (* completed snapshot-read transactions *)
+  mutable s_versions_reclaimed : int; (* chain entries reclaimed by epoch *)
   s_hist : int array array; (* policy x retry bucket *)
   (* cache-line padding *)
   mutable s_pad0 : int;
@@ -158,6 +160,8 @@ let fresh_stats () =
     s_regions_held = 0;
     s_clock_bumps = 0;
     s_clock_cas_retries = 0;
+    s_snapshot_reads = 0;
+    s_versions_reclaimed = 0;
     s_hist = Array.init 3 (fun _ -> Array.make hist_buckets 0);
     s_pad0 = 0;
     s_pad1 = 0;
@@ -207,6 +211,8 @@ let stats_reset () =
       s.s_regions_held <- 0;
       s.s_clock_bumps <- 0;
       s.s_clock_cas_retries <- 0;
+      s.s_snapshot_reads <- 0;
+      s.s_versions_reclaimed <- 0;
       Array.iter (fun row -> Array.fill row 0 hist_buckets 0) s.s_hist)
     (all_stats ())
 
@@ -263,10 +269,20 @@ let fresh_prio () = lease_from next_prio (Domain.DLS.get prio_lease_key)
 
 (* ------------------------------------------------------------------ *)
 
+(* Bound on retained committed versions per chain (tvars and semantic
+   shards).  Chains grow past the bound only while a snapshot reader
+   pinned at an older epoch is still active; the next publication trims
+   them back (see [Coll.Vchain]). *)
+let version_chain_bound = 8
+
 type 'a tvar_repr = {
   tv_id : int;
   value : 'a Atomic.t;
   vlock : int Atomic.t;
+  hist : 'a Coll.Vchain.t;
+      (* last K committed versions, stamped with the commit clock; written
+         only while [vlock] is held (commit, non-transactional store), read
+         lock-free by snapshot readers *)
 }
 
 type rentry = R : 'a tvar_repr * int -> rentry
@@ -282,7 +298,14 @@ type read_set = {
 }
 
 let dummy_rentry =
-  R ({ tv_id = 0; value = Atomic.make 0; vlock = Atomic.make 0 }, 0)
+  R
+    ( {
+        tv_id = 0;
+        value = Atomic.make 0;
+        vlock = Atomic.make 0;
+        hist = Coll.Vchain.make 0 0;
+      },
+      0 )
 
 let rs_create () = { r_arr = [||]; r_len = 0; r_idx = Hashtbl.create 16 }
 let rs_mem rs tv_id = Hashtbl.mem rs.r_idx tv_id
@@ -411,7 +434,10 @@ type commit_handler = {
          deadlock-free.  [None] = the single [ch_region] (or fallback). *)
   ch_prepare : (unit -> unit) option;
   ch_read_only : unit -> bool;
-  ch_apply : unit -> unit;
+  ch_apply : int -> unit;
+      (* receives the commit stamp (write version) so collections can
+         publish the new committed shard versions into their chains; 0 on
+         read-only fast paths, which publish nothing *)
 }
 
 let never_read_only () = false
@@ -476,6 +502,151 @@ let bump_clock () =
     s.s_clock_cas_retries <- s.s_clock_cas_retries + 1;
     Atomic.fetch_and_add clock 2 + 2
   end
+
+(* ------------------------------------------------------------------ *)
+(* Multi-version snapshot machinery.
+
+   Two per-domain epoch-slot registries drive the snapshot pin protocol
+   and lazy version reclamation:
+
+   - the *reader* slot holds the snapshot timestamp this domain is
+     pinned at ([max_int] when not in a snapshot);
+   - the *publication* slot holds the pre-bump clock sample of a commit
+     (or non-transactional store) that has passed its commit point but
+     has not finished publishing its new versions ([max_int] otherwise).
+
+   The reclamation epoch is min(clock, reader slots, publication slots):
+   a version shadowed at that epoch (some newer version of the same
+   chain is stamped <= it) can never again be resolved by any pinned
+   reader, so it may be dropped.  Reading the clock FIRST is
+   load-bearing: it caps the epoch at a value the pin revalidation below
+   can order against.
+
+   Pin protocol ([snap_pin]): publish the sampled clock into the reader
+   slot, revalidate that the clock did not advance past the sample
+   (otherwise a trim computed from the later clock may have raced ahead
+   of the pin — retry), then wait out every publication slot below the
+   pin.  After the wait, every commit whose write version is <= the pin
+   has fully published all its chains (a commit sets its publication
+   slot to its pre-bump clock sample *before* bumping, so a commit the
+   wait did not see bumps after our revalidation and gets a write
+   version above the pin).  Multi-chain reads at the pinned timestamp
+   are therefore a prefix-consistent committed state: no validation, no
+   locks, no aborts. *)
+
+type epoch_slot = {
+  e_val : int Atomic.t;
+  mutable e_depth : int; (* owner-domain only: window reentrancy *)
+  (* cache-line padding: slots are scanned cross-domain *)
+  mutable e_pad0 : int;
+  mutable e_pad1 : int;
+  mutable e_pad2 : int;
+  mutable e_pad3 : int;
+  mutable e_pad4 : int;
+  mutable e_pad5 : int;
+  mutable e_pad6 : int;
+}
+
+let fresh_slot () =
+  {
+    e_val = Atomic.make max_int;
+    e_depth = 0;
+    e_pad0 = 0;
+    e_pad1 = 0;
+    e_pad2 = 0;
+    e_pad3 = 0;
+    e_pad4 = 0;
+    e_pad5 = 0;
+    e_pad6 = 0;
+  }
+
+let reader_slots : epoch_slot list Atomic.t = Atomic.make []
+let publish_slots : epoch_slot list Atomic.t = Atomic.make []
+
+let rec slots_push reg s =
+  let cur = Atomic.get reg in
+  if not (Atomic.compare_and_set reg cur (s :: cur)) then slots_push reg s
+
+let reader_slot_key : epoch_slot Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let s = fresh_slot () in
+      slots_push reader_slots s;
+      s)
+
+let publish_slot_key : epoch_slot Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let s = fresh_slot () in
+      slots_push publish_slots s;
+      s)
+
+let slots_min reg =
+  List.fold_left
+    (fun acc s -> min acc (Atomic.get s.e_val))
+    max_int (Atomic.get reg)
+
+(* Oldest epoch any present or future snapshot reader can still resolve:
+   versions shadowed at it are reclaimable.  The clock is read before the
+   slot registries — see the protocol comment above. *)
+let oldest_active_epoch () =
+  let c = Atomic.get clock in
+  min c (min (slots_min reader_slots) (slots_min publish_slots))
+
+let note_reclaimed n =
+  if n > 0 then begin
+    let s = my_stats () in
+    s.s_versions_reclaimed <- s.s_versions_reclaimed + n
+  end
+
+(* Publication window: brackets the span from just before the clock bump
+   to the last chain publication of a committing mutation.  Reentrant
+   (depth-counted): a nested window keeps the outer — smaller, hence
+   conservative — sample. *)
+let publish_window_enter () =
+  let s = Domain.DLS.get publish_slot_key in
+  if s.e_depth = 0 then Atomic.set s.e_val (Atomic.get clock);
+  s.e_depth <- s.e_depth + 1
+
+let publish_window_exit () =
+  let s = Domain.DLS.get publish_slot_key in
+  s.e_depth <- s.e_depth - 1;
+  if s.e_depth = 0 then Atomic.set s.e_val max_int
+
+(* Snapshot-read context of the calling domain. *)
+type snap_state = { mutable snap_depth : int; mutable snap_ts : int }
+
+let snap_key : snap_state Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { snap_depth = 0; snap_ts = 0 })
+
+let in_snapshot () = (Domain.DLS.get snap_key).snap_depth > 0
+let snapshot_stamp () = (Domain.DLS.get snap_key).snap_ts
+
+let snap_pin () =
+  let slot = Domain.DLS.get reader_slot_key in
+  let rec pin () =
+    let c = Atomic.get clock in
+    Atomic.set slot.e_val c;
+    if Atomic.get clock <> c then pin () (* trim may have outrun us: retry *)
+    else begin
+      (* Wait out publications that may carry write versions <= [c]. *)
+      while slots_min publish_slots < c do
+        Domain.cpu_relax ()
+      done;
+      c
+    end
+  in
+  pin ()
+
+let snap_unpin () =
+  Atomic.set (Domain.DLS.get reader_slot_key).e_val max_int
+
+(* Publish a tvar's new committed version into its chain.  The caller
+   holds the tvar's versioned lock (publications are serialised per
+   chain) and supplies the reclamation epoch, computed once per commit. *)
+let hist_publish tv ~min_epoch wv v =
+  note_reclaimed
+    (Coll.Vchain.publish tv.hist ~keep:version_chain_bound ~min_epoch wv v)
+
+(* ------------------------------------------------------------------ *)
 
 let ctx_key : txn option ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref None)

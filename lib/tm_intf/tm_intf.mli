@@ -58,19 +58,22 @@ module type TM_OPS = sig
     ?regions:(unit -> region list) ->
     region ->
     prepare:(unit -> unit) ->
-    apply:(unit -> unit) ->
+    apply:(int -> unit) ->
     unit
   (** Two-phase commit handler on region [r], registered on the current
       top-level transaction.  [prepare] runs {e before} the commit point:
       it performs semantic conflict detection only (no mutation) and may
       raise — e.g. {!retry} after losing a semantic race, or defer to a
       higher-priority victim — in which case the transaction aborts cleanly
-      with nothing applied.  [apply] runs after the commit point: it
-      applies buffered changes and releases semantic locks, and is executed
-      under a protective wrapper so that a raising handler can never skip
-      another handler's application or leak locks.  On TMs without a
-      prepare phase the two halves run back-to-back as a single commit
-      handler.
+      with nothing applied.  [apply] runs after the commit point, receiving
+      the transaction's {e commit stamp} (the write version the TM's clock
+      assigned to this commit; [0] on read-only fast paths, which publish
+      nothing): it applies buffered changes, publishes the new committed
+      versions of the touched shards into their version chains at that
+      stamp, and releases semantic locks.  It is executed under a
+      protective wrapper so that a raising handler can never skip another
+      handler's application or leak locks.  On TMs without a prepare phase
+      the two halves run back-to-back as a single commit handler.
 
       [read_only], evaluated at commit time by the registering transaction,
       certifies that the handler buffered no mutation: [prepare] would
@@ -109,6 +112,53 @@ module type TM_OPS = sig
   (** Abort the current transaction and retry it transparently (with the
       TM's contention backoff) — the contention-management hook for the
       pessimistic variants of §5.1. *)
+
+  (** {2 Multi-version snapshot reads}
+
+      A TM may offer an abort-free snapshot-read mode: a read-only
+      section pins a timestamp once and resolves every read against the
+      version chains the collections publish at commit.  The collections
+      consult {!in_snapshot} first on every read path and, when inside a
+      snapshot, answer from the chain entry newest-[<=] {!snapshot_stamp}
+      — no locks, no regions, no store-buffer state.  A TM without
+      multi-versioning (the simulated TCC machine) reports
+      [in_snapshot () = false] always, and the snapshot paths are never
+      taken. *)
+
+  val in_snapshot : unit -> bool
+  (** [true] iff the calling thread is inside a snapshot-read section.
+      Mutating collection operations must reject this state. *)
+
+  val snapshot_stamp : unit -> int
+  (** The pinned snapshot timestamp; meaningful only when
+      {!in_snapshot}. *)
+
+  val begin_publish : unit -> int
+  (** Open a publication window and draw a fresh commit stamp for a
+      mutation committed outside the TM's own commit path (operation-time
+      queue takes, abort compensations, non-transactional stores).  The
+      window makes the mutation's chain publications atomic with respect
+      to snapshot pinning: a reader pinning concurrently either waits the
+      window out or pins above the stamp.  Must be called while holding
+      the shard's serialising region; pair with {!end_publish}.
+      Reentrant (nested windows keep the outermost sample). *)
+
+  val end_publish : unit -> unit
+  (** Close the publication window opened by {!begin_publish} — every
+      chain entry stamped by it must be published before this. *)
+
+  val reclaim_epoch : unit -> int
+  (** Oldest epoch any active or future snapshot reader can still
+      resolve; versions shadowed at it are reclaimable (the [min_epoch]
+      for [Vchain.publish]).  [max_int] on TMs without snapshots. *)
+
+  val note_reclaimed : int -> unit
+  (** Report [n] reclaimed chain entries to the TM's statistics. *)
+
+  val version_chain_bound : int
+  (** Maximum committed versions a collection should retain per chain (the
+      [keep] argument for [Vchain.publish]); matches the TM's bound for
+      tvar chains. *)
 end
 
 (** Operations a wrapped (underlying) map implementation must provide.  All

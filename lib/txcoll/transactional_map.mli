@@ -7,7 +7,13 @@
     transactions holding locks on the abstract state being overwritten.
 
     All operations may be called inside or outside transactions; outside,
-    each operation is its own atomic (auto-commit) transaction. *)
+    each operation is its own atomic (auto-commit) transaction.
+
+    Inside a snapshot read section ([TM.in_snapshot], e.g. [Stm.snapshot]),
+    every read operation — point lookups, size/is_empty, folds and cursors
+    — resolves against bounded multi-version shadow chains at the pinned
+    snapshot stamp: no semantic locks, no critical regions, no conflicts,
+    no aborts.  Write operations raise [Invalid_argument] there. *)
 
 module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) : sig
   type 'v t
@@ -139,6 +145,12 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) : sig
 
   val buffered_writes : 'v t -> int
   (** Size of the calling transaction's store buffer. *)
+
+  val snapshot_history_length : 'v t -> int
+  (** Longest multi-version shadow chain (over all stripes and the
+      structure chain) — reclamation probe: at most
+      [TM.version_chain_bound] once the oldest snapshot-reader epoch has
+      advanced past the excess versions. *)
 
   val dump_state : Format.formatter -> 'v t -> unit
   (** Live rendering of Table 3's state inventory (committed / shared

@@ -19,7 +19,13 @@
 
    The redo-based {!Transactional_map} is the paper's (and our) default:
    this module exists to make the design-space comparison executable (see
-   the redo-vs-undo ablation). *)
+   the redo-vs-undo ablation).
+
+   Excluded from multi-version snapshots: in-place undo logging publishes
+   uncommitted state to the underlying map, so no committed-only version
+   chain can be maintained at apply time (the committed image exists only
+   between commits).  Operations raise [Invalid_argument] inside a
+   snapshot read section rather than serve a possibly-dirty live read. *)
 
 module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) = struct
   module L = Semlock.Make (TM)
@@ -65,7 +71,14 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) = struct
           if (before = 0) <> (now = 0) then L.conflict_isempty t.locks ~self:l.txn
         end)
 
-  let apply_handler t l () = critical t (fun () -> cleanup t l)
+  let apply_handler t l _stamp = critical t (fun () -> cleanup t l)
+
+  (* No snapshot support (see header): fail fast instead of leaking a
+     non-snapshot-consistent read into a snapshot section. *)
+  let no_snapshot () =
+    if TM.in_snapshot () then
+      invalid_arg
+        "Transactional_map_undo: unsupported inside a snapshot read section"
 
   let abort_handler t l () =
     critical t (fun () ->
@@ -144,6 +157,7 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) = struct
   (* ---------------- operations ---------------- *)
 
   let find t k =
+    no_snapshot ();
     if not (TM.in_txn ()) then critical t (fun () -> M.find t.map k)
     else
       guarded t
@@ -181,6 +195,7 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) = struct
         prior)
 
   let put t k v =
+    no_snapshot ();
     if not (TM.in_txn ()) then
       critical t (fun () ->
           let old = M.find t.map k in
@@ -189,6 +204,7 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) = struct
     else write t k (Some v)
 
   let remove t k =
+    no_snapshot ();
     if not (TM.in_txn ()) then
       critical t (fun () ->
           let old = M.find t.map k in
@@ -197,6 +213,7 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) = struct
     else write t k None
 
   let size t =
+    no_snapshot ();
     if not (TM.in_txn ()) then critical t (fun () -> M.size t.map)
     else
       guarded t
@@ -208,6 +225,7 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) = struct
   let is_empty t = size t = 0
 
   let fold f t init =
+    no_snapshot ();
     if not (TM.in_txn ()) then
       critical t (fun () ->
           let acc = ref init in

@@ -15,7 +15,16 @@
    invalid if this transaction aborts — the Delaunay-mesh motivation.
    [put] defers to commit so speculative new work never leaks.  Per Tables 7
    and 8, the only semantic conflict is observing emptiness that a
-   committing [put] invalidates. *)
+   committing [put] invalidates.
+
+   Multi-version snapshots: a bounded chain of immutable queue images
+   ([Coll.Pdeque] in a [Coll.Vchain]) mirrors the underlying queue.  Every
+   mutation of the underlying queue — commit-time flushes, op-time takes
+   (reduced isolation makes those visible immediately by design), abort
+   compensation, non-transactional operations — publishes the new image
+   while holding the structure region, so publications are serialized and
+   stamp-monotone.  Snapshot readers serve [peek]/[committed_length] from
+   the image at their pinned stamp; mutating operations raise. *)
 
 module Make (TM : Tm_intf.TM_OPS) (Q : Tm_intf.QUEUE_OPS) = struct
   module L = Semlock.Make (TM)
@@ -30,6 +39,9 @@ module Make (TM : Tm_intf.TM_OPS) (Q : Tm_intf.QUEUE_OPS) = struct
     queue : 'v Q.t;
     locks : unit L.t; (* only the empty lock is used *)
     locals : (int, 'v local) Hashtbl.t;
+    snap : 'v Coll.Pdeque.t Coll.Vchain.t;
+        (* immutable images of [queue]; published only while the structure
+           region is held, so [Vchain.latest] is the current image there *)
   }
 
   (* A single stripe (K = 1): the queue's isolation is already reduced —
@@ -37,10 +49,45 @@ module Make (TM : Tm_intf.TM_OPS) (Q : Tm_intf.QUEUE_OPS) = struct
      serialises on the lock manager's structure region, which doubles as
      the commit region. *)
   let wrap queue =
-    { queue; locks = L.create ~stripes:1 (); locals = Hashtbl.create 32 }
+    (* QUEUE_OPS has no iteration, so the initial image drains and refills
+       the wrapped queue (wrap-time is quiescent: the caller hands the
+       queue over and must not touch it afterwards). *)
+    let items = ref [] in
+    let rec drain () =
+      match Q.dequeue queue with
+      | Some v ->
+          items := v :: !items;
+          drain ()
+      | None -> ()
+    in
+    drain ();
+    let items = List.rev !items in
+    List.iter (Q.enqueue queue) items;
+    {
+      queue;
+      locks = L.create ~stripes:1 ();
+      locals = Hashtbl.create 32;
+      snap = Coll.Vchain.make 0 (Coll.Pdeque.of_list items);
+    }
 
   let create () = wrap (Q.create ())
   let critical t f = TM.critical (L.struct_region t.locks) f
+
+  (* Publish the next queue image at [stamp].  Caller holds the structure
+     region (commit plan or an explicit critical). *)
+  let publish_at t stamp image =
+    TM.note_reclaimed
+      (Coll.Vchain.publish t.snap ~keep:TM.version_chain_bound
+         ~min_epoch:(TM.reclaim_epoch ()) stamp image)
+
+  (* Same, for mutations outside a commit's apply phase (op-time takes,
+     abort compensation, non-transactional operations): draw a fresh stamp
+     inside the held region through the TM's publication window. *)
+  let publish_now t image =
+    let stamp = TM.begin_publish () in
+    Fun.protect ~finally:TM.end_publish (fun () -> publish_at t stamp image)
+
+  let image t = Coll.Vchain.latest t.snap
 
   let cleanup t l =
     L.release_all t.locks l.txn ~keys:[];
@@ -54,9 +101,17 @@ module Make (TM : Tm_intf.TM_OPS) (Q : Tm_intf.QUEUE_OPS) = struct
         if not (Coll.Fifo_deque.is_empty l.add_buffer) then
           L.conflict_isempty t.locks ~self:l.txn)
 
-  let apply_handler t l () =
+  let apply_handler t l stamp =
     critical t (fun () ->
-        Coll.Fifo_deque.iter (Q.enqueue t.queue) l.add_buffer;
+        if not (Coll.Fifo_deque.is_empty l.add_buffer) then begin
+          let img = ref (image t) in
+          Coll.Fifo_deque.iter
+            (fun v ->
+              Q.enqueue t.queue v;
+              img := Coll.Pdeque.enqueue !img v)
+            l.add_buffer;
+          publish_at t stamp !img
+        end;
         (* Taken elements are consumed for good; drop the removeBuffer. *)
         cleanup t l)
 
@@ -67,7 +122,15 @@ module Make (TM : Tm_intf.TM_OPS) (Q : Tm_intf.QUEUE_OPS) = struct
            oldest-removal-first, so pushing front in reverse restores the
            original sequence. *)
         let items = List.rev (Coll.Fifo_deque.to_list l.remove_buffer) in
-        List.iter (Q.push_front t.queue) items;
+        if items <> [] then begin
+          let img = ref (image t) in
+          List.iter
+            (fun v ->
+              Q.push_front t.queue v;
+              img := Coll.Pdeque.push_front !img v)
+            items;
+          publish_now t !img
+        end;
         cleanup t l)
 
   let local_of t =
@@ -102,18 +165,37 @@ module Make (TM : Tm_intf.TM_OPS) (Q : Tm_intf.QUEUE_OPS) = struct
 
   (* ---------------- Channel operations ---------------- *)
 
+  let no_snapshot_write () =
+    if TM.in_snapshot () then
+      invalid_arg "Transactional_queue: write inside a snapshot read section"
+
   let put t v =
-    if not (TM.in_txn ()) then critical t (fun () -> Q.enqueue t.queue v)
+    no_snapshot_write ();
+    if not (TM.in_txn ()) then
+      critical t (fun () ->
+          Q.enqueue t.queue v;
+          publish_now t (Coll.Pdeque.enqueue (image t) v))
     else critical t (fun () -> Coll.Fifo_deque.enqueue (local_of t).add_buffer v)
 
   let offer = put
 
+  (* An op-time take mutates the underlying queue immediately (reduced
+     isolation), so it publishes a new image right away — snapshot readers
+     pinned before the take's stamp still see the element. *)
+  let take_underlying t =
+    match Q.dequeue t.queue with
+    | Some v ->
+        publish_now t (snd (Coll.Pdeque.dequeue (image t)));
+        Some v
+    | None -> None
+
   let poll t =
-    if not (TM.in_txn ()) then critical t (fun () -> Q.dequeue t.queue)
+    no_snapshot_write ();
+    if not (TM.in_txn ()) then critical t (fun () -> take_underlying t)
     else
       critical t (fun () ->
           let l = local_of t in
-          match Q.dequeue t.queue with
+          match take_underlying t with
           | Some v ->
               Coll.Fifo_deque.enqueue l.remove_buffer v;
               Some v
@@ -128,7 +210,9 @@ module Make (TM : Tm_intf.TM_OPS) (Q : Tm_intf.QUEUE_OPS) = struct
   let take = poll
 
   let peek t =
-    if not (TM.in_txn ()) then critical t (fun () -> Q.peek t.queue)
+    if TM.in_snapshot () then
+      Coll.Pdeque.peek (Coll.Vchain.read_at t.snap (TM.snapshot_stamp ()))
+    else if not (TM.in_txn ()) then critical t (fun () -> Q.peek t.queue)
     else
       critical t (fun () ->
           let l = local_of t in
@@ -144,7 +228,13 @@ module Make (TM : Tm_intf.TM_OPS) (Q : Tm_intf.QUEUE_OPS) = struct
   (* Committed length: a debugging/statistics view, NOT part of the Channel
      interface (the paper removes size-revealing operations from the work
      queue on purpose); takes no locks. *)
-  let committed_length t = critical t (fun () -> Q.length t.queue)
+  let committed_length t =
+    if TM.in_snapshot () then
+      Coll.Pdeque.length (Coll.Vchain.read_at t.snap (TM.snapshot_stamp ()))
+    else critical t (fun () -> Q.length t.queue)
+
+  (* Reclamation probe for leak tests. *)
+  let snapshot_history_length t = Coll.Vchain.length t.snap
 
   let holds_empty_lock t =
     critical t (fun () -> L.isempty_locked_by t.locks (TM.current ()))

@@ -8,7 +8,14 @@
     abort handler returns taken-but-unprocessed elements to the front;
     [put] defers to commit so speculative new work never leaks.  The only
     semantic conflict is observed emptiness invalidated by a committing put
-    (Tables 7 and 8). *)
+    (Tables 7 and 8).
+
+    Inside a snapshot read section ([TM.in_snapshot]), [peek] and
+    [committed_length] resolve against a bounded multi-version chain of
+    immutable queue images at the pinned stamp — lock-free and abort-free;
+    [put]/[poll]/[take] raise [Invalid_argument] there.  Op-time takes are
+    published to the chain when they happen, consistent with the queue's
+    deliberately reduced isolation. *)
 
 module Make (TM : Tm_intf.TM_OPS) (Q : Tm_intf.QUEUE_OPS) : sig
   type 'v t
@@ -36,6 +43,11 @@ module Make (TM : Tm_intf.TM_OPS) (Q : Tm_intf.QUEUE_OPS) : sig
   val committed_length : 'v t -> int
   (** Committed queue length — a debugging/statistics view, deliberately not
       part of the Channel interface; takes no locks. *)
+
+  val snapshot_history_length : 'v t -> int
+  (** Length of the multi-version image chain — reclamation probe: at most
+      [TM.version_chain_bound] once the oldest snapshot-reader epoch has
+      advanced past the excess versions. *)
 
   val holds_empty_lock : 'v t -> bool
 

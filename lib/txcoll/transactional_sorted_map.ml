@@ -39,7 +39,20 @@
    linearizable without touching the interval shards.  Region nesting is
    always ascending (structure region first, then intervals by index), and
    commit plans are rid-sorted by the TM, so acquisition stays
-   deadlock-free. *)
+   deadlock-free.
+
+   Multi-version snapshots.  Each interval shard carries a bounded chain
+   of immutable ordered shadows ([Coll.Vchain] of [Coll.Pmap]), and a
+   structure chain versions (size, min, max) as one tuple.  Mutating
+   commits publish the shards they changed — and the structure tuple when
+   size or an endpoint moved — at their commit stamp while still holding
+   the corresponding regions, so each chain's publications are serialized
+   and stamp-monotone; non-transactional writes draw a stamp through
+   [TM.begin_publish] under [critical_all].  A snapshot reader resolves
+   point reads, size/isEmpty, first/last, range folds and cursors —
+   including cross-interval spans — against the shadows at its single
+   pinned stamp: a prefix-consistent cut of the whole map with no regions,
+   no semantic locks and no aborts. *)
 
 module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
   module L = Semlock.Make (TM)
@@ -70,6 +83,12 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
     mutable csize : int; (* committed size; structure region *)
     mutable cmin : M.key option; (* committed endpoints; structure region *)
     mutable cmax : M.key option;
+    snap : (M.key, 'v) Coll.Pmap.t Coll.Vchain.t array;
+        (* ordered shadow chain per interval shard; published only while
+           that interval's region is held *)
+    snap_struct : (int * M.key option * M.key option) Coll.Vchain.t;
+        (* (size, min, max) chain; published only under the structure
+           region *)
     dls : 'v domain_locals Domain.DLS.key;
     isempty_policy : isempty_policy;
     write_policy : write_policy;
@@ -93,12 +112,23 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
         shards
       end
     in
+    let csize = M.size map in
+    let cmin = Option.map fst (M.min_binding map) in
+    let cmax = Option.map fst (M.max_binding map) in
+    let shadow_of shard =
+      let pm = ref (Coll.Pmap.empty ~compare:M.compare_key) in
+      M.iter (fun k v -> pm := Coll.Pmap.add !pm k v) shard;
+      !pm
+    in
     {
       shards;
       locks;
-      csize = M.size map;
-      cmin = Option.map fst (M.min_binding map);
-      cmax = Option.map fst (M.max_binding map);
+      csize;
+      cmin;
+      cmax;
+      snap =
+        Array.map (fun shard -> Coll.Vchain.make 0 (shadow_of shard)) shards;
+      snap_struct = Coll.Vchain.make 0 (csize, cmin, cmax);
       dls = Domain.DLS.new_key (fun () -> { tbl = Hashtbl.create 8 });
       isempty_policy;
       write_policy;
@@ -140,6 +170,24 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
     for i = ilo to ihi do
       M.iter_range f t.shards.(i) ~lo ~hi
     done
+
+  (* ---------------- snapshot publication ---------------- *)
+
+  (* Caller holds interval [i]'s region: publications to one shadow chain
+     are serialized there and every publisher drew its stamp while already
+     holding the region, so stamps are monotone per chain. *)
+  let publish_shard t i ~min_epoch stamp shadow =
+    TM.note_reclaimed
+      (Coll.Vchain.publish t.snap.(i) ~keep:TM.version_chain_bound ~min_epoch
+         stamp shadow)
+
+  (* Caller holds the structure region; snapshots the maintained
+     (size, min, max) triple as of now. *)
+  let publish_struct t ~min_epoch stamp =
+    TM.note_reclaimed
+      (Coll.Vchain.publish t.snap_struct ~keep:TM.version_chain_bound
+         ~min_epoch stamp
+         (t.csize, t.cmin, t.cmax))
 
   (* ---------------- handlers ---------------- *)
 
@@ -266,23 +314,40 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
      region (held by the plan) to fire first/last conflicts against the
      maintained endpoints and update them, and the committed size is
      adjusted at the end.  Removing a committed endpoint triggers a
-     cross-shard rescan — legal because removals plan every region. *)
-  let apply_handler t l () =
+     cross-shard rescan — legal because removals plan every region.
+     Shadows accumulate across the buffer and each touched interval's
+     chain is published exactly once at the commit stamp; the structure
+     chain is published whenever the (size, min, max) triple moved. *)
+  let apply_handler t l stamp =
     if not (Coll.Ordmap.is_empty l.buffer) then begin
       let self = l.txn in
       let delta = ref 0 in
       let removed_endpoint = ref false in
+      let endpoints_changed = ref false in
+      let shadows = Array.make (stripe_count t) None in
       Coll.Ordmap.iter
         (fun k w ->
           let before =
             TM.critical (key_region t k) (fun () ->
+                let si = L.stripe_index t.locks k in
+                let shadow =
+                  match shadows.(si) with
+                  | Some pm -> pm
+                  | None -> Coll.Vchain.latest t.snap.(si)
+                in
                 let shard = shard_of t k in
                 let b =
                   match w.prior with Some p -> p | None -> M.mem shard k
                 in
                 (match w.pending with
-                | Some v -> M.add shard k v
-                | None -> if b then M.remove shard k);
+                | Some v ->
+                    M.add shard k v;
+                    shadows.(si) <- Some (Coll.Pmap.add shadow k v)
+                | None ->
+                    if b then begin
+                      M.remove shard k;
+                      shadows.(si) <- Some (Coll.Pmap.remove shadow k)
+                    end);
                 b)
           in
           let after = Option.is_some w.pending in
@@ -295,16 +360,19 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
                     L.conflict_first t.locks ~self;
                     L.conflict_last t.locks ~self;
                     t.cmin <- Some k;
-                    t.cmax <- Some k
+                    t.cmax <- Some k;
+                    endpoints_changed := true
                 | Some mn ->
                     if M.compare_key k mn < 0 then begin
                       L.conflict_first t.locks ~self;
-                      t.cmin <- Some k
+                      t.cmin <- Some k;
+                      endpoints_changed := true
                     end;
                     (match t.cmax with
                     | Some mx when M.compare_key k mx > 0 ->
                         L.conflict_last t.locks ~self;
-                        t.cmax <- Some k
+                        t.cmax <- Some k;
+                        endpoints_changed := true
                     | _ -> ())))
           end
           else if (not after) && before then begin
@@ -322,10 +390,19 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
                 | _ -> ())
           end)
         l.buffer;
-      if !delta <> 0 || !removed_endpoint then
+      let min_epoch = TM.reclaim_epoch () in
+      for si = 0 to stripe_count t - 1 do
+        match shadows.(si) with
+        | None -> ()
+        | Some shadow ->
+            TM.critical (L.stripe_region t.locks si) (fun () ->
+                publish_shard t si ~min_epoch stamp shadow)
+      done;
+      if !delta <> 0 || !removed_endpoint || !endpoints_changed then
         TM.critical (sregion t) (fun () ->
             t.csize <- t.csize + !delta;
-            if !removed_endpoint then recompute_endpoints t)
+            if !removed_endpoint then recompute_endpoints t;
+            publish_struct t ~min_epoch stamp)
     end;
     cleanup t l
 
@@ -390,11 +467,22 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
 
   (* ---------------- point operations (as TransactionalMap) ------------- *)
 
+  (* Snapshot reads resolve against the shadow chains at the pinned stamp:
+     no region, no semantic lock, no conflict, no abort.  [stripe_index]
+     and [interval_span] are pure (binary search over the splitters). *)
+  let snap_shadow t i =
+    Coll.Vchain.read_at t.snap.(i) (TM.snapshot_stamp ())
+
+  let snap_struct_at t =
+    Coll.Vchain.read_at t.snap_struct (TM.snapshot_stamp ())
+
   (* Point reads hold only the key's interval region: the underlying
      ordered [find] is a pure traversal, and any committing writer of that
      interval holds its region, so the traversal never races a mutation. *)
   let find t k =
-    if not (TM.in_txn ()) then
+    if TM.in_snapshot () then
+      Coll.Pmap.find (snap_shadow t (L.stripe_index t.locks k)) k
+    else if not (TM.in_txn ()) then
       TM.critical (key_region t k) (fun () -> M.find (shard_of t k) k)
     else begin
       let l = local_of t in
@@ -409,7 +497,11 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
   let mem t k = Option.is_some (find t k)
 
   let size t =
-    if not (TM.in_txn ()) then TM.critical (sregion t) (fun () -> t.csize)
+    if TM.in_snapshot () then
+      let n, _, _ = snap_struct_at t in
+      n
+    else if not (TM.in_txn ()) then
+      TM.critical (sregion t) (fun () -> t.csize)
     else begin
       let l = local_of t in
       TM.critical (sregion t) (fun () ->
@@ -419,7 +511,10 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
     end
 
   let is_empty t =
-    if not (TM.in_txn ()) then
+    if TM.in_snapshot () then
+      let n, _, _ = snap_struct_at t in
+      n = 0
+    else if not (TM.in_txn ()) then
       TM.critical (sregion t) (fun () -> t.csize = 0)
     else begin
       let l = local_of t in
@@ -472,8 +567,13 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
         write_op t k pending ~blind
 
   (* Non-transactional writes mutate the shared committed state including
-     size/endpoints: hold everything. *)
+     size/endpoints: hold everything.  The shadow publication draws its
+     stamp through [TM.begin_publish] with every region held, so it
+     serializes with committing transactions on each chain it touches. *)
   let nontxn_write t k pending =
+    if TM.in_snapshot () then
+      invalid_arg
+        "Transactional_sorted_map: write inside a snapshot read section";
     L.critical_all t.locks (fun () ->
         let shard = shard_of t k in
         let old = M.find shard k in
@@ -497,6 +597,19 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
             if was_endpoint t.cmin || was_endpoint t.cmax then
               recompute_endpoints t
         | _ -> ());
+        let stamp = TM.begin_publish () in
+        Fun.protect ~finally:TM.end_publish (fun () ->
+            let min_epoch = TM.reclaim_epoch () in
+            let si = L.stripe_index t.locks k in
+            let shadow = Coll.Vchain.latest t.snap.(si) in
+            let shadow =
+              match pending with
+              | Some v -> Coll.Pmap.add shadow k v
+              | None -> Coll.Pmap.remove shadow k
+            in
+            publish_shard t si ~min_epoch stamp shadow;
+            if Option.is_some old <> Option.is_some pending then
+              publish_struct t ~min_epoch stamp);
         old)
 
   let put t k v =
@@ -558,7 +671,25 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
      unbounded end needs a first/last lock.  The user callback runs after
      the regions are released: the registered locks, not the regions, are
      what guarantee serializability of the observed snapshot. *)
+  (* Snapshot ordered iteration over [lo, hi): every overlapped shard's
+     shadow is read at the same pinned stamp, so the cross-interval
+     concatenation (shards hold disjoint ascending intervals) is one
+     prefix-consistent ordered cut — no regions, no range/first/last
+     locks, no aborts. *)
+  let snap_iter_range t f ~lo ~hi =
+    let ts = TM.snapshot_stamp () in
+    let ilo, ihi = L.interval_span t.locks ~lo ~hi in
+    for i = ilo to ihi do
+      Coll.Pmap.iter_range f (Coll.Vchain.read_at t.snap.(i) ts) ~lo ~hi
+    done
+
   let fold_range f t init ~lo ~hi =
+    if TM.in_snapshot () then begin
+      let acc = ref init in
+      snap_iter_range t (fun k v -> acc := f k v !acc) ~lo ~hi;
+      !acc
+    end
+    else
     let ilo, ihi = L.interval_span t.locks ~lo ~hi in
     if not (TM.in_txn ()) then begin
       let items =
@@ -662,6 +793,14 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
      structure region; only a transaction with local buffered writes needs
      the full merged view (and then holds every interval region, nested
      ascending from the structure region). *)
+  (* Endpoint of a snapshot: the (size, min, max) tuple and the endpoint's
+     shard shadow were published at the same commit stamp, so the lookup
+     always lands. *)
+  let snap_binding_at t k =
+    Option.map
+      (fun v -> (k, v))
+      (Coll.Pmap.find (snap_shadow t (L.stripe_index t.locks k)) k)
+
   let first_binding t =
     let committed_at k =
       TM.critical (key_region t k) (fun () ->
@@ -669,7 +808,10 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
           | Some v -> Some (k, v)
           | None -> None)
     in
-    if not (TM.in_txn ()) then
+    if TM.in_snapshot () then
+      let _, mn, _ = snap_struct_at t in
+      Option.bind mn (snap_binding_at t)
+    else if not (TM.in_txn ()) then
       TM.critical (sregion t) (fun () ->
           match t.cmin with None -> None | Some k -> committed_at k)
     else begin
@@ -692,7 +834,10 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
           | Some v -> Some (k, v)
           | None -> None)
     in
-    if not (TM.in_txn ()) then
+    if TM.in_snapshot () then
+      let _, _, mx = snap_struct_at t in
+      Option.bind mx (snap_binding_at t)
+    else if not (TM.in_txn ()) then
       TM.critical (sregion t) (fun () ->
           match t.cmax with None -> None | Some k -> committed_at k)
     else begin
@@ -744,6 +889,18 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
        a range lock over that prefix plus a key lock on the found key. *)
     let first_binding v =
       let t = v.parent in
+      if TM.in_snapshot () then begin
+        let r = ref None in
+        (try
+           snap_iter_range t
+             (fun k value ->
+               r := Some (k, value);
+               raise Exit)
+             ~lo:v.lo ~hi:v.hi
+         with Exit -> ());
+        !r
+      end
+      else
       let ilo, ihi = L.interval_span t.locks ~lo:v.lo ~hi:v.hi in
       if not (TM.in_txn ()) then
         critical_stripes t ilo ihi (fun () ->
@@ -771,6 +928,13 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
 
     let last_binding v =
       let t = v.parent in
+      if TM.in_snapshot () then begin
+        let r = ref None in
+        snap_iter_range t (fun k value -> r := Some (k, value)) ~lo:v.lo
+          ~hi:v.hi;
+        !r
+      end
+      else
       let ilo, ihi = L.interval_span t.locks ~lo:v.lo ~hi:v.hi in
       if not (TM.in_txn ()) then
         critical_stripes t ilo ihi (fun () ->
@@ -834,6 +998,31 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
   let cursor_next c =
     let t = c.cparent in
     let span_lo = match c.cpos with Some _ as p -> p | None -> c.clo in
+    if TM.in_snapshot () then begin
+      (* Each step re-resolves against the section's pinned stamp, so the
+         whole walk — across interval boundaries included — observes one
+         consistent cut without locking anything. *)
+      let r = ref None in
+      (try
+         snap_iter_range t
+           (fun k v ->
+             let ok =
+               match c.cpos with
+               | None -> true
+               | Some p -> M.compare_key k p > 0
+             in
+             if ok then begin
+               r := Some (k, v);
+               raise Exit
+             end)
+           ~lo:span_lo ~hi:c.chi
+       with Exit -> ());
+      (match !r with
+      | Some (k, _) -> c.cpos <- Some k
+      | None -> c.cexhausted <- true);
+      !r
+    end
+    else
     let ilo, ihi = L.interval_span t.locks ~lo:span_lo ~hi:c.chi in
     if not (TM.in_txn ()) then
       critical_stripes t ilo ihi (fun () ->
@@ -881,6 +1070,14 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) = struct
     end
 
   (* ---------------- introspection ---------------- *)
+
+  (* Longest shadow chain (intervals and structure) — reclamation probe
+     for leak tests. *)
+  let snapshot_history_length t =
+    Array.fold_left
+      (fun acc chain -> max acc (Coll.Vchain.length chain))
+      (Coll.Vchain.length t.snap_struct)
+      t.snap
 
   let holds_key_lock t k =
     TM.critical (key_region t k) (fun () ->

@@ -4,7 +4,14 @@
     semantic locks of Table 5: range locks over iterated spans and
     first/last locks on the endpoints, so that a put or remove conflicts
     exactly with the transactions whose ordered observations it
-    invalidates. *)
+    invalidates.
+
+    Inside a snapshot read section ([TM.in_snapshot], e.g. [Stm.snapshot]),
+    every read operation — point lookups, size/is_empty, first/last,
+    range folds, views and cursors, across interval boundaries included —
+    resolves against bounded multi-version shadow chains at the pinned
+    snapshot stamp: no semantic locks, no critical regions, no conflicts,
+    no aborts.  Write operations raise [Invalid_argument] there. *)
 
 module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) : sig
   type 'v t
@@ -147,6 +154,12 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.SORTED_MAP_OPS) : sig
 
   val all_region_count : 'v t -> int
   (** Size of the full region plan (structure region + every interval). *)
+
+  val snapshot_history_length : 'v t -> int
+  (** Longest multi-version shadow chain (over all interval shards and the
+      structure chain) — reclamation probe: at most
+      [TM.version_chain_bound] once the oldest snapshot-reader epoch has
+      advanced past the excess versions. *)
 
   val dump_state : Format.formatter -> 'v t -> unit
   (** Live rendering of Table 6's state inventory. *)

@@ -123,6 +123,27 @@ let test_soak_matrix () =
         [ 1; 2; 3 ])
     [ 0.01; 0.05; 0.2 ]
 
+let test_snapshot_reader_soak () =
+  (* Snapshot readers concurrent with injected writers: every snapshot
+     section must observe a prefix-consistent cut — mirror map/sorted
+     writes never torn, fold counts equal to sizes, tvar pairs equal,
+     reads pinned.  Seeds match the CI chaos matrix. *)
+  List.iter
+    (fun seed ->
+      let r =
+        Chaos.run_snapshot_soak
+          (Chaos.default_soak ~domains:2 ~ops_per_domain:600 ~key_space:48
+             ~seed 0.05)
+      in
+      if not r.sn_ok then
+        Alcotest.failf "snapshot soak seed=%d: %s" seed
+          (String.concat "; " r.sn_errors);
+      Alcotest.(check bool)
+        (Printf.sprintf "snapshots observed (seed=%d)" seed)
+        true
+        (r.sn_snapshots > 0 && r.sn_writer_commits > 0))
+    [ 1; 2; 3 ]
+
 let test_soak_karma_smoke () =
   let r =
     Chaos.run_soak
@@ -149,5 +170,7 @@ let suites =
         Alcotest.test_case "soak matrix (3 probs x 3 seeds x 2 policies)"
           `Slow test_soak_matrix;
         Alcotest.test_case "soak under karma" `Quick test_soak_karma_smoke;
+        Alcotest.test_case "snapshot readers vs injected writers" `Quick
+          test_snapshot_reader_soak;
       ] );
   ]
