@@ -263,6 +263,49 @@ let chaos () =
   end
   else Fmt.pf ppf "  all runs converged; no leaked locks or regions@."
 
+(* Failover soak: kill/recover a master place mid-traffic, per seed and
+   replication mode.  The same rows feed the "failover" and
+   "replication_lag" sections of BENCH_stm.json and the standalone CI
+   failover job (non-zero exit on failure). *)
+let failover_modes = [ Places.Eager; Places.Lazy { max_lag = 8 } ]
+
+let failover_lag_bound = function
+  | Places.Eager -> 0
+  | Places.Lazy { max_lag } -> max_lag
+
+let failover_matrix ~ops_per_domain =
+  List.concat_map
+    (fun mode ->
+      List.map
+        (fun seed ->
+          ( mode,
+            seed,
+            Harness.Chaos.run_failover_soak
+              (Harness.Chaos.default_failover ~domains:2 ~ops_per_domain
+                 ~places:4 ~key_space:192 ~kills:3 ~mode ~seed 0.05) ))
+        chaos_seeds)
+    failover_modes
+
+let failover () =
+  Fmt.pf ppf
+    "@.Failover soak (kill/recover a master place mid-traffic, 2 writer \
+     domains + snapshot reader)@.";
+  let failed = ref false in
+  List.iter
+    (fun (mode, seed, (r : Harness.Chaos.failover_report)) ->
+      if not r.fv_ok then failed := true;
+      Fmt.pf ppf "  mode=%-5s seed=%d: %a@."
+        (Harness.Chaos.mode_name mode)
+        seed Harness.Chaos.pp_failover_report r)
+    (failover_matrix ~ops_per_domain:1200);
+  if !failed then begin
+    Fmt.pf ppf "  FAILOVER SOAK FAILED@.";
+    exit 1
+  end
+  else
+    Fmt.pf ppf
+      "  all runs converged: zero lost committed writes, lag within bound@."
+
 let starve_rows () =
   let budget = { Stm.max_retries = Some 12; max_seconds = None } in
   [
@@ -600,8 +643,8 @@ let sortedscale_snapshot_run ~intervals ~domains ~txns_per_domain =
     so_region_waits = Stm.commit_region_waits () - waits_before;
   }
 
-let stmscale_json ~cores ~chaos_rows ~snapshot_soak_rows ~starvation_rows
-    ~semscale_rows ~sortedscale_rows rows =
+let stmscale_json ~cores ~chaos_rows ~snapshot_soak_rows ~failover_rows
+    ~starvation_rows ~semscale_rows ~sortedscale_rows rows =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
   Buffer.add_string b (Printf.sprintf "  \"cores\": %d,\n" cores);
@@ -734,6 +777,33 @@ let stmscale_json ~cores ~chaos_rows ~snapshot_soak_rows ~starvation_rows
            (if i = List.length chaos_rows - 1 then "" else ",")))
     chaos_rows;
   Buffer.add_string b "  ],\n";
+  Buffer.add_string b "  \"failover\": [\n";
+  List.iteri
+    (fun i (mode, seed, (r : Harness.Chaos.failover_report)) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"mode\": \"%s\", \"seed\": %d, \"ok\": %b, \"committed\": \
+            %d, \"committed_after_failover\": %d, \"kills\": %d, \
+            \"place_down\": %d, \"snapshots\": %d, \"snapshot_denials\": \
+            %d}%s\n"
+           (Harness.Chaos.mode_name mode)
+           seed r.fv_ok r.fv_committed r.fv_committed_after_failover r.fv_kills
+           r.fv_place_down r.fv_snapshots r.fv_snapshot_denials
+           (if i = List.length failover_rows - 1 then "" else ",")))
+    failover_rows;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b "  \"replication_lag\": [\n";
+  List.iteri
+    (fun i (mode, seed, (r : Harness.Chaos.failover_report)) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"mode\": \"%s\", \"seed\": %d, \"max_lag_observed\": %d, \
+            \"lag_bound\": %d}%s\n"
+           (Harness.Chaos.mode_name mode)
+           seed r.fv_max_lag (failover_lag_bound mode)
+           (if i = List.length failover_rows - 1 then "" else ",")))
+    failover_rows;
+  Buffer.add_string b "  ],\n";
   Buffer.add_string b "  \"starvation\": [\n";
   List.iteri
     (fun i (r : Harness.Starvation.report) ->
@@ -830,10 +900,11 @@ let stmscale () =
      ride along into the same JSON record. *)
   let chaos_rows = chaos_matrix ~ops_per_domain:400 in
   let snapshot_soak_rows = snapshot_soak_matrix ~ops_per_domain:400 in
+  let failover_rows = failover_matrix ~ops_per_domain:600 in
   let starvation_rows = starve_rows () in
   let json =
-    stmscale_json ~cores ~chaos_rows ~snapshot_soak_rows ~starvation_rows
-      ~semscale_rows ~sortedscale_rows rows
+    stmscale_json ~cores ~chaos_rows ~snapshot_soak_rows ~failover_rows
+      ~starvation_rows ~semscale_rows ~sortedscale_rows rows
   in
   let oc = open_out "BENCH_stm.json" in
   output_string oc json;
@@ -864,6 +935,7 @@ let targets : (string * (unit -> unit)) list =
     ("micro", micro);
     ("stmscale", stmscale);
     ("chaos", chaos);
+    ("failover", failover);
     ("starve", starve);
   ]
 

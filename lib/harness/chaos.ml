@@ -83,6 +83,28 @@ let stream_of_seed seed index =
    single-domain runs fully deterministic. *)
 let stream_key : int64 ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0L)
 
+(* ---------------- failure context ---------------- *)
+
+(* Every failure message a soak emits carries the seed, the soak section
+   that produced it, and the most recent injection the reporting domain's
+   own stream fired — plus, once per failing report, the one command that
+   replays the exact schedule.  The injection site is tracked per-domain
+   so a worker's failure names its own last fault, not another domain's. *)
+
+let last_injection_key : string ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref "none")
+
+let note_injection site = Domain.DLS.get last_injection_key := site
+let last_injection () = !(Domain.DLS.get last_injection_key)
+
+let fail_context cfg ~section =
+  Printf.sprintf "[seed=%d section=%s last_injection=%s] " cfg.seed section
+    (last_injection ())
+
+let repro_hint ~target cfg =
+  Printf.sprintf "reproduce: CHAOS_SEEDS=%d dune exec bench/main.exe -- %s"
+    cfg.seed target
+
 (* ---------------- injection counters ---------------- *)
 
 let injected_conflicts = Atomic.make 0
@@ -97,7 +119,8 @@ let reset_counters () =
   Atomic.set injected_delays 0
 
 let register_worker cfg ~index =
-  Domain.DLS.get stream_key := !(stream_of_seed cfg.seed (index + 1))
+  Domain.DLS.get stream_key := !(stream_of_seed cfg.seed (index + 1));
+  Domain.DLS.get last_injection_key := "none"
 
 let hook cfg ev =
   let st = Domain.DLS.get stream_key in
@@ -106,38 +129,45 @@ let hook cfg ev =
   | Chaos_attempt ->
       if rand_float st < cfg.p_handler_fail then begin
         Atomic.incr injected_handler_faults;
+        note_injection "commit-handler-fault@attempt";
         Stm.on_commit (fun () -> raise (Chaos_fault "commit-handler"))
       end;
       if rand_float st < cfg.p_handler_fail then begin
         Atomic.incr injected_handler_faults;
+        note_injection "abort-handler-fault@attempt";
         Stm.on_abort (fun () -> raise (Chaos_fault "abort-handler"))
       end
   | Chaos_before_commit ->
       if rand_float st < cfg.p_delay then begin
         Atomic.incr injected_delays;
+        note_injection "delay@before-commit";
         for _ = 1 to cfg.delay_spins do
           Domain.cpu_relax ()
         done
       end;
       if rand_float st < cfg.p_conflict then begin
         Atomic.incr injected_conflicts;
+        note_injection "conflict@before-commit";
         ignore (Stm.retry_now ())
       end
   | Chaos_in_commit ->
       if rand_float st < cfg.p_remote_abort then begin
         Atomic.incr injected_remote_aborts;
+        note_injection "remote-abort@in-commit";
         (* Self-directed remote abort: lands exactly in the
            Active/Committing window the status-race fix covers. *)
         ignore (Stm.remote_abort (Stm.current ()))
       end
       else if rand_float st < cfg.p_conflict then begin
         Atomic.incr injected_conflicts;
+        note_injection "conflict@in-commit";
         ignore (Stm.retry_now ())
       end
 
 let install cfg =
   reset_counters ();
   Domain.DLS.get stream_key := !(stream_of_seed cfg.seed 0);
+  Domain.DLS.get last_injection_key := "none";
   Stm.Chaos.set_hook (Some (hook cfg))
 
 let uninstall () = Stm.Chaos.set_hook None
@@ -199,6 +229,7 @@ let worker_loop sc ~index ~map ~sorted ~queue ~counter =
   (* Run one op transactionally; [apply_model] records its effects iff the
      transaction committed — including commits surfaced through
      [Handler_failure { committed = true }] from an injected fault. *)
+  let ctx () = fail_context sc.chaos ~section:"soak.worker" in
   let run_txn body apply_model =
     match Stm.atomic ~policy:sc.policy body with
     | () ->
@@ -211,7 +242,8 @@ let worker_loop sc ~index ~map ~sorted ~queue ~counter =
             | Chaos_fault _ -> ()
             | e ->
                 md.m_errors <-
-                  ("unexpected handler failure: " ^ Printexc.to_string e)
+                  (ctx () ^ "unexpected handler failure: "
+                  ^ Printexc.to_string e)
                   :: md.m_errors)
           failures;
         if committed then begin
@@ -220,7 +252,8 @@ let worker_loop sc ~index ~map ~sorted ~queue ~counter =
         end
     | exception e ->
         md.m_errors <-
-          ("transaction raised: " ^ Printexc.to_string e) :: md.m_errors
+          (ctx () ^ "transaction raised: " ^ Printexc.to_string e)
+          :: md.m_errors
   in
   let bump () = Tvar.modify counter succ in
   for i = 1 to sc.ops_per_domain do
@@ -341,6 +374,9 @@ let run_soak sc =
   let models = List.map Domain.join doms in
   uninstall ();
   let errors = ref [] in
+  let check name cond errors =
+    check (fail_context sc.chaos ~section:"soak.final" ^ name) cond errors
+  in
   List.iter
     (fun md -> List.iter (fun e -> errors := e :: !errors) md.m_errors)
     models;
@@ -443,6 +479,7 @@ let run_soak sc =
       (Printf.sprintf "counter=%d;inj=%d,%d,%d,%d" (Tvar.get counter) c r h d);
     Digest.to_hex (Digest.string (Buffer.contents buf))
   in
+  if !errors <> [] then errors := repro_hint ~target:"chaos" sc.chaos :: !errors;
   {
     ok = !errors = [];
     errors = List.rev !errors;
@@ -482,6 +519,7 @@ let run_striped_soak ?(stripes = 16) sc =
         m_errors = [];
       }
     in
+    let ctx () = fail_context sc.chaos ~section:"striped.worker" in
     let run_txn body apply_model =
       match Stm.atomic ~policy:sc.policy body with
       | () ->
@@ -494,7 +532,8 @@ let run_striped_soak ?(stripes = 16) sc =
               | Chaos_fault _ -> ()
               | e ->
                   md.m_errors <-
-                    ("unexpected handler failure: " ^ Printexc.to_string e)
+                    (ctx () ^ "unexpected handler failure: "
+                    ^ Printexc.to_string e)
                     :: md.m_errors)
             failures;
           if committed then begin
@@ -503,7 +542,8 @@ let run_striped_soak ?(stripes = 16) sc =
           end
       | exception e ->
           md.m_errors <-
-            ("transaction raised: " ^ Printexc.to_string e) :: md.m_errors
+            (ctx () ^ "transaction raised: " ^ Printexc.to_string e)
+            :: md.m_errors
     in
     let base = index * sc.key_space in
     let bump () = Tvar.modify counter succ in
@@ -559,6 +599,9 @@ let run_striped_soak ?(stripes = 16) sc =
   let models = List.map Domain.join doms in
   uninstall ();
   let errors = ref [] in
+  let check name cond errors =
+    check (fail_context sc.chaos ~section:"striped.final" ^ name) cond errors
+  in
   List.iter
     (fun md -> List.iter (fun e -> errors := e :: !errors) md.m_errors)
     models;
@@ -599,6 +642,7 @@ let run_striped_soak ?(stripes = 16) sc =
       (Printf.sprintf "counter=%d;inj=%d,%d,%d,%d" (Tvar.get counter) c r h d);
     Digest.to_hex (Digest.string (Buffer.contents buf))
   in
+  if !errors <> [] then errors := repro_hint ~target:"chaos" sc.chaos :: !errors;
   {
     ok = !errors = [];
     errors = List.rev !errors;
@@ -656,7 +700,13 @@ let run_snapshot_soak sc =
   let key_count = sc.domains * sc.key_space in
   let reader () =
     let errors = ref [] in
-    let fail fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+    let fail fmt =
+      Printf.ksprintf
+        (fun s ->
+          errors :=
+            (fail_context sc.chaos ~section:"snapshot.reader" ^ s) :: !errors)
+        fmt
+    in
     let snapshots = ref 0 in
     while not (Atomic.get stop) do
       Stm.snapshot (fun () ->
@@ -697,6 +747,7 @@ let run_snapshot_soak sc =
     let committed = ref 0 in
     let errs = ref [] in
     let base = index * sc.key_space in
+    let ctx () = fail_context sc.chaos ~section:"snapshot.writer" in
     let run body =
       match Stm.atomic ~policy:sc.policy body with
       | () -> incr committed
@@ -707,12 +758,13 @@ let run_snapshot_soak sc =
               | Chaos_fault _ -> ()
               | e ->
                   errs :=
-                    ("unexpected handler failure: " ^ Printexc.to_string e)
+                    (ctx () ^ "unexpected handler failure: "
+                    ^ Printexc.to_string e)
                     :: !errs)
             failures;
           if c then incr committed
       | exception e ->
-          errs := ("writer raised: " ^ Printexc.to_string e) :: !errs
+          errs := (ctx () ^ "writer raised: " ^ Printexc.to_string e) :: !errs
     in
     for i = 1 to sc.ops_per_domain do
       let k = base + rand_int rng sc.key_space in
@@ -744,21 +796,24 @@ let run_snapshot_soak sc =
   let snapshots, reader_errors = Domain.join reader_dom in
   uninstall ();
   let errors = ref (List.rev reader_errors) in
+  let check name cond errors =
+    check (fail_context sc.chaos ~section:"snapshot.final" ^ name) cond errors
+  in
   List.iter
     (fun (_, es) -> List.iter (fun e -> errors := e :: !errors) es)
     writer_results;
   (* Quiescent cross-check: the final committed states mirror exactly. *)
   let final_map = List.sort compare (Map.to_list map) in
   let final_sorted = Sorted.to_list sorted in
-  if final_map <> final_sorted then
-    errors := "final map and sorted-map contents disagree" :: !errors;
-  if Tvar.get pair_a <> Tvar.get pair_b then
-    errors := "final tvar pair disagrees" :: !errors;
+  check "final map and sorted-map contents agree" (final_map = final_sorted)
+    errors;
+  check "final tvar pair agrees" (Tvar.get pair_a = Tvar.get pair_b) errors;
   check "no leaked map locks" (Map.outstanding_locks map = 0) errors;
   check "no leaked sorted-map locks" (Sorted.outstanding_locks sorted = 0)
     errors;
   check "no held commit regions" (Stm.regions_held () = 0) errors;
   check "reader completed at least one snapshot" (snapshots > 0) errors;
+  if !errors <> [] then errors := repro_hint ~target:"chaos" sc.chaos :: !errors;
   {
     sn_ok = !errors = [];
     sn_errors = List.rev !errors;
@@ -787,3 +842,337 @@ let pp_report ppf r =
     r.ok r.committed c ra hf d r.map_size r.sorted_size r.queue_remaining
     r.fingerprint;
   List.iter (fun e -> Format.fprintf ppf "@.  FAILED: %s" e) r.errors
+
+(* ---------------- failover (kill/recover) soak ---------------- *)
+
+(* Zero-lost-writes soak for the resilient places store: writer domains
+   run mirror transactions — the same key and value written to the
+   place-sharded hash map AND sorted map in one atomic block, including
+   cross-place pairs — under chaos injection, while the controller kills
+   a random master place mid-traffic and recovers it from its slave
+   replica, several times, and a dedicated snapshot reader pins
+   timestamps across the failovers.  A writer whose transaction touches a
+   down place observes [Stm.Place_down] raised from the replication
+   handler's prepare phase: the transaction had no effect, the oracle
+   model is untouched, and the writer moves on (recovery is concurrent).
+   A reader whose pin predates a promotion observes the same error and
+   re-pins.  The final linearizability check is the union of the
+   per-worker models against both collections — any committed write lost
+   in a kill/recover cycle breaks it — plus replica/master agreement and
+   the mode's replication-lag bound. *)
+
+type failover_config = {
+  fo_chaos : config;
+  fo_policy : Stm.Contention.policy;
+  fo_domains : int;
+  fo_ops_per_domain : int;
+  fo_places : int;
+  fo_key_space : int;  (* TOTAL key space, interval-partitioned over places *)
+  fo_mode : Places.mode;
+  fo_kills : int;
+}
+
+let default_failover ?(policy = Stm.Contention.default) ?(domains = 2)
+    ?(ops_per_domain = 1200) ?(places = 4) ?(key_space = 192) ?(kills = 3)
+    ?(mode = Places.Eager) ~seed p =
+  {
+    fo_chaos = uniform ~seed p;
+    fo_policy = policy;
+    fo_domains = domains;
+    fo_ops_per_domain = ops_per_domain;
+    fo_places = places;
+    fo_key_space = key_space;
+    fo_mode = mode;
+    fo_kills = kills;
+  }
+
+type failover_report = {
+  fv_ok : bool;
+  fv_errors : string list;
+  fv_committed : int;
+  fv_committed_after_failover : int;  (* commits after the last recovery *)
+  fv_kills : int;
+  fv_place_down : int;  (* writer transactions refused by a down place *)
+  fv_snapshots : int;
+  fv_snapshot_denials : int;  (* reader pins older than a promotion *)
+  fv_max_lag : int;  (* lifetime replication-lag high-water mark *)
+  fv_injections : int * int * int * int;
+}
+
+let mode_name = function
+  | Places.Eager -> "eager"
+  | Places.Lazy _ -> "lazy"
+
+let run_failover_soak fc =
+  install fc.fo_chaos;
+  let store =
+    Places.create ~place_count:fc.fo_places ~key_space:fc.fo_key_space
+      ~mode:fc.fo_mode ()
+  in
+  let section suffix =
+    Printf.sprintf "failover-%s.%s" (mode_name fc.fo_mode) suffix
+  in
+  let stop = Atomic.make false in
+  let ops_done = Atomic.make 0 in
+  let after_failover = Atomic.make false in
+  let committed_late = Atomic.make 0 in
+  let place_down = Atomic.make 0 in
+  let writer index =
+    register_worker fc.fo_chaos ~index;
+    let rng = stream_of_seed (fc.fo_chaos.seed lxor 0xfa11) (index + 1) in
+    let model = Hashtbl.create 64 in
+    let committed = ref 0 in
+    let errs = ref [] in
+    let ctx () = fail_context fc.fo_chaos ~section:(section "writer") in
+    (* Worker [index] owns the keys congruent to [index] modulo the worker
+       count: disjoint ownership keeps the union of models linearizable,
+       and every worker's keys span every place, so traffic keeps flowing
+       into live places while one is down. *)
+    let own () =
+      (rand_int rng (fc.fo_key_space / fc.fo_domains) * fc.fo_domains) + index
+    in
+    let run_txn body apply_model =
+      match Stm.atomic ~policy:fc.fo_policy body with
+      | () ->
+          incr committed;
+          if Atomic.get after_failover then Atomic.incr committed_late;
+          apply_model ()
+      | exception Stm.Place_down _ ->
+          (* Refused strictly before the commit point: no effect, no model
+             change.  Back off briefly; recovery is concurrent. *)
+          Atomic.incr place_down;
+          Unix.sleepf 0.0002
+      | exception Stm.Handler_failure { committed = c; failures } ->
+          List.iter
+            (fun e ->
+              match e with
+              | Chaos_fault _ -> ()
+              | e ->
+                  errs :=
+                    (ctx () ^ "unexpected handler failure: "
+                    ^ Printexc.to_string e)
+                    :: !errs)
+            failures;
+          if c then begin
+            incr committed;
+            if Atomic.get after_failover then Atomic.incr committed_late;
+            apply_model ()
+          end
+      | exception e ->
+          errs :=
+            (ctx () ^ "transaction raised: " ^ Printexc.to_string e) :: !errs
+    in
+    for i = 1 to fc.fo_ops_per_domain do
+      let k = own () in
+      let dice = rand_int rng 100 in
+      if dice < 45 then
+        run_txn
+          (fun () ->
+            ignore (Places.put store k i);
+            ignore (Places.sorted_put store k i))
+          (fun () -> Hashtbl.replace model k i)
+      else if dice < 65 then
+        run_txn
+          (fun () ->
+            ignore (Places.remove store k);
+            ignore (Places.sorted_remove store k))
+          (fun () -> Hashtbl.remove model k)
+      else if dice < 85 then begin
+        (* Cross-place pair: all four mirrors move in one commit, whose
+           region plan spans both places — a kill landing between them
+           must veto the whole transaction, never half of it. *)
+        let k2 = own () in
+        run_txn
+          (fun () ->
+            ignore (Places.put store k (-i));
+            ignore (Places.sorted_put store k (-i));
+            ignore (Places.put store k2 i);
+            ignore (Places.sorted_put store k2 i))
+          (fun () ->
+            Hashtbl.replace model k (-i);
+            Hashtbl.replace model k2 i)
+      end
+      else begin
+        (* Committed read of an own key: must agree with the model and
+           with its sorted mirror (captured in a cell so the check runs
+           only on the committed attempt). *)
+        let got = ref (None, None) in
+        run_txn
+          (fun () ->
+            got := (Places.find store k, Places.sorted_find store k))
+          (fun () ->
+            let a, b = !got in
+            if a <> b then
+              errs :=
+                (ctx () ^ Printf.sprintf "mirror torn at key %d" k) :: !errs;
+            if a <> Hashtbl.find_opt model k then
+              errs :=
+                (ctx () ^ Printf.sprintf "read of own key %d disagrees" k)
+                :: !errs)
+      end;
+      Atomic.incr ops_done
+    done;
+    (model, !committed, List.rev !errs)
+  in
+  let reader () =
+    let errs = ref [] in
+    let ctx () = fail_context fc.fo_chaos ~section:(section "reader") in
+    let fail fmt =
+      Printf.ksprintf (fun s -> errs := (ctx () ^ s) :: !errs) fmt
+    in
+    let snapshots = ref 0 and denials = ref 0 in
+    while not (Atomic.get stop) do
+      match
+        Stm.snapshot (fun () ->
+            (* One pinned timestamp across both collections and all
+               places: the mirror invariant and the fold/size cut must
+               hold even while a place is down (its frozen master still
+               serves the pin) or freshly promoted. *)
+            for k = 0 to fc.fo_key_space - 1 do
+              let a = Places.find store k and b = Places.sorted_find store k in
+              if a <> b then fail "snapshot mirror torn at key %d" k
+            done;
+            let n = Places.fold (fun _ _ n -> n + 1) store 0 in
+            let s = Places.size store in
+            if n <> s then fail "snapshot fold=%d disagrees with size=%d" n s;
+            let prev = ref min_int in
+            List.iter
+              (fun (k, _) ->
+                if k <= !prev then fail "snapshot sorted not ascending at %d" k;
+                prev := k)
+              (Places.sorted_to_list store))
+      with
+      | () -> incr snapshots
+      | exception Stm.Place_down _ ->
+          (* Pin predates a promotion: the history it needs died with the
+             old master.  Re-pin and continue. *)
+          incr denials;
+          Unix.sleepf 0.0002
+    done;
+    (!snapshots, !denials, List.rev !errs)
+  in
+  let doms =
+    List.init fc.fo_domains (fun index -> Domain.spawn (fun () -> writer index))
+  in
+  let reader_dom = Domain.spawn reader in
+  (* Controller: kill a seeded-random place at evenly spaced progress
+     thresholds, hold it down while traffic runs, then recover it from
+     its slave.  The last threshold is below the total op count, so every
+     kill lands mid-traffic. *)
+  let total = fc.fo_domains * fc.fo_ops_per_domain in
+  let ctl_rng = stream_of_seed (fc.fo_chaos.seed lxor 0xdeadf) 0 in
+  let kills = ref 0 in
+  for c = 1 to fc.fo_kills do
+    let threshold = c * total / (fc.fo_kills + 1) in
+    while Atomic.get ops_done < threshold do
+      Unix.sleepf 0.0005
+    done;
+    let p = rand_int ctl_rng fc.fo_places in
+    Places.kill store p;
+    incr kills;
+    Unix.sleepf 0.002;
+    Places.recover store p;
+    if c = fc.fo_kills then Atomic.set after_failover true
+  done;
+  let results = List.map Domain.join doms in
+  Atomic.set stop true;
+  let snapshots, denials, reader_errs = Domain.join reader_dom in
+  uninstall ();
+  let errors = ref [] in
+  let check name cond errors =
+    check (fail_context fc.fo_chaos ~section:(section "final") ^ name) cond errors
+  in
+  List.iter
+    (fun (_, _, es) -> List.iter (fun e -> errors := e :: !errors) es)
+    results;
+  List.iter (fun e -> errors := e :: !errors) reader_errs;
+  check "all places recovered"
+    (List.for_all (Places.is_up store) (List.init fc.fo_places Fun.id))
+    errors;
+  (* Zero lost committed writes: through every kill/recover cycle, both
+     collections hold exactly the union of the per-worker models. *)
+  let expect = Hashtbl.create 256 in
+  List.iter
+    (fun (m, _, _) -> Hashtbl.iter (fun k v -> Hashtbl.replace expect k v) m)
+    results;
+  let actual = Places.to_list store in
+  check "map size vs model (no lost committed writes)"
+    (List.length actual = Hashtbl.length expect)
+    errors;
+  List.iter
+    (fun (k, v) ->
+      check
+        (Printf.sprintf "map binding %d agrees with model" k)
+        (Hashtbl.find_opt expect k = Some v)
+        errors)
+    actual;
+  let actual_sorted = Places.sorted_to_list store in
+  check "sorted size vs model (no lost committed writes)"
+    (List.length actual_sorted = Hashtbl.length expect)
+    errors;
+  List.iter
+    (fun (k, v) ->
+      check
+        (Printf.sprintf "sorted binding %d agrees with model" k)
+        (Hashtbl.find_opt expect k = Some v)
+        errors)
+    actual_sorted;
+  check "sorted globally ascending"
+    (let rec ordered = function
+       | (a, _) :: ((b, _) :: _ as rest) -> a < b && ordered rest
+       | _ -> true
+     in
+     ordered actual_sorted)
+    errors;
+  (* Replication: replicas structurally agree with the promoted masters,
+     the lag drains to zero, and the lifetime high-water respected the
+     mode's bound. *)
+  check "replicas agree with masters" (Places.replica_agrees store) errors;
+  check "replication lag drained" (Places.replication_lag store = 0) errors;
+  let bound = match Places.lag_bound store with None -> 0 | Some b -> b in
+  let max_lag = Places.max_lag_observed store in
+  check
+    (Printf.sprintf "replication lag bounded (observed %d, bound %d)" max_lag
+       bound)
+    (max_lag <= bound)
+    errors;
+  (* Leak probes and liveness through failover. *)
+  check "no leaked place locks" (Places.outstanding_locks store = 0) errors;
+  check "no held commit regions" (Stm.regions_held () = 0) errors;
+  check "kill/recover cycles executed" (!kills = fc.fo_kills) errors;
+  let committed = List.fold_left (fun a (_, c, _) -> a + c) 0 results in
+  check "writers committed transactions" (committed > 0) errors;
+  (* With [fo_kills = 0] the soak degrades to a kill-free baseline run
+     (used for the before/after comparison); there is no "after". *)
+  check "commits after the last failover"
+    (fc.fo_kills = 0 || Atomic.get committed_late > 0)
+    errors;
+  check "reader completed snapshots" (snapshots > 0) errors;
+  Places.close store;
+  if !errors <> [] then
+    errors := repro_hint ~target:"failover" fc.fo_chaos :: !errors;
+  {
+    fv_ok = !errors = [];
+    fv_errors = List.rev !errors;
+    fv_committed = committed;
+    fv_committed_after_failover = Atomic.get committed_late;
+    fv_kills = !kills;
+    fv_place_down = Atomic.get place_down;
+    fv_snapshots = snapshots;
+    fv_snapshot_denials = denials;
+    fv_max_lag = max_lag;
+    fv_injections =
+      ( Atomic.get injected_conflicts,
+        Atomic.get injected_remote_aborts,
+        Atomic.get injected_handler_faults,
+        Atomic.get injected_delays );
+  }
+
+let pp_failover_report ppf (r : failover_report) =
+  let c, ra, hf, d = r.fv_injections in
+  Format.fprintf ppf
+    "ok=%b committed=%d after_failover=%d kills=%d place_down=%d snapshots=%d \
+     denials=%d max_lag=%d injected(conflict=%d remote=%d handler=%d delay=%d)"
+    r.fv_ok r.fv_committed r.fv_committed_after_failover r.fv_kills
+    r.fv_place_down r.fv_snapshots r.fv_snapshot_denials r.fv_max_lag c ra hf d;
+  List.iter (fun e -> Format.fprintf ppf "@.  FAILED: %s" e) r.fv_errors

@@ -4,6 +4,19 @@ exception Aborted
 exception Starved of { attempts : int; elapsed : float }
 exception Handler_failure of { committed : bool; failures : exn list }
 
+exception Place_down of { place : int }
+(* Failure-domain error raised by sharded-store layers (lib/places) from a
+   commit handler's prepare phase — i.e. before the commit point — when the
+   transaction touched a place that has been killed (or recovered under it)
+   since.  The transaction aborts cleanly (compensations run, nothing
+   applied) and the exception propagates out of [atomic] instead of being
+   retried: the place will not come back by itself, so the caller must
+   redirect (recover the place / wait for recovery) and re-issue. *)
+
+exception Not_quiescent of { in_flight : int }
+(* [reset_stats] called while [in_flight] top-level transactions were still
+   running somewhere in the process. *)
+
 type handle = txn
 
 let context = context
@@ -495,6 +508,11 @@ let run_top ?(defer_handlers = false) ?cm ?budget f =
         end
   in
   let t = acquire_top ~cm ~prio in
+  (* In-flight accounting: the quiescence probe behind [reset_stats].  The
+     increment/decrement bracket every exit path below (commit, starvation,
+     explicit abort, escaping exception), always on the same domain, so a
+     quiescent domain's count nets to zero. *)
+  (my_stats ()).s_inflight <- (my_stats ()).s_inflight + 1;
   let abort_and_compensate () =
     mark_aborted t;
     if defer_handlers then []
@@ -558,9 +576,11 @@ let run_top ?(defer_handlers = false) ?cm ?budget f =
   in
   match attempt 0 with
   | r ->
+      (my_stats ()).s_inflight <- (my_stats ()).s_inflight - 1;
       release_top t;
       (r, t)
   | exception e ->
+      (my_stats ()).s_inflight <- (my_stats ()).s_inflight - 1;
       release_top t;
       raise e
 
@@ -767,7 +787,19 @@ let retry_histogram () =
            (all_stats ());
          (policy_name p, row))
 
-let reset_stats () = stats_reset ()
+(* Guarded reset: zeroing shards while another domain is mid-transaction
+   would silently corrupt every aggregated counter (a commit recorded after
+   the reset against aborts recorded before it), so refuse with a typed
+   error instead.  The scan is exact when the in-flight transactions run on
+   joined domains and conservative otherwise — a racing domain's increment
+   may be missed, but callers holding the documented precondition (no
+   concurrent transactions at all) never race. *)
+let in_flight_transactions () = inflight_sum ()
+
+let reset_stats () =
+  let n = inflight_sum () in
+  if n > 0 then raise (Not_quiescent { in_flight = n });
+  stats_reset ()
 
 (* ------------------------------------------------------------------ *)
 (* TM_OPS instance for the transactional collection classes            *)

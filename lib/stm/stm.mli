@@ -50,6 +50,28 @@ exception Handler_failure of { committed : bool; failures : exn list }
     after the commit point) or rolled back ([false]: abort handlers raised
     during compensation). *)
 
+exception Place_down of { place : int }
+(** Failure-domain error of the sharded store ({!Places}): the transaction
+    touched place [place] after it was killed — or a recovery replaced the
+    place's master generation under the transaction's feet.  It is raised
+    from the replication handler's {e prepare} phase, i.e. strictly before
+    the commit point, so the transaction aborts cleanly: compensations run,
+    no buffer is applied, no replication batch is shipped.
+
+    Retry/redirect semantics: unlike a memory conflict, this is {e not}
+    transparently retried by {!atomic} — a dead place stays dead until
+    someone recovers it, so blind retry would spin.  The exception
+    propagates to the caller, which should treat it like a routing error:
+    wait for / trigger [Places.recover], then re-issue the transaction
+    (whose effects are guaranteed absent).  Read-only transactions that
+    touched the dead place get the same treatment — their reads may predate
+    the failover and must not serialise after it. *)
+
+exception Not_quiescent of { in_flight : int }
+(** Raised by {!reset_stats} instead of corrupting the aggregated counters:
+    [in_flight] top-level transactions were still running somewhere in the
+    process when the reset was attempted. *)
+
 type handle
 (** Identity of a top-level transaction; the owner recorded in semantic lock
     tables. *)
@@ -293,9 +315,24 @@ type stats = {
 }
 
 val global_stats : unit -> stats
+
 val reset_stats : unit -> unit
-(** Zero all shards.  Assumes quiescence (no transactions in flight), as
-    between benchmark phases. *)
+(** Zero all shards.  {b Precondition: quiescence} — no top-level
+    transaction may be in flight on any domain (the normal situation
+    between benchmark phases, after spawned domains have been joined).
+    Resetting mid-transaction would tear the aggregate (a commit counted
+    after the reset against aborts counted before it), so instead of
+    silently corrupting the counters the call raises {!Not_quiescent}
+    when any domain shard reports an in-flight transaction.  The probe is
+    exact for transactions on joined domains and conservative otherwise;
+    callers honouring the precondition never see the exception.  The
+    in-flight count itself survives the reset — it is a liveness probe,
+    not a statistic. *)
+
+val in_flight_transactions : unit -> int
+(** Number of top-level transactions currently between their first attempt
+    and their final outcome, summed across all domain shards.  0 at
+    quiescence; the probe behind {!reset_stats}'s guard. *)
 
 val commit_region_waits : unit -> int
 (** Number of semantic-commit region acquisitions that had to block on a

@@ -132,6 +132,11 @@ type domain_stats = {
   mutable s_clock_cas_retries : int;
   mutable s_snapshot_reads : int; (* completed snapshot-read transactions *)
   mutable s_versions_reclaimed : int; (* chain entries reclaimed by epoch *)
+  mutable s_inflight : int;
+      (* top-level transactions of this domain currently between their
+         first attempt and their final outcome.  Not a statistic: a
+         quiescence probe ([Stm.reset_stats] refuses to run while any
+         shard's count is non-zero), so [stats_reset] must never zero it. *)
   s_hist : int array array; (* policy x retry bucket *)
   (* cache-line padding *)
   mutable s_pad0 : int;
@@ -162,6 +167,7 @@ let fresh_stats () =
     s_clock_cas_retries = 0;
     s_snapshot_reads = 0;
     s_versions_reclaimed = 0;
+    s_inflight = 0;
     s_hist = Array.init 3 (fun _ -> Array.make hist_buckets 0);
     s_pad0 = 0;
     s_pad1 = 0;
@@ -213,8 +219,13 @@ let stats_reset () =
       s.s_clock_cas_retries <- 0;
       s.s_snapshot_reads <- 0;
       s.s_versions_reclaimed <- 0;
+      (* [s_inflight] is deliberately left alone: it is a liveness probe,
+         not a counter, and zeroing it would erase the evidence that a
+         caller violated the quiescence precondition. *)
       Array.iter (fun row -> Array.fill row 0 hist_buckets 0) s.s_hist)
     (all_stats ())
+
+let inflight_sum () = stats_sum (fun s -> s.s_inflight)
 
 (* Per-policy retry histograms: bucket 0 = committed first try, bucket k
    = retry count with k significant bits (1, 2-3, 4-7, ...).  Recorded at

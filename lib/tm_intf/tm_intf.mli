@@ -83,6 +83,17 @@ module type TM_OPS = sig
       advance — running [apply] under the handler's own {!critical}
       sections.  Defaults to "never", which is always safe.
 
+      [apply] is also the replication interception point: because it runs
+      exception-safely after the commit point, with the handler's region
+      held, and receives the globally unique commit stamp, a handler can
+      emit the transaction's buffered effects as a stamped replication-log
+      batch (see [Places]) — per-region emission order equals stamp order,
+      and a batch exists if and only if the transaction committed, which is
+      exactly the durability contract a replica needs.  [prepare] is the
+      matching failure-domain gate: raising there (e.g. [Stm.Place_down])
+      vetoes the commit before any effect, buffer application or log
+      emission included.
+
       [regions], evaluated once at commit time, is the handler's region
       plan for striped collections: the stripe regions its buffered
       operations and held locks cover.  The commit pre-acquires the

@@ -144,6 +144,111 @@ let test_snapshot_reader_soak () =
         (r.sn_snapshots > 0 && r.sn_writer_commits > 0))
     [ 1; 2; 3 ]
 
+(* ---------------- remote-abort settlement vs snapshot readers -------- *)
+
+let test_remote_abort_settlement_vs_snapshots () =
+  (* Every [remote_abort_outcome] call settles to exactly one of
+     Delivered / Already_aborted / Too_late, the stats ledger matches the
+     callers' tallies exactly, and nothing leaks — while concurrent
+     [Stm.snapshot] readers pin timestamps through the abort traffic. *)
+  Stm.reset_stats ();
+  let map = Map.create () in
+  for k = 0 to 15 do
+    ignore (Map.put map k k)
+  done;
+  (* Deterministic settlement, single domain.  A committed transaction's
+     handle settles Too_late (it serialises before the caller)... *)
+  let v = Tvar.make 0 in
+  let h = ref None in
+  Stm.atomic (fun () ->
+      h := Some (Stm.current ());
+      Tvar.set v 1);
+  (match Stm.remote_abort_outcome (Option.get !h) with
+  | Stm.Too_late -> ()
+  | _ -> Alcotest.fail "committed handle must settle Too_late");
+  (* ...a first self-delivery wins the status race, and a second call in
+     the same window finds the target already aborting. *)
+  let first = ref true in
+  let o1 = ref Stm.Too_late and o2 = ref Stm.Too_late in
+  Stm.atomic (fun () ->
+      Tvar.set v 2;
+      if !first then begin
+        first := false;
+        o1 := Stm.remote_abort_outcome (Stm.current ());
+        o2 := Stm.remote_abort_outcome (Stm.current ())
+      end);
+  Alcotest.(check bool) "first delivery wins the race" true
+    (!o1 = Stm.Delivered);
+  Alcotest.(check bool) "second call settles Already_aborted" true
+    (!o2 = Stm.Already_aborted);
+  Alcotest.(check int) "the aborted attempt retried and committed" 2
+    (Tvar.get v);
+  (* Racing settlement: an attacker fires outcomes at a running victim
+     while a snapshot reader loops pinned sections over the same map. *)
+  let stop = Atomic.make false in
+  let victim_handle = Atomic.make None in
+  let victim =
+    Domain.spawn (fun () ->
+        let committed = ref 0 in
+        for i = 1 to 300 do
+          Stm.atomic (fun () ->
+              Atomic.set victim_handle (Some (Stm.current ()));
+              ignore (Map.put map (i mod 16) i);
+              for _ = 1 to 50 do
+                Domain.cpu_relax ()
+              done);
+          incr committed
+        done;
+        !committed)
+  in
+  let reader =
+    Domain.spawn (fun () ->
+        let snaps = ref 0 and errs = ref 0 in
+        while not (Atomic.get stop) do
+          Stm.snapshot (fun () ->
+              incr snaps;
+              let n = Map.fold (fun _ _ n -> n + 1) map 0 in
+              if n <> Map.size map then incr errs;
+              let a = Map.find map 0 in
+              if Map.find map 0 <> a then incr errs)
+        done;
+        (!snaps, !errs))
+  in
+  let delivered = ref 0 and late = ref 0 and already = ref 0 in
+  for _ = 1 to 400 do
+    (match Atomic.get victim_handle with
+    | None -> ()
+    | Some h -> (
+        match Stm.remote_abort_outcome h with
+        | Stm.Delivered -> incr delivered
+        | Stm.Too_late -> incr late
+        | Stm.Already_aborted -> incr already));
+    for _ = 1 to 200 do
+      Domain.cpu_relax ()
+    done
+  done;
+  let committed = Domain.join victim in
+  Atomic.set stop true;
+  let snaps, reader_errs = Domain.join reader in
+  Alcotest.(check int) "victim completed every transaction despite aborts"
+    300 committed;
+  Alcotest.(check int) "snapshot reader saw no inconsistency" 0 reader_errs;
+  Alcotest.(check bool) "reader pinned snapshots through the abort traffic"
+    true (snaps > 0);
+  (* The settlement ledger is exact: one Delivered and one Too_late from
+     the deterministic phase, plus the attacker's tallies; Already_aborted
+     is deliberately uncounted (no stat moves). *)
+  let st = Stm.global_stats () in
+  Alcotest.(check int) "delivered settlements counted exactly"
+    (1 + !delivered) st.remote_aborts_delivered;
+  Alcotest.(check int) "late settlements counted exactly" (1 + !late)
+    st.remote_aborts_late;
+  Alcotest.(check int) "no leaked semantic locks" 0
+    (Map.outstanding_locks map);
+  Alcotest.(check int) "no held commit regions" 0 (Stm.regions_held ());
+  Alcotest.(check int) "all transactions settled (quiescent)" 0
+    (Stm.in_flight_transactions ())
+
 let test_soak_karma_smoke () =
   let r =
     Chaos.run_soak
@@ -151,6 +256,33 @@ let test_soak_karma_smoke () =
          ~ops_per_domain:400 ~seed:7 0.05)
   in
   if not r.ok then Alcotest.failf "karma soak: %s" (String.concat "; " r.errors)
+
+(* ---------------- failover (kill/recover) soak ---------------- *)
+
+let test_failover_soak () =
+  (* Kill a master place mid-traffic and recover it from its slave, under
+     chaos injection, across 2 seeds x both replication modes: zero lost
+     committed writes, bounded lazy lag, snapshot readers running
+     throughout. *)
+  List.iter
+    (fun mode ->
+      List.iter
+        (fun seed ->
+          let r =
+            Chaos.run_failover_soak
+              (Chaos.default_failover ~domains:2 ~ops_per_domain:600
+                 ~places:4 ~key_space:96 ~kills:2 ~mode ~seed 0.05)
+          in
+          if not r.fv_ok then
+            Alcotest.failf "failover soak seed=%d mode=%s: %s" seed
+              (Chaos.mode_name mode)
+              (String.concat "; " r.fv_errors);
+          Alcotest.(check bool)
+            (Printf.sprintf "kills executed (seed=%d %s)" seed
+               (Chaos.mode_name mode))
+            true (r.fv_kills = 2))
+        [ 11; 12 ])
+    [ Places.Eager; Places.Lazy { max_lag = 8 } ]
 
 let suites =
   [
@@ -172,5 +304,9 @@ let suites =
         Alcotest.test_case "soak under karma" `Quick test_soak_karma_smoke;
         Alcotest.test_case "snapshot readers vs injected writers" `Quick
           test_snapshot_reader_soak;
+        Alcotest.test_case "remote-abort settlement races snapshot readers"
+          `Quick test_remote_abort_settlement_vs_snapshots;
+        Alcotest.test_case "failover soak: kill/recover, zero lost writes"
+          `Quick test_failover_soak;
       ] );
   ]

@@ -1,0 +1,355 @@
+(* Resilient places: routing, cross-place atomicity, replication (eager
+   and lazy), kill/recover failure semantics, and version-chain
+   reclamation when a place dies under a pinned snapshot reader. *)
+
+module Stm = Tcc_stm.Stm
+module Places = Places
+
+let opt_int = Alcotest.(option int)
+
+(* ---------------- routing and basic operations ---------------- *)
+
+let test_routing_and_basic_ops () =
+  let t = Places.create ~place_count:4 ~key_space:64 () in
+  Alcotest.(check int) "place count" 4 (Places.place_count t);
+  Alcotest.(check int) "key space" 64 (Places.key_space t);
+  Alcotest.(check int) "key 0 routes to place 0" 0 (Places.place_of_key t 0);
+  Alcotest.(check int) "key 15 routes to place 0" 0 (Places.place_of_key t 15);
+  Alcotest.(check int) "key 16 routes to place 1" 1 (Places.place_of_key t 16);
+  Alcotest.(check int) "key 63 routes to place 3" 3 (Places.place_of_key t 63);
+  Alcotest.check_raises "key outside the space is rejected"
+    (Invalid_argument "Places: key outside [0, key_space)") (fun () ->
+      ignore (Places.place_of_key t 64));
+  (* One key per place, both collections. *)
+  List.iter
+    (fun k ->
+      Alcotest.(check opt_int) "fresh put" None (Places.put t k (k * 10));
+      Alcotest.(check opt_int) "fresh sorted put" None
+        (Places.sorted_put t k (k * 10)))
+    [ 3; 19; 35; 51 ];
+  Alcotest.(check opt_int) "find routes back" (Some 190) (Places.find t 19);
+  Alcotest.(check opt_int) "sorted find routes back" (Some 350)
+    (Places.sorted_find t 35);
+  Alcotest.(check bool) "mem" true (Places.mem t 51);
+  Alcotest.(check int) "size spans places" 4 (Places.size t);
+  Alcotest.(check int) "sorted size spans places" 4 (Places.sorted_size t);
+  Alcotest.(check (list (pair int int)))
+    "sorted enumeration is globally ascending across intervals"
+    [ (3, 30); (19, 190); (35, 350); (51, 510) ]
+    (Places.sorted_to_list t);
+  Alcotest.(check opt_int) "remove returns previous" (Some 190)
+    (Places.remove t 19);
+  Alcotest.(check opt_int) "removed" None (Places.find t 19);
+  Alcotest.(check int) "fold agrees with size" (Places.size t)
+    (Places.fold (fun _ _ n -> n + 1) t 0);
+  Places.close t
+
+let test_cross_place_atomicity () =
+  let t = Places.create ~place_count:4 ~key_space:64 () in
+  (* One transaction spanning three places commits atomically. *)
+  Stm.atomic (fun () ->
+      ignore (Places.put t 1 100);
+      ignore (Places.put t 20 200);
+      ignore (Places.sorted_put t 40 300));
+  Alcotest.(check opt_int) "place 0 write" (Some 100) (Places.find t 1);
+  Alcotest.(check opt_int) "place 1 write" (Some 200) (Places.find t 20);
+  Alcotest.(check opt_int) "place 2 sorted write" (Some 300)
+    (Places.sorted_find t 40);
+  (* A raising transaction applies nothing anywhere. *)
+  (match
+     Stm.atomic (fun () ->
+         ignore (Places.put t 2 1);
+         ignore (Places.put t 21 2);
+         failwith "boom")
+   with
+  | () -> Alcotest.fail "expected the transaction to raise"
+  | exception Failure _ -> ());
+  Alcotest.(check opt_int) "aborted write, place 0" None (Places.find t 2);
+  Alcotest.(check opt_int) "aborted write, place 1" None (Places.find t 21);
+  Alcotest.(check int) "no leaked locks" 0 (Places.outstanding_locks t);
+  Places.close t
+
+(* ---------------- replication ---------------- *)
+
+let test_eager_replication () =
+  let t = Places.create ~place_count:2 ~key_space:32 ~mode:Places.Eager () in
+  for i = 0 to 19 do
+    ignore (Places.put t i i);
+    ignore (Places.sorted_put t i i)
+  done;
+  ignore (Places.remove t 3);
+  ignore (Places.sorted_remove t 3);
+  Alcotest.(check int) "eager: zero lag at all times" 0
+    (Places.max_lag_observed t);
+  Alcotest.(check int) "lag right now" 0 (Places.replication_lag t);
+  Alcotest.(check bool) "shipped batches were applied" true
+    (Places.batches_shipped t > 0
+    && Places.batches_applied t = Places.batches_shipped t);
+  Alcotest.(check bool) "replicas agree with masters" true
+    (Places.replica_agrees t);
+  Alcotest.(check bool) "lag bound is none (eager)" true
+    (Places.lag_bound t = None);
+  Places.close t
+
+let test_lazy_lag_bound () =
+  (* No background drainer: only committer backpressure enforces the
+     bound, which is exactly what the bound must not depend on. *)
+  let t =
+    Places.create ~place_count:2 ~key_space:32
+      ~mode:(Places.Lazy { max_lag = 4 })
+      ~background:false ()
+  in
+  for i = 0 to 31 do
+    ignore (Places.put t i i);
+    Alcotest.(check bool)
+      (Printf.sprintf "lag within bound after write %d" i)
+      true
+      (Places.replication_lag t <= 4)
+  done;
+  Alcotest.(check bool) "high-water respects the bound" true
+    (Places.max_lag_observed t <= 4);
+  Places.drain t;
+  Alcotest.(check int) "drained" 0 (Places.replication_lag t);
+  Alcotest.(check bool) "replicas agree after drain" true
+    (Places.replica_agrees t);
+  Places.close t
+
+(* ---------------- kill / recover ---------------- *)
+
+let test_kill_refuses_and_recover_restores () =
+  let t = Places.create ~place_count:2 ~key_space:32 () in
+  ignore (Places.put t 3 33);
+  ignore (Places.sorted_put t 3 33);
+  ignore (Places.put t 20 77);
+  Places.kill t 0;
+  Alcotest.(check bool) "down" false (Places.is_up t 0);
+  let expect_down f =
+    match f () with
+    | _ -> Alcotest.fail "expected Place_down"
+    | exception Stm.Place_down { place } ->
+        Alcotest.(check int) "names the dead place" 0 place
+  in
+  expect_down (fun () -> Places.find t 3);
+  expect_down (fun () -> Places.put t 4 1);
+  expect_down (fun () -> Places.sorted_remove t 3);
+  expect_down (fun () -> Stm.atomic (fun () -> Places.find t 3));
+  (* The error is not transparently retried: the failing transaction ran
+     exactly once and applied nothing. *)
+  let attempts = ref 0 in
+  expect_down (fun () ->
+      Stm.atomic (fun () ->
+          incr attempts;
+          ignore (Places.put t 20 78);
+          ignore (Places.put t 5 1)));
+  Alcotest.(check int) "no transparent retry of Place_down" 1 !attempts;
+  Alcotest.(check opt_int) "live-place write in the vetoed txn not applied"
+    (Some 77) (Places.find t 20);
+  (* Other places stay up; snapshots still read the frozen master. *)
+  Alcotest.(check opt_int) "live place serves" (Some 77) (Places.find t 20);
+  Alcotest.(check opt_int) "snapshot reads the frozen master" (Some 33)
+    (Stm.snapshot (fun () -> Places.find t 3));
+  Places.recover t 0;
+  Alcotest.(check bool) "up again" true (Places.is_up t 0);
+  Alcotest.(check int) "promoted once" 1 (Places.generation t 0);
+  Alcotest.(check opt_int) "state restored from the replica" (Some 33)
+    (Places.find t 3);
+  Alcotest.(check opt_int) "sorted state restored" (Some 33)
+    (Places.sorted_find t 3);
+  ignore (Places.put t 4 44);
+  Alcotest.(check opt_int) "recovered place accepts writes" (Some 44)
+    (Places.find t 4);
+  Alcotest.(check bool) "replicas agree after failover" true
+    (Places.replica_agrees t);
+  Places.close t
+
+let test_lazy_tail_survives_kill () =
+  (* The committed-but-unreplicated tail: lazy mode, no drainer, bound
+     high enough that nothing was applied to the replica when the master
+     dies.  Recovery must replay the inbox — losing it would lose
+     committed writes. *)
+  let t =
+    Places.create ~place_count:2 ~key_space:32
+      ~mode:(Places.Lazy { max_lag = 100 })
+      ~background:false ()
+  in
+  for i = 0 to 9 do
+    ignore (Places.put t i (i * 2));
+    ignore (Places.sorted_put t i (i * 2))
+  done;
+  Alcotest.(check bool) "tail is pending, not applied" true
+    (Places.place_lag t 0 > 0);
+  Places.kill t 0;
+  Places.recover t 0;
+  for i = 0 to 9 do
+    Alcotest.(check opt_int)
+      (Printf.sprintf "committed write %d survived the kill" i)
+      (Some (i * 2)) (Places.find t i);
+    Alcotest.(check opt_int)
+      (Printf.sprintf "sorted mirror %d survived the kill" i)
+      (Some (i * 2))
+      (Places.sorted_find t i)
+  done;
+  Places.close t
+
+let test_txn_spanning_failover_aborts () =
+  (* A transaction that captured the pre-kill master generation and tries
+     to keep using it after recovery must abort with Place_down before
+     its commit point — physical-identity check in prepare and at op
+     time. *)
+  let t = Places.create ~place_count:2 ~key_space:32 () in
+  ignore (Places.put t 1 10);
+  let step = Atomic.make 0 in
+  let wait s =
+    while Atomic.get step < s do
+      Domain.cpu_relax ()
+    done
+  in
+  let worker =
+    Domain.spawn (fun () ->
+        let first = ref true in
+        match
+          Stm.atomic (fun () ->
+              ignore (Places.put t 2 20);
+              if !first then begin
+                first := false;
+                Atomic.set step 1;
+                (* Hold the transaction open across the kill/recover. *)
+                wait 2
+              end;
+              ignore (Places.put t 3 30))
+        with
+        | () -> `Committed
+        | exception Stm.Place_down { place } -> `Down place)
+  in
+  wait 1;
+  Places.kill t 0;
+  Places.recover t 0;
+  Atomic.set step 2;
+  (match Domain.join worker with
+  | `Down 0 -> ()
+  | `Down p -> Alcotest.failf "Place_down named place %d" p
+  | `Committed -> Alcotest.fail "stale transaction must not commit");
+  Alcotest.(check opt_int) "first write of the vetoed txn not applied" None
+    (Places.find t 2);
+  Alcotest.(check opt_int) "second write not applied" None (Places.find t 3);
+  Alcotest.(check opt_int) "pre-kill state intact" (Some 10) (Places.find t 1);
+  Alcotest.(check int) "no leaked locks" 0 (Places.outstanding_locks t);
+  Alcotest.(check int) "no held regions" 0 (Stm.regions_held ());
+  Places.close t
+
+(* ---------------- snapshot readers across failover ---------------- *)
+
+let test_snapshot_pinned_across_kill_and_reclamation () =
+  (* A reader pins a timestamp, reads the master, then the place dies and
+     recovers while the pin is held.  The pinned section keeps its frozen
+     pre-kill view for data it already resolved, is refused (Place_down)
+     if it touches the promoted generation, and — once the pin is
+     released — the version chains of the promoted masters converge back
+     to the TM's bound: the dead generation pins nothing. *)
+  let t = Places.create ~place_count:2 ~key_space:32 () in
+  for i = 1 to 5 do
+    ignore (Places.put t 1 i)
+  done;
+  let pinned = Atomic.make false and release = Atomic.make false in
+  let reader =
+    Domain.spawn (fun () ->
+        Stm.snapshot (fun () ->
+            let seen = Places.find t 1 in
+            Atomic.set pinned true;
+            while not (Atomic.get release) do
+              Domain.cpu_relax ()
+            done;
+            (* The place was killed and promoted while we were pinned:
+               our timestamp predates the new generation's epoch, so a
+               fresh access is refused rather than fed unreachable
+               history. *)
+            let denied =
+              try
+                ignore (Places.find t 1);
+                false
+              with Stm.Place_down { place = 0 } -> true
+            in
+            (seen, denied)))
+  in
+  while not (Atomic.get pinned) do
+    Domain.cpu_relax ()
+  done;
+  Places.kill t 0;
+  Places.recover t 0;
+  (* Grow fresh history on the promoted generation while the old pin is
+     still alive. *)
+  for i = 6 to 6 + Stm.version_chain_bound do
+    ignore (Places.put t 1 (i * 10))
+  done;
+  Atomic.set release true;
+  let seen, denied = Domain.join reader in
+  Alcotest.(check opt_int) "pinned read saw the pre-kill value" (Some 5) seen;
+  Alcotest.(check bool) "post-promotion access under an old pin is refused"
+    true denied;
+  (* Pin released: publishing reclaims; the promoted chains converge to
+     the TM bound. *)
+  for i = 1 to 3 do
+    ignore (Places.put t 1 (1000 + i))
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "history length %d converges to the bound %d"
+       (Places.snapshot_history_length t)
+       Stm.version_chain_bound)
+    true
+    (Places.snapshot_history_length t <= Stm.version_chain_bound);
+  Alcotest.(check int) "no leaked locks" 0 (Places.outstanding_locks t);
+  Places.close t
+
+(* ---------------- quiescence guard (Stm.reset_stats) ---------------- *)
+
+let test_reset_stats_quiescence_guard () =
+  Alcotest.(check int) "quiescent outside transactions" 0
+    (Stm.in_flight_transactions ());
+  Stm.reset_stats ();
+  (* In flight: the probe counts us, and the reset refuses. *)
+  let observed = ref 0 and refused = ref false in
+  Stm.atomic (fun () ->
+      observed := Stm.in_flight_transactions ();
+      match Stm.reset_stats () with
+      | () -> ()
+      | exception Stm.Not_quiescent { in_flight } ->
+          refused := in_flight >= 1);
+  Alcotest.(check int) "the running transaction is counted" 1 !observed;
+  Alcotest.(check bool) "reset refused while non-quiescent" true !refused;
+  (* Back to quiescence: counter decremented on commit, reset allowed. *)
+  Alcotest.(check int) "counter returns to zero" 0
+    (Stm.in_flight_transactions ());
+  Stm.reset_stats ();
+  (* The abort path decrements too. *)
+  (match Stm.atomic (fun () -> failwith "boom") with
+  | () -> ()
+  | exception Failure _ -> ());
+  Alcotest.(check int) "abort path decrements" 0 (Stm.in_flight_transactions ())
+
+let suites =
+  [
+    ( "places",
+      [
+        Alcotest.test_case "routing and basic operations" `Quick
+          test_routing_and_basic_ops;
+        Alcotest.test_case "cross-place transactions are atomic" `Quick
+          test_cross_place_atomicity;
+        Alcotest.test_case "eager replication: zero lag, replicas agree"
+          `Quick test_eager_replication;
+        Alcotest.test_case "lazy replication: backpressure bounds the lag"
+          `Quick test_lazy_lag_bound;
+        Alcotest.test_case "kill refuses, recover restores from the slave"
+          `Quick test_kill_refuses_and_recover_restores;
+        Alcotest.test_case "lazy unreplicated tail survives a kill" `Quick
+          test_lazy_tail_survives_kill;
+        Alcotest.test_case "transaction spanning a failover aborts cleanly"
+          `Quick test_txn_spanning_failover_aborts;
+        Alcotest.test_case "pinned snapshot across kill; chains reconverge"
+          `Quick test_snapshot_pinned_across_kill_and_reclamation;
+      ] );
+    ( "stm.quiescence",
+      [
+        Alcotest.test_case "reset_stats refuses while transactions run"
+          `Quick test_reset_stats_quiescence_guard;
+      ] );
+  ]
