@@ -98,12 +98,18 @@ let note_injection site = Domain.DLS.get last_injection_key := site
 let last_injection () = !(Domain.DLS.get last_injection_key)
 
 let fail_context cfg ~section =
-  Printf.sprintf "[seed=%d section=%s last_injection=%s] " cfg.seed section
+  Printf.sprintf "[seed=%d section=%s policy=%s last_injection=%s] " cfg.seed
+    section
+    (Stm.Policy.name (Stm.Policy.global ()))
     (last_injection ())
 
 let repro_hint ~target cfg =
-  Printf.sprintf "reproduce: CHAOS_SEEDS=%d dune exec bench/main.exe -- %s"
-    cfg.seed target
+  Printf.sprintf
+    "reproduce: CHAOS_SEEDS=%d CHAOS_TM_POLICY=%s dune exec bench/main.exe \
+     -- %s"
+    cfg.seed
+    (Stm.Policy.name (Stm.Policy.global ()))
+    target
 
 (* ---------------- injection counters ---------------- *)
 
@@ -177,14 +183,48 @@ let uninstall () = Stm.Chaos.set_hook None
 type soak_config = {
   chaos : config;
   policy : Stm.Contention.policy;
+  tm_policy : string option;
+      (* TM policy the whole soak runs under: a fixed policy name,
+         "adaptive" for the runtime controller, or [None] to leave the
+         process policy untouched.  An ablation axis: the same seeded
+         schedule must produce a linearizable outcome under every point
+         of the policy matrix. *)
   domains : int;
   ops_per_domain : int;
   key_space : int;  (* per-worker partition width *)
 }
 
-let default_soak ?(policy = Stm.Contention.default) ?(domains = 2)
+let default_soak ?(policy = Stm.Contention.default) ?tm_policy ?(domains = 2)
     ?(ops_per_domain = 1500) ?(key_space = 64) ~seed p =
-  { chaos = uniform ~seed p; policy; domains; ops_per_domain; key_space }
+  {
+    chaos = uniform ~seed p;
+    policy;
+    tm_policy;
+    domains;
+    ops_per_domain;
+    key_space;
+  }
+
+(* Install the soak's TM policy for the duration of [f], restoring the
+   previous global policy (and the adaptive controller, if it was on)
+   afterwards so soaks compose with surrounding tests. *)
+let with_tm_policy sc f =
+  match sc.tm_policy with
+  | None -> f ()
+  | Some name ->
+      let prev = Stm.Policy.global () in
+      let prev_adaptive = Stm.Policy.adaptive () in
+      (if String.equal name "adaptive" then Stm.Policy.enable_adaptive ()
+       else
+         match Stm.Policy.of_name name with
+         | Some p -> Stm.Policy.set_global p
+         | None -> invalid_arg (Printf.sprintf "unknown TM policy %S" name));
+      Fun.protect
+        ~finally:(fun () ->
+          Stm.Policy.disable_adaptive ();
+          Stm.Policy.set_global prev;
+          if prev_adaptive then Stm.Policy.enable_adaptive ())
+        f
 
 type soak_report = {
   ok : bool;
@@ -353,6 +393,7 @@ let worker_loop sc ~index ~map ~sorted ~queue ~counter =
 let check name cond errors = if not cond then errors := name :: !errors
 
 let run_soak sc =
+  with_tm_policy sc @@ fun () ->
   install sc.chaos;
   let map = Map.create () in
   (* Interval splitters at the per-worker partition boundaries: multi-domain
@@ -503,6 +544,7 @@ let run_soak sc =
    subsets — still compose soundly with commits into the same stripe and
    with size/isEmpty readers serialised on the structure stripe. *)
 let run_striped_soak ?(stripes = 16) sc =
+  with_tm_policy sc @@ fun () ->
   install sc.chaos;
   let map = Map.create ~stripes () in
   let counter = Tvar.make 0 in
@@ -687,6 +729,7 @@ type snapshot_soak_report = {
 }
 
 let run_snapshot_soak sc =
+  with_tm_policy sc @@ fun () ->
   install sc.chaos;
   let map = Map.create ~stripes:8 () in
   let sorted =

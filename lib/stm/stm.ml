@@ -36,6 +36,145 @@ module Contention = struct
   let name = policy_name
 end
 
+(* ------------------------------------------------------------------ *)
+(* TM policy matrix: selection and the adaptive controller.
+
+   The controller samples the sharded stats over epoch windows (one
+   window = [adapt_epoch] completed transactions across all domains,
+   counted per-domain to stay off shared cache lines) and derives two
+   regime signals from the deltas: the read-only commit ratio and the
+   abort rate.  A regime maps to a target policy; the global policy only
+   switches after [adapt_hysteresis] consecutive windows agree on the
+   same target (and it differs from the current one), so a transient
+   burst cannot flap the system.  Every switch increments the sharded
+   [s_policy_switches] counter, making flapping observable. *)
+
+let adaptive_on = Atomic.make false
+let adapt_epoch = Atomic.make 512 (* completed txns per controller window *)
+let adapt_hysteresis = 2 (* consecutive agreeing windows before a switch *)
+
+(* Single-writer under the [adapt_ticking] CAS guard below. *)
+type adapt_state = {
+  mutable a_commits : int;
+  mutable a_ro : int;
+  mutable a_aborts : int;
+  mutable a_writes : int;
+  mutable a_target : tm_policy; (* target of the last window *)
+  mutable a_stable : int; (* consecutive windows agreeing on [a_target] *)
+}
+
+let adapt_state =
+  { a_commits = 0; a_ro = 0; a_aborts = 0; a_writes = 0;
+    a_target = pol_lazy_rv_wb; a_stable = 0 }
+
+let adapt_ticking = Atomic.make false
+
+let adapt_local_key : int ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref 0)
+
+(* Regime -> policy.  Read-dominated traffic wants the default: its
+   read-only fast path commits without locks or clock bumps, which no
+   visible-reader policy can match.  Contended write traffic wants
+   encounter-time read-locking with undo logging: conflicts surface at
+   first touch instead of after a wasted body, re-writes mutate in place
+   without growing the redo log, and commits publish without re-locking.
+   The mid abort band keeps invisible reads but acquires eagerly.  Even
+   without aborts, write-dominated traffic (large write sets, almost no
+   read-only commits) prefers undo logging: re-writes are
+   allocation-free and the redo log's commit-time replay disappears. *)
+let adapt_decide ~ro_ratio ~abort_rate ~writes_per_commit =
+  if ro_ratio >= 0.60 then pol_lazy_rv_wb
+  else if abort_rate >= 0.20 then pol_eager_rl_ul
+  else if abort_rate >= 0.02 then pol_eager_rv_wb
+  else if ro_ratio < 0.10 && writes_per_commit >= 6.0 then pol_eager_rl_ul
+  else pol_lazy_rv_wb
+
+let adapt_reset_window () =
+  adapt_state.a_commits <- stats_sum (fun s -> s.s_commits);
+  adapt_state.a_ro <- stats_sum (fun s -> s.s_ro_commits);
+  adapt_state.a_aborts <-
+    stats_sum (fun s -> s.s_conflict_aborts + s.s_remote_aborts);
+  adapt_state.a_writes <- stats_sum (fun s -> s.s_tvar_writes);
+  adapt_state.a_target <- Atomic.get global_tm_policy;
+  adapt_state.a_stable <- 0
+
+(* Called once per completed top-level transaction (and snapshot read).
+   Off: one Atomic.get.  On: one domain-local increment until the local
+   count crosses the window size, then at most one domain wins the CAS
+   and evaluates the window. *)
+let adaptive_tick () =
+  if Atomic.get adaptive_on then begin
+    let c = Domain.DLS.get adapt_local_key in
+    incr c;
+    if !c >= Atomic.get adapt_epoch then begin
+      c := 0;
+      if Atomic.compare_and_set adapt_ticking false true then begin
+        let commits = stats_sum (fun s -> s.s_commits) in
+        let ro = stats_sum (fun s -> s.s_ro_commits) in
+        let aborts =
+          stats_sum (fun s -> s.s_conflict_aborts + s.s_remote_aborts)
+        in
+        let writes = stats_sum (fun s -> s.s_tvar_writes) in
+        let dc = commits - adapt_state.a_commits in
+        let dro = ro - adapt_state.a_ro in
+        let da = aborts - adapt_state.a_aborts in
+        let dw = writes - adapt_state.a_writes in
+        adapt_state.a_commits <- commits;
+        adapt_state.a_ro <- ro;
+        adapt_state.a_aborts <- aborts;
+        adapt_state.a_writes <- writes;
+        if dc > 0 then begin
+          let ro_ratio = float_of_int dro /. float_of_int dc in
+          let abort_rate = float_of_int da /. float_of_int (dc + da) in
+          let writes_per_commit = float_of_int dw /. float_of_int dc in
+          let target = adapt_decide ~ro_ratio ~abort_rate ~writes_per_commit in
+          if target == adapt_state.a_target then
+            adapt_state.a_stable <- adapt_state.a_stable + 1
+          else begin
+            adapt_state.a_target <- target;
+            adapt_state.a_stable <- 1
+          end;
+          if
+            adapt_state.a_stable >= adapt_hysteresis
+            && Atomic.get global_tm_policy != target
+          then begin
+            Atomic.set global_tm_policy target;
+            let s = my_stats () in
+            s.s_policy_switches <- s.s_policy_switches + 1
+          end
+        end;
+        Atomic.set adapt_ticking false
+      end
+    end
+  end
+
+module Policy = struct
+  type t = Types.tm_policy
+
+  let lazy_rv_wb = pol_lazy_rv_wb
+  let eager_rv_wb = pol_eager_rv_wb
+  let lazy_rl_wb = pol_lazy_rl_wb
+  let eager_rl_ul = pol_eager_rl_ul
+  let all = all_tm_policies
+  let name p = p.p_name
+  let of_name = tm_policy_of_name
+
+  let set_global p =
+    Atomic.set adaptive_on false;
+    Atomic.set global_tm_policy p
+
+  let global () = Atomic.get global_tm_policy
+
+  let enable_adaptive ?epoch () =
+    (match epoch with Some e when e > 0 -> Atomic.set adapt_epoch e | _ -> ());
+    adapt_reset_window ();
+    Atomic.set adaptive_on true
+
+  let disable_adaptive () = Atomic.set adaptive_on false
+  let adaptive () = Atomic.get adaptive_on
+  let switches () = stats_sum (fun s -> s.s_policy_switches)
+end
+
 type budget = { max_retries : int option; max_seconds : float option }
 
 (* Auto-commit context: an already-committed handle so that semantic lock
@@ -226,8 +365,14 @@ let release_locks top n =
 (* Acquire write locks in tv_id order (no deadlock), spinning a bounded
    number of times on each before declaring a conflict.  [wids] is sorted
    at insertion and the pre-lock vlock values go into the [acq_old]
-   scratch, so acquisition allocates nothing. *)
+   scratch, so acquisition allocates nothing.  After each lock the
+   visible readers of the tvar are drained — any policy's writer must
+   wait out read-locking transactions, and when this transaction itself
+   holds a read lock on the tvar it drains to its own residual count of
+   one (the entry is released at attempt end, not here).  Lazy only:
+   eager policies acquired at encounter time. *)
 let lock_writes top =
+  let rl = top.pol.p_read = Read_lock in
   for i = 0 to top.wlen - 1 do
     let (W (tv, _)) = Hashtbl.find top.writes top.wids.(i) in
     let rec try_lock spins =
@@ -241,8 +386,15 @@ let lock_writes top =
           Domain.cpu_relax ();
           try_lock (spins - 1)
         end
-      else if Atomic.compare_and_set tv.vlock cur (cur + 1) then
-        top.acq_old.(i) <- cur
+      else if Atomic.compare_and_set tv.vlock cur (cur + 1) then begin
+        let self = if rl && rs_mem top.reads tv.tv_id then 1 else 0 in
+        if readers_drained ~self tv then top.acq_old.(i) <- cur
+        else begin
+          Atomic.set tv.vlock cur;
+          release_locks top i;
+          raise Conflict_exn
+        end
+      end
       else try_lock spins
     in
     try_lock 1024
@@ -258,6 +410,14 @@ let validate_reads top =
   done;
   !ok
 
+(* Read-locking policies need no commit-time validation: every read
+   entry holds a visible lock, so its tvar cannot have been republished
+   since the read (strict two-phase locking).  Version checks would in
+   fact spuriously fail there — a writer parked on one of our read locks
+   has already marked the vlock. *)
+let commit_validate top =
+  top.pol.p_read = Read_lock || validate_reads top
+
 (* The rid-sorted, deduplicated set of commit regions the transaction's
    handlers touch.  A handler with a region plan ([ch_regions]) contributes
    exactly the stripe regions its thunk names — evaluated here, once, at
@@ -266,14 +426,26 @@ let validate_reads top =
    by rid makes multi-region acquisition deadlock-free regardless of how
    plans from different collections interleave. *)
 let commit_regions handlers =
-  let add acc r = if List.exists (fun r' -> r'.rid = r.rid) acc then acc else r :: acc in
-  List.fold_left
-    (fun acc h ->
-      match h.ch_regions with
-      | Some plan -> List.fold_left add acc (plan ())
-      | None -> add acc (Option.value h.ch_region ~default:global_commit_region))
-    [] handlers
-  |> List.sort (fun a b -> compare a.rid b.rid)
+  let all =
+    List.fold_left
+      (fun acc h ->
+        match h.ch_regions with
+        | Some plan -> List.rev_append (plan ()) acc
+        | None ->
+            Option.value h.ch_region ~default:global_commit_region :: acc)
+      [] handlers
+  in
+  (* Collect everything first, sort by rid once, drop adjacent duplicates:
+     O(n log n) with O(n) allocation, where the old List.exists-per-insert
+     plan construction was O(n^2) — measurable once striped collections
+     contribute dozens of stripe regions per commit. *)
+  let sorted = List.sort (fun a b -> compare a.rid b.rid) all in
+  let rec dedup = function
+    | a :: (b :: _ as rest) when a.rid = b.rid -> dedup rest
+    | a :: rest -> a :: dedup rest
+    | [] -> []
+  in
+  dedup sorted
 
 (* Run every apply handler even if some raise; failures are aggregated
    (in registration order) and surfaced after the commit completes.  A
@@ -301,18 +473,31 @@ let run_applies wv handlers =
    this publication out or pins above [wv]. *)
 let publish_writes top wv =
   let min_epoch = oldest_active_epoch () in
-  for i = 0 to top.wlen - 1 do
-    let (W (tv, v)) = Hashtbl.find top.writes top.wids.(i) in
-    Atomic.set tv.value v;
-    hist_publish tv ~min_epoch wv v;
-    Atomic.set tv.vlock wv
-  done;
+  (match top.pol.p_version with
+  | Ver_redo ->
+      for i = 0 to top.wlen - 1 do
+        let (W (tv, v)) = Hashtbl.find top.writes top.wids.(i) in
+        Atomic.set tv.value v;
+        hist_publish tv ~min_epoch wv v;
+        Atomic.set tv.vlock wv
+      done
+  | Ver_undo ->
+      (* In-place writes already happened at encounter time; the table
+         holds the undo images.  Publish the live value into the chain
+         and stamp the vlock — the commit is the unlock. *)
+      for i = 0 to top.wlen - 1 do
+        let (W (tv, _)) = Hashtbl.find top.writes top.wids.(i) in
+        let v = Atomic.get tv.value in
+        hist_publish tv ~min_epoch wv v;
+        Atomic.set tv.vlock wv
+      done);
   ring_publish wv (Array.sub top.wids 0 top.wlen)
 
 let finish_commit top =
   Atomic.set top.top_status Committed;
   let s = my_stats () in
-  s.s_commits <- s.s_commits + 1
+  s.s_commits <- s.s_commits + 1;
+  s.s_tvar_writes <- s.s_tvar_writes + top.wlen
 
 (* Publish the redo log and finish a handler-less writing commit.  Every
    mutating commit draws a write version: snapshot readers key visibility
@@ -366,28 +551,39 @@ let finish_read_only top =
    state), each under its own collection's [critical] region.  The chaos
    hook and the Active->Committing settlement CAS stay on the fast path,
    so injected faults and remote aborts keep their full power there. *)
+(* Policy interaction.  Eager policies acquired their write locks at
+   encounter time, so [lock_writes] is skipped and — crucially — the
+   failure paths below must NOT release the write set: an aborting eager
+   attempt still owns in-place (undo-logged) values that
+   [release_policy_state] has to roll back before unlocking, and it runs
+   on every abort path of [run_top].  Read-locking policies skip read
+   validation ([commit_validate]) and drop their visible-reader counts in
+   the same [release_policy_state], after the commit published. *)
 let commit_top ?(run_handlers = true) top =
+  let eager = top.pol.p_acquire = Acq_eager in
   let handlers = if run_handlers then List.rev top.commit_handlers else [] in
   if handlers = [] then
     if top.wlen = 0 then begin
       (* Pure read-only fast path: no locks, no regions, no clock. *)
-      if not (validate_reads top) then raise Conflict_exn;
+      if not (commit_validate top) then raise Conflict_exn;
       chaos Chaos_in_commit;
       if not (Atomic.compare_and_set top.top_status Active Committing) then
         raise Remote_aborted_exn;
-      finish_read_only top
+      finish_read_only top;
+      release_policy_state top ~committed:true
     end
     else begin
-      lock_writes top;
+      if not eager then lock_writes top;
       (try
-         if not (validate_reads top) then raise Conflict_exn;
+         if not (commit_validate top) then raise Conflict_exn;
          chaos Chaos_in_commit;
          if not (Atomic.compare_and_set top.top_status Active Committing) then
            raise Remote_aborted_exn
        with e ->
-         release_locks top top.wlen;
+         if not eager then release_locks top top.wlen;
          raise e);
-      publish_and_finish top
+      publish_and_finish top;
+      release_policy_state top ~committed:true
     end
   else if top.wlen = 0 && List.for_all (fun h -> h.ch_read_only ()) handlers
   then begin
@@ -396,13 +592,14 @@ let commit_top ?(run_handlers = true) top =
        semantic read locks — no commit regions are pre-acquired and the
        clock stays untouched.  The applies take their own [critical]
        sections, which is all lock release needs. *)
-    if not (validate_reads top) then raise Conflict_exn;
+    if not (commit_validate top) then raise Conflict_exn;
     chaos Chaos_in_commit;
     if not (Atomic.compare_and_set top.top_status Active Committing) then
       raise Remote_aborted_exn;
     (* Commit point passed. *)
     let failures = run_applies 0 handlers in
     finish_read_only top;
+    release_policy_state top ~committed:true;
     if failures <> [] then raise (Handler_failure { committed = true; failures })
   end
   else begin
@@ -411,9 +608,9 @@ let commit_top ?(run_handlers = true) top =
     Fun.protect
       ~finally:(fun () -> List.iter region_unlock (List.rev regions))
       (fun () ->
-        lock_writes top;
+        if not eager then lock_writes top;
         (try
-           if not (validate_reads top) then raise Conflict_exn;
+           if not (commit_validate top) then raise Conflict_exn;
            chaos Chaos_in_commit;
            top.in_prepare <- true;
            List.iter
@@ -425,7 +622,7 @@ let commit_top ?(run_handlers = true) top =
            then raise Remote_aborted_exn
          with e ->
            top.in_prepare <- false;
-           release_locks top top.wlen;
+           if not eager then release_locks top top.wlen;
            raise e);
         (* Commit point passed.  The publication window opens before the
            bump: a snapshot pin concurrent with this commit either waits
@@ -440,6 +637,7 @@ let commit_top ?(run_handlers = true) top =
         publish_writes top wv;
         publish_window_exit ();
         finish_commit top;
+        release_policy_state top ~committed:true;
         if failures <> [] then
           raise (Handler_failure { committed = true; failures }))
   end
@@ -474,9 +672,10 @@ let mark_aborted t = ignore (Atomic.compare_and_set t.top_status Active Aborted)
    so the retry loop allocates nothing.  It is released back to the pool
    on every exit path — after compensation handlers have run, and with
    its handler lists intact for [open_nested] to migrate. *)
-let run_top ?(defer_handlers = false) ?cm ?budget f =
+let run_top ?(defer_handlers = false) ?cm ?pol ?budget f =
   let ctx = context () in
   let cm = match cm with Some c -> c | None -> Atomic.get global_cm in
+  let pol = match pol with Some p -> p | None -> Atomic.get global_tm_policy in
   let prio = fresh_prio () in
   let t0 =
     match budget with
@@ -507,7 +706,7 @@ let run_top ?(defer_handlers = false) ?cm ?budget f =
           raise (Starved { attempts = n; elapsed })
         end
   in
-  let t = acquire_top ~cm ~prio in
+  let t = acquire_top ~cm ~prio ~pol in
   (* In-flight accounting: the quiescence probe behind [reset_stats].  The
      increment/decrement bracket every exit path below (commit, starvation,
      explicit abort, escaping exception), always on the same domain, so a
@@ -515,6 +714,10 @@ let run_top ?(defer_handlers = false) ?cm ?budget f =
   (my_stats ()).s_inflight <- (my_stats ()).s_inflight + 1;
   let abort_and_compensate () =
     mark_aborted t;
+    (* Roll back policy-owned state (eager write locks, undo images,
+       visible read locks) before compensations run: a compensation may
+       start its own transaction against the same tvars. *)
+    release_policy_state t ~committed:false;
     if defer_handlers then []
       (* Handlers registered inside an aborting open-nested transaction
          are discarded without running (paper §4); only a transaction that
@@ -535,6 +738,7 @@ let run_top ?(defer_handlers = false) ?cm ?budget f =
     | r ->
         ctx := None;
         record_retries cm n;
+        adaptive_tick ();
         r
     | exception
         ((Conflict_exn | Child_conflict_exn | Remote_aborted_exn | Deferred_exn)
@@ -614,17 +818,25 @@ let closed_nested_in parent f =
   in
   attempt 0
 
-let atomic ?policy ?budget ?on_starved f =
+let atomic ?policy ?tm_policy ?budget ?on_starved f =
   if Types.in_snapshot () then
     invalid_arg "Stm.atomic: inside a snapshot read section";
   match !(context ()) with
   | None -> (
       match on_starved with
-      | None -> fst (run_top ?cm:policy ?budget f)
+      | None -> fst (run_top ?cm:policy ?pol:tm_policy ?budget f)
       | Some fallback -> (
-          try fst (run_top ?cm:policy ?budget f)
+          try fst (run_top ?cm:policy ?pol:tm_policy ?budget f)
           with Starved _ -> fallback ()))
-  | Some parent -> closed_nested_in parent f
+  | Some parent ->
+      (* Closed nesting with partial rollback is a default-policy
+         optimisation: visible read locks and in-place undo state are
+         owned per top-level attempt, so the other policies run nested
+         bodies flattened (subsumption) — a child conflict retries the
+         whole top level, which [run_top] already does. *)
+      if parent.top.strategy == strategy_lazy_rv_wb then
+        closed_nested_in parent f
+      else f ()
 
 let closed_nested f = atomic f
 
@@ -702,7 +914,8 @@ let snapshot f =
         let s = my_stats () in
         s.s_commits <- s.s_commits + 1;
         s.s_ro_commits <- s.s_ro_commits + 1;
-        s.s_snapshot_reads <- s.s_snapshot_reads + 1)
+        s.s_snapshot_reads <- s.s_snapshot_reads + 1;
+        adaptive_tick ())
       f
   end
 
@@ -754,6 +967,7 @@ type stats = {
   clock_cas_retries : int;
   snapshot_reads : int;
   versions_reclaimed : int;
+  policy_switches : int;
 }
 
 let global_stats () =
@@ -772,6 +986,7 @@ let global_stats () =
     clock_cas_retries = stats_sum (fun s -> s.s_clock_cas_retries);
     snapshot_reads = stats_sum (fun s -> s.s_snapshot_reads);
     versions_reclaimed = stats_sum (fun s -> s.s_versions_reclaimed);
+    policy_switches = stats_sum (fun s -> s.s_policy_switches);
   }
 
 let commit_region_waits () = stats_sum (fun s -> s.s_region_waits)
@@ -834,4 +1049,25 @@ module Tm_ops : Tm_intf.TM_OPS with type txn = handle = struct
   let reclaim_epoch () = oldest_active_epoch ()
   let note_reclaimed = Types.note_reclaimed
   let version_chain_bound = Types.version_chain_bound
+
+  let validate_policy ~support name =
+    match tm_policy_of_name name with
+    | None -> invalid_arg (Printf.sprintf "unknown TM policy %S" name)
+    | Some p ->
+        let reject axis =
+          invalid_arg
+            (Printf.sprintf
+               "TM policy %s: this collection does not support %s" name axis)
+        in
+        if p.p_acquire = Acq_eager && not support.Tm_intf.ps_eager_acquire
+        then reject "encounter-time acquisition";
+        if p.p_read = Read_lock && not support.Tm_intf.ps_read_locking then
+          reject "read locking";
+        if p.p_version = Ver_undo && not support.Tm_intf.ps_undo_logging then
+          reject "undo logging"
+
+  let txn_policy_name () =
+    match !(context ()) with
+    | None -> (Atomic.get global_tm_policy).p_name
+    | Some t -> t.top.pol.p_name
 end

@@ -7,38 +7,13 @@ let make v =
     tv_id = Atomic.fetch_and_add next_tv_id 1;
     value = Atomic.make v;
     vlock = Atomic.make 0;
+    readers = Atomic.make 0;
     hist = Coll.Vchain.make 0 v;
   }
 
 let id tv = tv.tv_id
 
 let history_length tv = Coll.Vchain.length tv.hist
-
-(* The write set is keyed by [tv_id], which is unique per tvar, so an entry
-   found under our id necessarily wraps this very tvar and its pending value
-   has type ['a].  The physical-equality assertion guards the coercion. *)
-let pending_value : type a. a t -> wentry -> a =
- fun tv (W (tv', v)) ->
-  assert (Obj.repr tv' == Obj.repr tv);
-  (Obj.magic v : a)
-
-(* Re-reads are O(1) no-ops on the read set: if any level of the nesting
-   stack already recorded this tvar, the committed value we observe now is
-   necessarily at the recorded version (a later committed write would carry
-   wv > top.rv and take the extension branch), so no new entry is needed. *)
-let rec read_in_txn txn tv =
-  check_not_aborted txn;
-  match find_write txn tv.tv_id with
-  | Some w -> pending_value tv w
-  | None ->
-      let v, ver = read_committed tv in
-      if ver > txn.top.rv then
-        if extend_read_version txn then read_in_txn txn tv
-        else raise Conflict_exn
-      else begin
-        if not (stack_has_read txn tv.tv_id) then rs_push txn.reads (R (tv, ver));
-        v
-      end
 
 let get tv =
   (* The snapshot branch comes first: inside a snapshot the context is
@@ -48,13 +23,22 @@ let get tv =
   else
     match !(context ()) with
     | None -> fst (read_committed tv)
-    | Some txn -> read_in_txn txn tv
+    | Some txn -> txn.top.strategy.st_read txn tv
 
-(* Non-transactional store: lock, open the publication window, advance
-   the clock, publish (value, version chain, unlocking vlock). *)
+(* Non-transactional store: lock, drain visible readers (read-locking
+   transactions may hold the value pinned), open the publication window,
+   advance the clock, publish (value, version chain, unlocking vlock).
+   The drain is bounded; on timeout the lock is restored and the store
+   retried, so a parked reader can never wedge a non-transactional
+   writer behind a stale lock word. *)
 let rec nontx_set tv v =
   let cur = Atomic.get tv.vlock in
   if locked cur || not (Atomic.compare_and_set tv.vlock cur (cur + 1)) then begin
+    Domain.cpu_relax ();
+    nontx_set tv v
+  end
+  else if not (readers_drained ~self:0 tv) then begin
+    Atomic.set tv.vlock cur;
     Domain.cpu_relax ();
     nontx_set tv v
   end
@@ -73,8 +57,6 @@ let set tv v =
     invalid_arg "Tvar.set: inside a snapshot read section";
   match !(context ()) with
   | None -> nontx_set tv v
-  | Some txn ->
-      check_not_aborted txn;
-      record_write txn tv.tv_id (W (tv, v))
+  | Some txn -> txn.top.strategy.st_write txn tv v
 
 let modify tv f = set tv (f (get tv))

@@ -42,13 +42,41 @@ module Make (TM : Tm_intf.TM_OPS) (Q : Tm_intf.QUEUE_OPS) = struct
     snap : 'v Coll.Pdeque.t Coll.Vchain.t;
         (* immutable images of [queue]; published only while the structure
            region is held, so [Vchain.latest] is the current image there *)
+    pinned_policy : string option;
+        (* TM policy the queue was wrapped with, if any; enforced against
+           the committing transaction's policy in [prepare]. *)
   }
+
+  (* TM policy matrix: the queue's transactional state is semantic
+     (buffers, the emptiness lock set) and its reduced-isolation takes go
+     through [critical] regions, not tvars — every protocol axis is
+     safe. *)
+  let policy_support =
+    {
+      Tm_intf.ps_eager_acquire = true;
+      ps_read_locking = true;
+      ps_undo_logging = true;
+    }
+
+  (* Prepare-phase enforcement of a wrap-time policy pin; the raise
+     escapes [atomic] un-retried (misconfiguration, not contention). *)
+  let check_pinned_policy = function
+    | None -> ()
+    | Some name ->
+        let cur = TM.txn_policy_name () in
+        if not (String.equal cur name) then
+          invalid_arg
+            (Printf.sprintf
+               "transaction ran under TM policy %s but the collection is \
+                pinned to %s"
+               cur name)
 
   (* A single stripe (K = 1): the queue's isolation is already reduced —
      takes hit the underlying queue at operation time — so every operation
      serialises on the lock manager's structure region, which doubles as
      the commit region. *)
-  let wrap queue =
+  let wrap ?tm_policy queue =
+    Option.iter (TM.validate_policy ~support:policy_support) tm_policy;
     (* QUEUE_OPS has no iteration, so the initial image drains and refills
        the wrapped queue (wrap-time is quiescent: the caller hands the
        queue over and must not touch it afterwards). *)
@@ -68,9 +96,11 @@ module Make (TM : Tm_intf.TM_OPS) (Q : Tm_intf.QUEUE_OPS) = struct
       locks = L.create ~stripes:1 ();
       locals = Hashtbl.create 32;
       snap = Coll.Vchain.make 0 (Coll.Pdeque.of_list items);
+      pinned_policy = tm_policy;
     }
 
-  let create () = wrap (Q.create ())
+  let create ?tm_policy () = wrap ?tm_policy (Q.create ())
+  let pinned_policy t = t.pinned_policy
   let critical t f = TM.critical (L.struct_region t.locks) f
 
   (* Publish the next queue image at [stamp].  Caller holds the structure
@@ -97,6 +127,7 @@ module Make (TM : Tm_intf.TM_OPS) (Q : Tm_intf.QUEUE_OPS) = struct
      additions becoming visible invalidate transactions that observed an
      empty queue (Table 8: put conflicts "if now non-empty"). *)
   let prepare_handler t l () =
+    check_pinned_policy t.pinned_policy;
     critical t (fun () ->
         if not (Coll.Fifo_deque.is_empty l.add_buffer) then
           L.conflict_isempty t.locks ~self:l.txn)

@@ -6,8 +6,10 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) = struct
 
   type t = unit Map.t
 
-  let create ?stripes ?hash ?isempty_policy () : t =
-    Map.create ?stripes ?hash ?isempty_policy ()
+  let create ?stripes ?hash ?isempty_policy ?tm_policy () : t =
+    Map.create ?stripes ?hash ?isempty_policy ?tm_policy ()
+
+  let pinned_policy (t : t) = Map.pinned_policy t
   let mem (t : t) k = Map.mem t k
 
   let add (t : t) k =

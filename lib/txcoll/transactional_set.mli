@@ -6,13 +6,17 @@ module Make (TM : Tm_intf.TM_OPS) (M : Tm_intf.MAP_OPS) : sig
 
   type t = unit Map.t
 
-  (** [stripes]/[hash] as in {!Transactional_map.Make.create}. *)
+  (** [stripes]/[hash]/[tm_policy] as in
+      {!Transactional_map.Make.create}. *)
   val create :
     ?stripes:int ->
     ?hash:(M.key -> int) ->
     ?isempty_policy:Map.isempty_policy ->
+    ?tm_policy:string ->
     unit ->
     t
+
+  val pinned_policy : t -> string option
   val mem : t -> M.key -> bool
 
   val add : t -> M.key -> bool
