@@ -6,6 +6,7 @@
      dune exec bench/main.exe -- fig1    -- one experiment
      targets: table1 table2 table3 table4 table5 table6 table7 table8 table9
               fig1 fig2 fig3 fig4 ablation hostmap jbbhost queue micro
+              stmscale openloop chaos failover starve
 
    Figures print simulated-cycle speedups normalised to the 1-CPU
    lock-based run, with violation counts underneath (see EXPERIMENTS.md for
@@ -436,10 +437,7 @@ let stmscale_run ~workload ~domains ~txns_per_domain =
   let results = List.map Domain.join ds in
   let elapsed = Unix.gettimeofday () -. t0 in
   let words = List.fold_left (fun acc (w, _) -> acc +. w) 0. results in
-  let all = Array.concat (List.map snd results) in
-  Array.sort Float.compare all;
-  let n = Array.length all in
-  let p99 = all.(min (n - 1) (n * 99 / 100)) in
+  let p99_us = Harness.Hdr.p99_us (List.map snd results) in
   let stats_after = Stm.global_stats () in
   let total = domains * txns_per_domain in
   {
@@ -448,7 +446,7 @@ let stmscale_run ~workload ~domains ~txns_per_domain =
     total_txns = total;
     elapsed_s = elapsed;
     commits_per_s = float_of_int total /. elapsed;
-    p99_us = p99 *. 1e6;
+    p99_us;
     region_waits = Stm.commit_region_waits () - waits_before;
     aborts = stat_aborts stats_after - stat_aborts stats_before;
     minor_words_per_commit = words /. float_of_int total;
@@ -506,10 +504,7 @@ let semscale_run ~stripes ~domains ~txns_per_domain =
   in
   let lats = List.map Domain.join ds in
   let elapsed = Unix.gettimeofday () -. t0 in
-  let all = Array.concat lats in
-  Array.sort Float.compare all;
-  let n = Array.length all in
-  let p99 = all.(min (n - 1) (n * 99 / 100)) in
+  let p99_us = Harness.Hdr.p99_us lats in
   let total = domains * txns_per_domain in
   {
     ss_stripes = stripes;
@@ -517,7 +512,7 @@ let semscale_run ~stripes ~domains ~txns_per_domain =
     ss_total_txns = total;
     ss_elapsed_s = elapsed;
     ss_commits_per_s = float_of_int total /. elapsed;
-    ss_p99_us = p99 *. 1e6;
+    ss_p99_us = p99_us;
     ss_region_waits = Stm.commit_region_waits () - waits_before;
   }
 
@@ -576,10 +571,7 @@ let sortedscale_run ~intervals ~domains ~txns_per_domain =
   in
   let lats = List.map Domain.join ds in
   let elapsed = Unix.gettimeofday () -. t0 in
-  let all = Array.concat lats in
-  Array.sort Float.compare all;
-  let n = Array.length all in
-  let p99 = all.(min (n - 1) (n * 99 / 100)) in
+  let p99_us = Harness.Hdr.p99_us lats in
   let total = domains * txns_per_domain in
   {
     so_workload = "write";
@@ -588,7 +580,7 @@ let sortedscale_run ~intervals ~domains ~txns_per_domain =
     so_total_txns = total;
     so_elapsed_s = elapsed;
     so_commits_per_s = float_of_int total /. elapsed;
-    so_p99_us = p99 *. 1e6;
+    so_p99_us = p99_us;
     so_region_waits = Stm.commit_region_waits () - waits_before;
   }
 
@@ -639,10 +631,7 @@ let sortedscale_snapshot_run ~intervals ~domains ~txns_per_domain =
   in
   let lats = List.map Domain.join ds in
   let elapsed = Unix.gettimeofday () -. t0 in
-  let all = Array.concat lats in
-  Array.sort Float.compare all;
-  let n = Array.length all in
-  let p99 = all.(min (n - 1) (n * 99 / 100)) in
+  let p99_us = Harness.Hdr.p99_us lats in
   let total = domains * txns_per_domain in
   {
     so_workload = "snapshot_read";
@@ -651,7 +640,7 @@ let sortedscale_snapshot_run ~intervals ~domains ~txns_per_domain =
     so_total_txns = total;
     so_elapsed_s = elapsed;
     so_commits_per_s = float_of_int total /. elapsed;
-    so_p99_us = p99 *. 1e6;
+    so_p99_us = p99_us;
     so_region_waits = Stm.commit_region_waits () - waits_before;
   }
 
@@ -904,6 +893,13 @@ let plan_alloc_probe () =
 
 let plan_alloc_ratio_bound = 6.0
 
+(* Float fields for the hand-rolled JSON emitters: NaN and the
+   infinities are not JSON, and one degenerate run (zero elapsed, zero
+   commits, an empty latency set) must not corrupt the BENCH artifacts
+   the CI gates parse — emit [null] instead. *)
+let jf ?(dp = 3) v =
+  if Float.is_finite v then Printf.sprintf "%.*f" dp v else "null"
+
 let policy_matrix_json ~rows
     ~plan_alloc:(small_n, small, large_n, large, ratio) =
   let b = Buffer.create 1024 in
@@ -925,19 +921,20 @@ let policy_matrix_json ~rows
        pm_gate_slack plan_alloc_ratio_bound);
   Buffer.add_string b
     (Printf.sprintf
-       "  \"plan_alloc\": {\"small_regions\": %d, \"small_words\": %.1f, \
-        \"large_regions\": %d, \"large_words\": %.1f, \"ratio\": %.2f},\n"
-       small_n small large_n large ratio);
+       "  \"plan_alloc\": {\"small_regions\": %d, \"small_words\": %s, \
+        \"large_regions\": %d, \"large_words\": %s, \"ratio\": %s},\n"
+       small_n (jf ~dp:1 small) large_n (jf ~dp:1 large) (jf ~dp:2 ratio));
   Buffer.add_string b "  \"policy_matrix\": [\n";
   List.iteri
     (fun i c ->
       Buffer.add_string b
         (Printf.sprintf
            "    {\"workload\": \"%s\", \"policy\": \"%s\", \
-            \"commits_per_s\": %.1f, \"aborts\": %d, \"switches\": %d, \
+            \"commits_per_s\": %s, \"aborts\": %d, \"switches\": %d, \
             \"final_policy\": \"%s\"}%s\n"
-           c.pm_workload c.pm_policy c.pm_commits_per_s c.pm_aborts
-           c.pm_switches c.pm_final_policy
+           c.pm_workload c.pm_policy
+           (jf ~dp:1 c.pm_commits_per_s)
+           c.pm_aborts c.pm_switches c.pm_final_policy
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string b "  ]\n}\n";
@@ -1000,16 +997,17 @@ let stmscale_json ~cores ~chaos_rows ~snapshot_soak_rows ~failover_rows
     | _ -> 0.
   in
   Buffer.add_string b
-    (Printf.sprintf "  \"disjoint_scaling_1_to_4\": %.3f,\n"
-       (ratio "disjoint" 1 4));
+    (Printf.sprintf "  \"disjoint_scaling_1_to_4\": %s,\n"
+       (jf (ratio "disjoint" 1 4)));
   Buffer.add_string b
-    (Printf.sprintf "  \"shared_scaling_1_to_4\": %.3f,\n" (ratio "shared" 1 4));
+    (Printf.sprintf "  \"shared_scaling_1_to_4\": %s,\n"
+       (jf (ratio "shared" 1 4)));
   Buffer.add_string b
-    (Printf.sprintf "  \"read_only_scaling_1_to_4\": %.3f,\n"
-       (ratio "read_only" 1 4));
+    (Printf.sprintf "  \"read_only_scaling_1_to_4\": %s,\n"
+       (jf (ratio "read_only" 1 4)));
   Buffer.add_string b
-    (Printf.sprintf "  \"read_mostly_scaling_1_to_4\": %.3f,\n"
-       (ratio "read_mostly" 1 4));
+    (Printf.sprintf "  \"read_mostly_scaling_1_to_4\": %s,\n"
+       (jf (ratio "read_mostly" 1 4)));
   let ss_ratio d1 d2 =
     let find d =
       List.find_opt
@@ -1021,7 +1019,7 @@ let stmscale_json ~cores ~chaos_rows ~snapshot_soak_rows ~failover_rows
     | _ -> 0.
   in
   Buffer.add_string b
-    (Printf.sprintf "  \"semscale_scaling_1_to_4\": %.3f,\n" (ss_ratio 1 4));
+    (Printf.sprintf "  \"semscale_scaling_1_to_4\": %s,\n" (jf (ss_ratio 1 4)));
   let so_ratio intervals d1 d2 =
     let find d =
       List.find_opt
@@ -1035,21 +1033,23 @@ let stmscale_json ~cores ~chaos_rows ~snapshot_soak_rows ~failover_rows
     | _ -> 0.
   in
   Buffer.add_string b
-    (Printf.sprintf "  \"sortedscale_scaling_1_to_4\": %.3f,\n"
-       (so_ratio sortedscale_intervals 1 4));
+    (Printf.sprintf "  \"sortedscale_scaling_1_to_4\": %s,\n"
+       (jf (so_ratio sortedscale_intervals 1 4)));
   Buffer.add_string b
-    (Printf.sprintf "  \"sortedscale_b1_scaling_1_to_4\": %.3f,\n"
-       (so_ratio 1 1 4));
+    (Printf.sprintf "  \"sortedscale_b1_scaling_1_to_4\": %s,\n"
+       (jf (so_ratio 1 1 4)));
   Buffer.add_string b "  \"sortedscale\": [\n";
   List.iteri
     (fun i r ->
       Buffer.add_string b
         (Printf.sprintf
            "    {\"workload\": \"%s\", \"intervals\": %d, \"domains\": %d, \
-            \"txns\": %d, \"elapsed_s\": %.4f, \"commits_per_s\": %.1f, \
-            \"p99_us\": %.1f, \"region_waits\": %d}%s\n"
+            \"txns\": %d, \"elapsed_s\": %s, \"commits_per_s\": %s, \
+            \"p99_us\": %s, \"region_waits\": %d}%s\n"
            r.so_workload r.so_intervals r.so_domains r.so_total_txns
-           r.so_elapsed_s r.so_commits_per_s r.so_p99_us r.so_region_waits
+           (jf ~dp:4 r.so_elapsed_s)
+           (jf ~dp:1 r.so_commits_per_s)
+           (jf ~dp:1 r.so_p99_us) r.so_region_waits
            (if i = List.length sortedscale_rows - 1 then "" else ",")))
     sortedscale_rows;
   Buffer.add_string b "  ],\n";
@@ -1059,10 +1059,12 @@ let stmscale_json ~cores ~chaos_rows ~snapshot_soak_rows ~failover_rows
       Buffer.add_string b
         (Printf.sprintf
            "    {\"stripes\": %d, \"domains\": %d, \"txns\": %d, \
-            \"elapsed_s\": %.4f, \"commits_per_s\": %.1f, \"p99_us\": %.1f, \
+            \"elapsed_s\": %s, \"commits_per_s\": %s, \"p99_us\": %s, \
             \"region_waits\": %d}%s\n"
-           r.ss_stripes r.ss_domains r.ss_total_txns r.ss_elapsed_s
-           r.ss_commits_per_s r.ss_p99_us r.ss_region_waits
+           r.ss_stripes r.ss_domains r.ss_total_txns
+           (jf ~dp:4 r.ss_elapsed_s)
+           (jf ~dp:1 r.ss_commits_per_s)
+           (jf ~dp:1 r.ss_p99_us) r.ss_region_waits
            (if i = List.length semscale_rows - 1 then "" else ",")))
     semscale_rows;
   Buffer.add_string b "  ],\n";
@@ -1072,10 +1074,11 @@ let stmscale_json ~cores ~chaos_rows ~snapshot_soak_rows ~failover_rows
       Buffer.add_string b
         (Printf.sprintf
            "    {\"workload\": \"%s\", \"policy\": \"%s\", \
-            \"commits_per_s\": %.1f, \"aborts\": %d, \"switches\": %d, \
+            \"commits_per_s\": %s, \"aborts\": %d, \"switches\": %d, \
             \"final_policy\": \"%s\"}%s\n"
-           c.pm_workload c.pm_policy c.pm_commits_per_s c.pm_aborts
-           c.pm_switches c.pm_final_policy
+           c.pm_workload c.pm_policy
+           (jf ~dp:1 c.pm_commits_per_s)
+           c.pm_aborts c.pm_switches c.pm_final_policy
            (if i = List.length policy_rows - 1 then "" else ",")))
     policy_rows;
   Buffer.add_string b "  ],\n";
@@ -1085,12 +1088,15 @@ let stmscale_json ~cores ~chaos_rows ~snapshot_soak_rows ~failover_rows
       Buffer.add_string b
         (Printf.sprintf
            "    {\"workload\": \"%s\", \"domains\": %d, \"txns\": %d, \
-            \"elapsed_s\": %.4f, \"commits_per_s\": %.1f, \"p99_us\": %.1f, \
+            \"elapsed_s\": %s, \"commits_per_s\": %s, \"p99_us\": %s, \
             \"region_waits\": %d, \"aborts\": %d, \
-            \"minor_words_per_commit\": %.1f, \"clock_bumps\": %d, \
+            \"minor_words_per_commit\": %s, \"clock_bumps\": %d, \
             \"read_only_commits\": %d, \"snapshot_reads\": %d}%s\n"
-           r.workload r.domains r.total_txns r.elapsed_s r.commits_per_s
-           r.p99_us r.region_waits r.aborts r.minor_words_per_commit
+           r.workload r.domains r.total_txns
+           (jf ~dp:4 r.elapsed_s)
+           (jf ~dp:1 r.commits_per_s)
+           (jf ~dp:1 r.p99_us) r.region_waits r.aborts
+           (jf ~dp:1 r.minor_words_per_commit)
            r.clock_bumps r.read_only_commits r.snapshot_reads
            (if i = List.length rows - 1 then "" else ",")))
     rows;
@@ -1112,11 +1118,11 @@ let stmscale_json ~cores ~chaos_rows ~snapshot_soak_rows ~failover_rows
       let c, ra, hf, d = r.injections in
       Buffer.add_string b
         (Printf.sprintf
-           "    {\"p\": %.2f, \"seed\": %d, \"policy\": \"%s\", \"ok\": %b, \
+           "    {\"p\": %s, \"seed\": %d, \"policy\": \"%s\", \"ok\": %b, \
             \"committed\": %d, \"injected_conflicts\": %d, \
             \"injected_remote_aborts\": %d, \"injected_handler_faults\": %d, \
             \"injected_delays\": %d}%s\n"
-           p seed
+           (jf ~dp:2 p) seed
            (Tcc_stm.Stm.Contention.name policy)
            r.ok r.committed c ra hf d
            (if i = List.length chaos_rows - 1 then "" else ",")))
@@ -1155,8 +1161,9 @@ let stmscale_json ~cores ~chaos_rows ~snapshot_soak_rows ~failover_rows
       Buffer.add_string b
         (Printf.sprintf
            "    {\"policy\": \"%s\", \"rounds\": %d, \"completed\": %d, \
-            \"starved\": %d, \"long_retries\": %d, \"elapsed_s\": %.3f}%s\n"
-           r.policy r.rounds r.completed r.starved r.long_retries r.elapsed_s
+            \"starved\": %d, \"long_retries\": %d, \"elapsed_s\": %s}%s\n"
+           r.policy r.rounds r.completed r.starved r.long_retries
+           (jf r.elapsed_s)
            (if i = List.length starvation_rows - 1 then "" else ",")))
     starvation_rows;
   Buffer.add_string b "  ]\n}\n";
@@ -1262,6 +1269,293 @@ let stmscale () =
   Fmt.pf ppf "  wrote BENCH_stm.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Open-loop rate search and admission control (BENCH_openloop.json).
+
+   Poisson arrivals at a target offered rate across [ol_domains]
+   domains, latency measured from the scheduled arrival
+   (coordinated-omission-free), offered load walked to the saturation
+   knee per workload.  Then the overload experiment: offered load fixed
+   at 2x the measured knee with the admission gate off (documented
+   collapse), shedding, and serialising.  Reduced-budget knobs for CI:
+   OPENLOOP_DURATION (seconds per probe), OPENLOOP_MAX_RATE. *)
+
+module OL = Harness.Openloop
+module Admission = Stm.Admission
+
+let ol_domains = max 1 (min 2 (Domain.recommended_domain_count ()))
+let ol_keys = 1024
+let ol_slo_us = 1000.
+
+let ol_env name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( try float_of_string s with _ -> default)
+  | None -> default
+
+(* Request factories.  Each call builds fresh collections, so a probe is
+   not biased by residue from the previous one, and the bounded key
+   spaces make the steady-state write an overwrite of a present key.
+   [run] is the transaction runner for write requests — [Stm.atomic], or
+   [Admission.run] when the overload experiment turns the gate on. *)
+let ol_worker ?(run = fun f -> Stm.atomic f) workload : OL.worker =
+  match workload with
+  | "disjoint" ->
+      (* Private map per domain: the no-contention baseline. *)
+      let maps = Array.init ol_domains (fun _ -> IM.create ()) in
+      fun ~domain ->
+        let m = maps.(domain) in
+        let i = ref 0 in
+        fun () ->
+          incr i;
+          let k = !i land (ol_keys - 1) in
+          run (fun () -> ignore (IM.put m k !i))
+  | "shared" ->
+      (* One un-striped map: every commit serialises on its region. *)
+      let m = IM.create ~stripes:1 () in
+      for k = 0 to (ol_domains * ol_keys) - 1 do
+        ignore (IM.put m k 0)
+      done;
+      fun ~domain ->
+        let i = ref 0 in
+        fun () ->
+          incr i;
+          let k = (domain * ol_keys) + (!i land (ol_keys - 1)) in
+          run (fun () -> ignore (IM.put m k !i))
+  | "read_only" ->
+      let m = IM.create ~stripes:1 () in
+      for k = 0 to ol_keys - 1 do
+        ignore (IM.put m k k)
+      done;
+      fun ~domain ->
+        let i = ref 0 in
+        fun () ->
+          incr i;
+          Stm.snapshot (fun () ->
+              ignore (IM.find m (((domain * 37) + !i) land (ol_keys - 1))))
+  | "read_mostly" ->
+      let m = IM.create ~stripes:1 () in
+      for k = 0 to ol_keys - 1 do
+        ignore (IM.put m k k)
+      done;
+      fun ~domain ->
+        let i = ref 0 in
+        fun () ->
+          incr i;
+          let k = ((domain * 37) + !i) land (ol_keys - 1) in
+          if !i mod 20 = 0 then run (fun () -> ignore (IM.put m k !i))
+          else Stm.snapshot (fun () -> ignore (IM.find m k))
+  | w -> invalid_arg ("ol_worker: " ^ w)
+
+let ol_jbb_worker ?run ~warehouses () : OL.worker =
+  let t = Jbb.Multi_jbb.create ~warehouses () in
+  fun ~domain ->
+    let rng = Random.State.make [| 0x0501; warehouses; domain |] in
+    fun () -> Jbb.Multi_jbb.task ?run t rng
+
+type ol_overload_row = {
+  ov_workload : string;
+  ov_mode : string; (* "none" | "shed" | "serialise" *)
+  ov_knee_rate : float;
+  ov_knee : OL.result; (* the pre-knee reference probe *)
+  ov_result : OL.result;
+  ov_admitted : int;
+  ov_adm_shed : int;
+  ov_serialised : int;
+}
+
+let ol_gate_goodput_fraction = 0.8
+let ol_gate_p99_ratio = 5.0
+
+let openloop_json ~cores ~duration ~knees ~overload =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf "  \"cores\": %d,\n" cores);
+  Buffer.add_string b
+    (Printf.sprintf "  \"domains\": %d,\n" ol_domains);
+  Buffer.add_string b (Printf.sprintf "  \"slo_us\": %s,\n" (jf ol_slo_us));
+  Buffer.add_string b
+    (Printf.sprintf "  \"probe_duration_s\": %s,\n" (jf duration));
+  Buffer.add_string b
+    "  \"note\": \"Open-loop Poisson arrivals; latency is measured from \
+     the scheduled arrival time (coordinated-omission-free), so a \
+     backlogged service reports its queueing delay. \
+     sustainable_rate_p99_1ms = highest offered rate with nothing \
+     dropped/shed, >=95% of the schedule completed and p99 <= slo. \
+     goodput = completions within the SLO per second. The overload rows \
+     offer 2x the knee: mode none documents queueing collapse (goodput \
+     falls, the schedule is eventually dropped), shed bounds p99 by \
+     rejecting above the token-bucket rate (Stm.Overloaded), serialise \
+     routes overflow through the serialised fallback.\",\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"gate\": {\"min_goodput_fraction_at_2x_shed\": %s, \
+        \"max_p99_ratio_shed\": %s},\n"
+       (jf ~dp:2 ol_gate_goodput_fraction)
+       (jf ~dp:1 ol_gate_p99_ratio));
+  Buffer.add_string b "  \"knees\": [\n";
+  List.iteri
+    (fun i (name, (s : OL.search)) ->
+      let probes = List.length s.OL.probes in
+      (match s.OL.knee with
+      | Some r ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "    {\"workload\": \"%s\", \"sustainable_rate_p99_1ms\": \
+                %s, \"probes\": %d, \"throughput\": %s, \"goodput\": %s, \
+                \"p50_us\": %s, \"p99_us\": %s, \"p999_us\": %s, \
+                \"scheduled\": %d, \"completed\": %d}%s\n"
+               name
+               (jf ~dp:1 s.OL.sustainable_rate)
+               probes (jf ~dp:1 r.OL.throughput) (jf ~dp:1 r.OL.goodput)
+               (jf ~dp:1 r.OL.p50_us) (jf ~dp:1 r.OL.p99_us)
+               (jf ~dp:1 r.OL.p999_us) r.OL.scheduled r.OL.completed
+               (if i = List.length knees - 1 then "" else ","))
+      | None ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "    {\"workload\": \"%s\", \"sustainable_rate_p99_1ms\": \
+                0.0, \"probes\": %d}%s\n"
+               name probes
+               (if i = List.length knees - 1 then "" else ","))))
+    knees;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b "  \"overload\": [\n";
+  List.iteri
+    (fun i row ->
+      let r = row.ov_result and k = row.ov_knee in
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"workload\": \"%s\", \"mode\": \"%s\", \"knee_rate\": \
+            %s, \"offered_rate\": %s, \"throughput\": %s, \"goodput\": \
+            %s, \"goodput_vs_knee\": %s, \"p99_us\": %s, \
+            \"p99_vs_knee_ratio\": %s, \"scheduled\": %d, \"completed\": \
+            %d, \"shed_requests\": %d, \"dropped\": %d, \"admitted\": %d, \
+            \"admission_shed\": %d, \"serialised_overflow\": %d}%s\n"
+           row.ov_workload row.ov_mode
+           (jf ~dp:1 row.ov_knee_rate)
+           (jf ~dp:1 r.OL.offered_rate)
+           (jf ~dp:1 r.OL.throughput) (jf ~dp:1 r.OL.goodput)
+           (jf (r.OL.goodput /. k.OL.goodput))
+           (jf ~dp:1 r.OL.p99_us)
+           (jf (r.OL.p99_us /. k.OL.p99_us))
+           r.OL.scheduled r.OL.completed r.OL.shed r.OL.dropped
+           row.ov_admitted row.ov_adm_shed row.ov_serialised
+           (if i = List.length overload - 1 then "" else ",")))
+    overload;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let openloop () =
+  let duration = ol_env "OPENLOOP_DURATION" 1.0 in
+  let max_rate = ol_env "OPENLOOP_MAX_RATE" 400_000. in
+  let cores = Domain.recommended_domain_count () in
+  Fmt.pf ppf
+    "@.Open-loop rate search (%d domain%s, SLO p99 <= %.0f us, %.1f \
+     s/probe)@."
+    ol_domains
+    (if ol_domains = 1 then "" else "s")
+    ol_slo_us duration;
+  let search name mk_worker =
+    let s =
+      OL.rate_search ~domains:ol_domains ~slo_us:ol_slo_us ~start_rate:200.
+        ~max_rate ~duration (mk_worker ())
+    in
+    (match s.OL.knee with
+    | Some r ->
+        Fmt.pf ppf
+          "  %-12s knee %9.0f req/s   p50 %7.1f us  p99 %7.1f us  \
+           goodput %9.0f/s  (%d probes)@."
+          name s.OL.sustainable_rate r.OL.p50_us r.OL.p99_us r.OL.goodput
+          (List.length s.OL.probes)
+    | None ->
+        Fmt.pf ppf "  %-12s NO sustainable rate found (%d probes)@." name
+          (List.length s.OL.probes));
+    (name, s)
+  in
+  let knees =
+    List.map
+      (fun w -> search w (fun () -> ol_worker w))
+      [ "disjoint"; "shared"; "read_only"; "read_mostly" ]
+    @ List.map
+        (fun w ->
+          search
+            (Printf.sprintf "jbb_w%d" w)
+            (fun () -> ol_jbb_worker ~warehouses:w ()))
+        [ 1; 4; 8 ]
+  in
+  (* Overload experiment at 2x the knee: the admission gate refills at
+     0.9x the knee, so admitted requests run pre-knee while the excess
+     hits the overload policy instead of queueing. *)
+  let overload_rows = ref [] in
+  let overload name (s : OL.search) mk_worker =
+    match s.OL.knee with
+    | None -> ()
+    | Some knee_r ->
+        let knee_rate = s.OL.sustainable_rate in
+        let rate2 = 2. *. knee_rate in
+        List.iter
+          (fun mode ->
+            let run =
+              match mode with
+              | "none" -> None
+              | _ ->
+                  Admission.configure ~rate:(0.9 *. knee_rate)
+                    ~burst:(max 16 (int_of_float (knee_rate /. 50.)))
+                    ~budget:
+                      {
+                        Stm.max_retries = Some 128;
+                        max_seconds = Some 0.02;
+                      }
+                    ~policy:
+                      (if mode = "shed" then Admission.Shed
+                       else Admission.Serialise)
+                    ();
+                  Some (fun f -> Admission.run f)
+            in
+            let a0 = Admission.admitted ()
+            and s0 = Admission.shed ()
+            and o0 = Admission.serialised_overflow () in
+            let r =
+              OL.run_at ~domains:ol_domains ~slo_us:ol_slo_us ~rate:rate2
+                ~duration
+                (mk_worker ?run ())
+            in
+            Admission.disable ();
+            let row =
+              {
+                ov_workload = name;
+                ov_mode = mode;
+                ov_knee_rate = knee_rate;
+                ov_knee = knee_r;
+                ov_result = r;
+                ov_admitted = Admission.admitted () - a0;
+                ov_adm_shed = Admission.shed () - s0;
+                ov_serialised = Admission.serialised_overflow () - o0;
+              }
+            in
+            overload_rows := row :: !overload_rows;
+            Fmt.pf ppf
+              "  %-12s 2x-knee %-9s goodput %9.0f/s (%5.2fx knee)  p99 \
+               %9.1f us  shed %d  dropped %d@."
+              name mode r.OL.goodput
+              (r.OL.goodput /. knee_r.OL.goodput)
+              r.OL.p99_us r.OL.shed r.OL.dropped)
+          [ "none"; "shed"; "serialise" ]
+  in
+  Fmt.pf ppf "@.Overload at 2x knee (admission gate at 0.9x knee)@.";
+  (match List.assoc_opt "shared" knees with
+  | Some s -> overload "shared" s (fun ?run () -> ol_worker ?run "shared")
+  | None -> ());
+  (match List.assoc_opt "jbb_w4" knees with
+  | Some s ->
+      overload "jbb_w4" s (fun ?run () -> ol_jbb_worker ?run ~warehouses:4 ())
+  | None -> ());
+  let json =
+    openloop_json ~cores ~duration ~knees ~overload:(List.rev !overload_rows)
+  in
+  let oc = open_out "BENCH_openloop.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pf ppf "  wrote BENCH_openloop.json@."
 
 let targets : (string * (unit -> unit)) list =
   [
@@ -1284,6 +1578,7 @@ let targets : (string * (unit -> unit)) list =
     ("queue", queue);
     ("micro", micro);
     ("stmscale", stmscale);
+    ("openloop", openloop);
     ("chaos", chaos);
     ("failover", failover);
     ("starve", starve);

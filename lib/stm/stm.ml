@@ -2,6 +2,13 @@ open Types
 
 exception Aborted
 exception Starved of { attempts : int; elapsed : float }
+
+exception Overloaded
+(* Typed admission rejection: the admission gate (see {!Admission}) is
+   configured with the [Shed] overload policy and either had no token for
+   this request or the admitted transaction exhausted its budget.  The
+   request ran no effects; the caller (load balancer, open-loop driver)
+   decides whether to retry later, degrade, or count the shed. *)
 exception Handler_failure of { committed : bool; failures : exn list }
 
 exception Place_down of { place : int }
@@ -52,6 +59,15 @@ end
 let adaptive_on = Atomic.make false
 let adapt_epoch = Atomic.make 512 (* completed txns per controller window *)
 let adapt_hysteresis = 2 (* consecutive agreeing windows before a switch *)
+
+let adapt_min_window = 64
+(* Minimum commits a window must span before its signals count.  Open-loop
+   traffic arrives in bursts with idle gaps; a window that happens to close
+   during a gap carries a handful of commits, and an abort-rate or
+   read-ratio computed over single digits is noise that can flap
+   [policy_switches].  A window smaller than this is skipped *without*
+   advancing the baselines, so the sample keeps accumulating until the
+   next tick sees at least [adapt_min_window] commits. *)
 
 (* Single-writer under the [adapt_ticking] CAS guard below. *)
 type adapt_state = {
@@ -119,11 +135,14 @@ let adaptive_tick () =
         let dro = ro - adapt_state.a_ro in
         let da = aborts - adapt_state.a_aborts in
         let dw = writes - adapt_state.a_writes in
-        adapt_state.a_commits <- commits;
-        adapt_state.a_ro <- ro;
-        adapt_state.a_aborts <- aborts;
-        adapt_state.a_writes <- writes;
-        if dc > 0 then begin
+        (* Under-sampled window (idle gap between arrival bursts): leave
+           the baselines where they are and decide nothing — the commits
+           roll into the next window until enough have accumulated. *)
+        if dc >= adapt_min_window then begin
+          adapt_state.a_commits <- commits;
+          adapt_state.a_ro <- ro;
+          adapt_state.a_aborts <- aborts;
+          adapt_state.a_writes <- writes;
           let ro_ratio = float_of_int dro /. float_of_int dc in
           let abort_rate = float_of_int da /. float_of_int (dc + da) in
           let writes_per_commit = float_of_int dw /. float_of_int dc in
@@ -173,6 +192,10 @@ module Policy = struct
   let disable_adaptive () = Atomic.set adaptive_on false
   let adaptive () = Atomic.get adaptive_on
   let switches () = stats_sum (fun s -> s.s_policy_switches)
+
+  (* Windows spanning fewer commits than this are skipped by the
+     controller (signals too noisy to act on); exposed for tests. *)
+  let min_window_commits = adapt_min_window
 end
 
 type budget = { max_retries : int option; max_seconds : float option }
@@ -854,6 +877,130 @@ let serialised f =
       (fun () -> fst (run_top f))
   end
 
+(* ------------------------------------------------------------------ *)
+(* Admission control: a process-wide token-bucket gate in front of
+   [atomic], plus an overload policy deciding what happens to traffic the
+   gate (or a transaction budget) rejects.
+
+   Open-loop traffic does not slow down when the system saturates — the
+   arrival rate is set by the outside world.  Without a gate, offered load
+   past the knee of the throughput/latency curve makes every queue grow
+   without bound: p99 explodes and goodput (requests completing within
+   their deadline) collapses even though raw commit throughput looks
+   fine.  The gate holds admitted load at a configured sustainable rate:
+
+   - [Shed]: overflow is rejected immediately with the typed
+     [Overloaded] exception and counted in [s_shed].  Admitted requests
+     run at the configured rate and keep pre-knee latency.
+   - [Serialise]: overflow is routed through [serialised] — the
+     process-wide fallback commit region — so excess transactions trickle
+     through one at a time instead of amplifying contention.  Nothing is
+     rejected, at the price of overflow latency.
+
+   The same overload policy is wired through PR 2's transaction budgets:
+   an *admitted* transaction that exhausts its retry/time budget
+   ([Starved]) is handed to the overload path instead of surfacing the
+   starvation — under contention storms Shed converts starvation into
+   typed rejections and Serialise into guaranteed (serial) completion.
+
+   Exactly one of [s_admitted] / [s_shed] / [s_serialised_overflow] is
+   incremented per [Admission.run] call, so the three counters ledger
+   against offered load. *)
+
+module Admission = struct
+  type overload_policy = Shed | Serialise
+
+  let policy_name = function Shed -> "shed" | Serialise -> "serialise"
+
+  type gate = {
+    g_rate : float; (* tokens per second *)
+    g_burst : float; (* bucket capacity *)
+    g_policy : overload_policy;
+    g_budget : budget option; (* default budget for admitted transactions *)
+    g_lock : Mutex.t;
+    mutable g_tokens : float;
+    mutable g_last : float;
+  }
+
+  let gate : gate option Atomic.t = Atomic.make None
+
+  let configure ?(burst = 64) ?budget ~rate ~policy () =
+    if rate <= 0. then
+      invalid_arg "Stm.Admission.configure: rate must be positive";
+    Atomic.set gate
+      (Some
+         {
+           g_rate = rate;
+           g_burst = float_of_int (max 1 burst);
+           g_policy = policy;
+           g_budget = budget;
+           g_lock = Mutex.create ();
+           g_tokens = float_of_int (max 1 burst);
+           g_last = Unix.gettimeofday ();
+         })
+
+  let disable () = Atomic.set gate None
+  let enabled () = Option.is_some (Atomic.get gate)
+
+  let current_policy () =
+    Option.map (fun g -> g.g_policy) (Atomic.get gate)
+
+  (* Lazy refill under the gate mutex: the bucket is a contended shared
+     resource by design (it *is* the throttle), and the critical section
+     is a handful of float operations. *)
+  let try_admit g =
+    Mutex.protect g.g_lock (fun () ->
+        let now = Unix.gettimeofday () in
+        let tokens =
+          Float.min g.g_burst
+            (g.g_tokens +. ((now -. g.g_last) *. g.g_rate))
+        in
+        g.g_last <- now;
+        if tokens >= 1.0 then begin
+          g.g_tokens <- tokens -. 1.0;
+          true
+        end
+        else begin
+          g.g_tokens <- tokens;
+          false
+        end)
+
+  let overflow g f =
+    let s = my_stats () in
+    match g.g_policy with
+    | Shed ->
+        s.s_shed <- s.s_shed + 1;
+        raise Overloaded
+    | Serialise ->
+        s.s_serialised_overflow <- s.s_serialised_overflow + 1;
+        serialised f
+
+  (* Gated [atomic].  No gate configured -> plain [atomic].  Calls from
+     inside a transaction are never gated (the enclosing top level was
+     already admitted): they run as ordinary nested transactions. *)
+  let run ?policy ?tm_policy ?budget f =
+    match Atomic.get gate with
+    | None -> atomic ?policy ?tm_policy ?budget f
+    | Some _ when in_txn () -> atomic ?policy ?tm_policy ?budget f
+    | Some g ->
+        if try_admit g then begin
+          let budget =
+            match budget with Some _ -> budget | None -> g.g_budget
+          in
+          match atomic ?policy ?tm_policy ?budget f with
+          | r ->
+              let s = my_stats () in
+              s.s_admitted <- s.s_admitted + 1;
+              r
+          | exception Starved _ -> overflow g f
+        end
+        else overflow g f
+
+  let admitted () = stats_sum (fun s -> s.s_admitted)
+  let shed () = stats_sum (fun s -> s.s_shed)
+  let serialised_overflow () = stats_sum (fun s -> s.s_serialised_overflow)
+end
+
 let open_nested f =
   let ctx = context () in
   match !ctx with
@@ -968,6 +1115,9 @@ type stats = {
   snapshot_reads : int;
   versions_reclaimed : int;
   policy_switches : int;
+  admitted : int;
+  shed : int;
+  serialised_overflow : int;
 }
 
 let global_stats () =
@@ -987,6 +1137,9 @@ let global_stats () =
     snapshot_reads = stats_sum (fun s -> s.s_snapshot_reads);
     versions_reclaimed = stats_sum (fun s -> s.s_versions_reclaimed);
     policy_switches = stats_sum (fun s -> s.s_policy_switches);
+    admitted = stats_sum (fun s -> s.s_admitted);
+    shed = stats_sum (fun s -> s.s_shed);
+    serialised_overflow = stats_sum (fun s -> s.s_serialised_overflow);
   }
 
 let commit_region_waits () = stats_sum (fun s -> s.s_region_waits)

@@ -41,6 +41,12 @@ exception Starved of { attempts : int; elapsed : float }
     [elapsed] seconds passed (0. when no deadline was set).  Never raised
     unless a {!budget} was supplied. *)
 
+exception Overloaded
+(** Raised out of {!Admission.run} when the admission gate is closed (no
+    token available, or the admitted transaction starved) and the overload
+    policy is [Shed]: the request is rejected without running.  Counted in
+    {!global_stats} as a [shed].  Never raised by plain {!atomic}. *)
+
 exception Handler_failure of { committed : bool; failures : exn list }
 (** One or more commit/abort handlers raised.  Every handler still ran —
     a raising handler cannot skip the rest, so semantic locks and buffers
@@ -183,6 +189,14 @@ module Policy : sig
   val switches : unit -> int
   (** Total adaptive policy switches since the last {!reset_stats} — the
       flapping observability counter (also in {!global_stats}). *)
+
+  val min_window_commits : int
+  (** Minimum commits an epoch window must have accumulated before the
+      adaptive controller evaluates it.  Under-sampled windows (idle gaps
+      between open-loop arrival bursts) are skipped without advancing the
+      window baselines, so their commits roll into the next evaluation
+      instead of feeding a near-zero-sample signal that flaps
+      [policy_switches]. *)
 end
 
 type budget = { max_retries : int option; max_seconds : float option }
@@ -260,6 +274,64 @@ val serialised : (unit -> 'a) -> 'a
     with — and win against or retry on — ordinary optimistic
     transactions).  Intended as [~on_starved:(fun () -> serialised f)].
     Inside a transaction it just runs [f] in the enclosing transaction. *)
+
+(** {1 Admission control} — the open-loop overload valve.
+
+    Closed-loop benches self-limit: a slow system slows its own load.  An
+    open-loop generator does not — past the saturation knee the arrival
+    rate exceeds the service rate, queues grow without bound and p99
+    collapses.  The admission gate bounds the rate at which transactions
+    are {e started}: a token bucket refilled at a configured rate admits
+    requests up to its burst capacity, and requests arriving with the
+    bucket empty hit the overload policy instead of queueing:
+
+    - [Shed]: reject with the typed {!Overloaded} exception (counted as
+      [shed] in {!global_stats}); the caller drops or retries later.
+    - [Serialise]: route through {!serialised} — the request still runs,
+      but on the process-wide fallback region, trading latency for
+      completion (counted as [serialised_overflow]).
+
+    An admitted transaction that exhausts its budget ({!Starved}) is also
+    handed to the overload policy — starvation under load {e is}
+    overload.  Ledger property: every {!Admission.run} call increments
+    exactly one of [admitted], [shed] or [serialised_overflow]. *)
+module Admission : sig
+  type overload_policy =
+    | Shed  (** reject: raise {!Overloaded} without running the body *)
+    | Serialise  (** degrade: run the body via {!serialised} *)
+
+  val policy_name : overload_policy -> string
+  (** ["shed"] or ["serialise"]. *)
+
+  val configure :
+    ?burst:int -> ?budget:budget -> rate:float -> policy:overload_policy ->
+    unit -> unit
+  (** Install the process-wide admission gate: a token bucket refilled at
+      [rate] tokens/second holding at most [burst] tokens (default 64).
+      [?budget] is applied to admitted transactions that do not pass
+      their own (so starvation feeds the overload policy).  Raises
+      [Invalid_argument] unless [rate > 0]. *)
+
+  val disable : unit -> unit
+  (** Remove the gate: {!run} becomes plain {!atomic}. *)
+
+  val enabled : unit -> bool
+  val current_policy : unit -> overload_policy option
+
+  val run :
+    ?policy:Contention.policy -> ?tm_policy:Policy.t -> ?budget:budget ->
+    (unit -> 'a) -> 'a
+  (** [run f] is {!atomic}[ f] through the admission gate.  With no gate
+      configured, or nested inside a transaction, it is exactly
+      {!atomic}.  Otherwise it takes a token (admitting) or invokes the
+      overload policy; an admitted run that raises {!Starved} is handed
+      to the overload policy as well. *)
+
+  val admitted : unit -> int
+  val shed : unit -> int
+  val serialised_overflow : unit -> int
+  (** Live aggregated ledger counters (also in {!global_stats}). *)
+end
 
 val on_commit : (unit -> unit) -> unit
 (** Register a commit handler on the current nesting level.  Handlers run
@@ -392,6 +464,15 @@ type stats = {
   policy_switches : int;
       (** global-policy switches performed by the adaptive controller
           ({!Policy.enable_adaptive}); flapping shows up here *)
+  admitted : int;
+      (** {!Admission.run} calls that took a token and committed (or
+          raised from the body) without starving *)
+  shed : int;
+      (** {!Admission.run} calls rejected with {!Overloaded} under the
+          [Shed] overload policy *)
+  serialised_overflow : int;
+      (** {!Admission.run} calls routed through {!serialised} under the
+          [Serialise] overload policy *)
 }
 
 val global_stats : unit -> stats

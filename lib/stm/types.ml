@@ -203,6 +203,14 @@ type domain_stats = {
       (* distinct tvars written by committed writing transactions (the
          write-set length at commit) — the adaptive controller's
          write-intensity signal for uncontended regimes *)
+  mutable s_admitted : int;
+      (* admission-gate grants that ran to completion on the normal path *)
+  mutable s_shed : int;
+      (* requests rejected by the admission gate's Shed overload policy
+         (typed [Stm.Overloaded]), at the gate or after budget starvation *)
+  mutable s_serialised_overflow : int;
+      (* requests routed through [Stm.serialised] by the Serialise
+         overload policy (gate overflow or budget starvation) *)
   mutable s_inflight : int;
       (* top-level transactions of this domain currently between their
          first attempt and their final outcome.  Not a statistic: a
@@ -240,6 +248,9 @@ let fresh_stats () =
     s_versions_reclaimed = 0;
     s_policy_switches = 0;
     s_tvar_writes = 0;
+    s_admitted = 0;
+    s_shed = 0;
+    s_serialised_overflow = 0;
     s_inflight = 0;
     s_hist = Array.init 3 (fun _ -> Array.make hist_buckets 0);
     s_pad0 = 0;
@@ -294,6 +305,9 @@ let stats_reset () =
       s.s_versions_reclaimed <- 0;
       s.s_policy_switches <- 0;
       s.s_tvar_writes <- 0;
+      s.s_admitted <- 0;
+      s.s_shed <- 0;
+      s.s_serialised_overflow <- 0;
       (* [s_inflight] is deliberately left alone: it is a liveness probe,
          not a counter, and zeroing it would erase the evidence that a
          caller violated the quiescence precondition. *)

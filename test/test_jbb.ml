@@ -132,6 +132,53 @@ let test_host_jbb_baseline_retries_most () =
   Alcotest.(check bool) "baseline retries heavily, txcoll far less" true
     (attempt 4)
 
+(* ---------------- multi-warehouse JBB ---------------- *)
+
+let multi_small =
+  { small with Jbb.Model.base_work = 200; item_work = 20 }
+
+let test_multi_jbb_sequential_audit () =
+  (* Single domain, full remote traffic: the audit (table sizes, order
+     counters, value conservation) must hold exactly. *)
+  let t =
+    Jbb.Multi_jbb.create ~p:multi_small ~remote_fraction:1.0 ~warehouses:4 ()
+  in
+  Alcotest.(check bool) "fresh instance conserves" true
+    (Jbb.Multi_jbb.conserved t);
+  let r = Jbb.Multi_jbb.run_closed t ~n_domains:1 ~tasks_per_domain:200 in
+  Alcotest.(check bool) "ops ran" true
+    (r.Jbb.Multi_jbb.new_orders > 0 && r.Jbb.Multi_jbb.payments > 0);
+  Alcotest.(check bool) "sequential audit" true r.Jbb.Multi_jbb.consistent
+
+let prop_multi_jbb_conservation =
+  (* The ISSUE's headline invariant: across W in {1,4,8} and the whole
+     remote-fraction range, concurrent mixed traffic (local and
+     cross-warehouse payments, remote-sourced new orders, deliveries
+     funded from ytd) keeps total value at zero and the tables in
+     agreement with the committed op counts. *)
+  let gen =
+    QCheck.Gen.(
+      triple (oneofl [ 1; 4; 8 ]) (oneofl [ 0.; 0.3; 1.0 ]) (int_range 0 99))
+  in
+  let arb =
+    QCheck.make gen ~print:(fun (w, rf, seed) ->
+        Printf.sprintf "warehouses=%d remote_fraction=%g seed=%d" w rf seed)
+  in
+  QCheck.Test.make ~name:"multi-warehouse conservation under concurrency"
+    ~count:12 arb (fun (warehouses, remote_fraction, seed) ->
+      let t =
+        Jbb.Multi_jbb.create ~p:multi_small ~remote_fraction ~warehouses ()
+      in
+      let r =
+        Jbb.Multi_jbb.run_closed ~seed t ~n_domains:2 ~tasks_per_domain:60
+      in
+      if not r.Jbb.Multi_jbb.consistent then
+        QCheck.Test.fail_reportf
+          "audit failed: W=%d rf=%g seed=%d (total_value=%d)" warehouses
+          remote_fraction seed
+          (Jbb.Multi_jbb.total_value t)
+      else true)
+
 let suites =
   [
     ( "jbb.sim",
@@ -154,5 +201,11 @@ let suites =
           test_host_jbb_all_variants_consistent;
         Alcotest.test_case "baseline retries most" `Quick
           test_host_jbb_baseline_retries_most;
+      ] );
+    ( "jbb.multi",
+      [
+        Alcotest.test_case "sequential audit" `Quick
+          test_multi_jbb_sequential_audit;
+        QCheck_alcotest.to_alcotest prop_multi_jbb_conservation;
       ] );
   ]

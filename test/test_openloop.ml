@@ -1,0 +1,320 @@
+(* Open-loop harness pieces: the Hdr histogram's accuracy contract, the
+   admission gate's rejection ledger, the Poisson generator's request
+   accounting, and the adaptive controller's minimum-window guard. *)
+
+module Stm = Tcc_stm.Stm
+module Tvar = Tcc_stm.Tvar
+module Hdr = Harness.Hdr
+module Chaos = Harness.Chaos
+module OL = Harness.Openloop
+module Admission = Stm.Admission
+
+(* ---------------- Hdr histogram ---------------- *)
+
+let test_hdr_exact_below_64 () =
+  (* Values under [sub_count] land in width-1 slots: percentiles are
+     exact order statistics, not bucket midpoints. *)
+  let h = Hdr.create () in
+  for v = 0 to 63 do
+    Hdr.record_ns h v
+  done;
+  Alcotest.(check int) "count" 64 (Hdr.count h);
+  Alcotest.(check int) "p50 exact" 31 (Hdr.percentile_ns h 0.50);
+  Alcotest.(check int) "p99 exact" 63 (Hdr.percentile_ns h 0.99);
+  Alcotest.(check int) "p100 is the max" 63 (Hdr.percentile_ns h 1.0)
+
+(* Log-uniform sample over [1, 5e8] ns — six decades, like a latency
+   distribution with a heavy tail. *)
+let sample n =
+  let rng = Chaos.stream_of_seed 0x4d31 7 in
+  Array.init n (fun _ ->
+      1 + int_of_float (exp (Chaos.rand_float rng *. log 5e8)))
+
+let exact_percentile sorted q =
+  let n = Array.length sorted in
+  let rank =
+    let r = int_of_float (ceil (q *. float_of_int n)) in
+    if r < 1 then 1 else if r > n then n else r
+  in
+  sorted.(rank - 1)
+
+let test_hdr_accuracy () =
+  (* The layout guarantees worst-case relative error 1/32 (slot width /
+     smallest value in the octave) across the whole range; check the
+     reported percentile against the exact sorted order statistic. *)
+  let xs = sample 20_000 in
+  let h = Hdr.create () in
+  Array.iter (Hdr.record_ns h) xs;
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  List.iter
+    (fun q ->
+      let exact = exact_percentile sorted q in
+      let approx = Hdr.percentile_ns h q in
+      let tol = (exact / 32) + 1 in
+      if abs (approx - exact) > tol then
+        Alcotest.failf "p%g: hdr %d vs exact %d (tol %d)" (q *. 100.)
+          approx exact tol)
+    [ 0.50; 0.90; 0.99; 0.999 ];
+  let max_v = sorted.(Array.length sorted - 1) in
+  let p100 = Hdr.percentile_ns h 1.0 in
+  Alcotest.(check bool) "p100 never over-reports the max" true
+    (p100 <= max_v && max_v - p100 <= (max_v / 32) + 1)
+
+let test_hdr_merge () =
+  (* Recording a stream into one histogram and recording its halves into
+     two then merging must be indistinguishable. *)
+  let xs = sample 8_000 in
+  let whole = Hdr.create () in
+  Array.iter (Hdr.record_ns whole) xs;
+  let a = Hdr.create () and b = Hdr.create () in
+  Array.iteri (fun i v -> Hdr.record_ns (if i land 1 = 0 then a else b) v) xs;
+  Hdr.merge ~into:a b;
+  Alcotest.(check int) "count" (Hdr.count whole) (Hdr.count a);
+  List.iter
+    (fun q ->
+      Alcotest.(check int)
+        (Printf.sprintf "p%g" (q *. 100.))
+        (Hdr.percentile_ns whole q) (Hdr.percentile_ns a q))
+    [ 0.50; 0.90; 0.99; 0.999; 1.0 ];
+  Alcotest.(check (float 1e-9) "mean" (Hdr.mean_us whole) (Hdr.mean_us a))
+
+let test_hdr_p99_exact_parity () =
+  (* [p99_us] replaced an inline concat-sort-index block at every
+     closed-loop bench site; it must reproduce that block bit for bit so
+     recorded BENCH trajectories stay comparable. *)
+  let rng = Chaos.stream_of_seed 0x99 3 in
+  let lats =
+    List.init 4 (fun _ ->
+        Array.init 500 (fun _ -> Chaos.rand_float rng *. 1e-3))
+  in
+  let legacy =
+    let all = Array.concat lats in
+    Array.sort Float.compare all;
+    let n = Array.length all in
+    all.(min (n - 1) (n * 99 / 100)) *. 1e6
+  in
+  Alcotest.(check (float 0.)) "bit-for-bit" legacy (Hdr.p99_us lats);
+  Alcotest.(check (float 0.)) "empty input" 0. (Hdr.p99_us [ [||] ])
+
+(* ---------------- admission control ---------------- *)
+
+let with_gate ~policy ?(rate = 100.) ?(burst = 5) f =
+  Fun.protect
+    ~finally:(fun () -> Admission.disable ())
+    (fun () ->
+      Admission.configure ~rate ~burst ~policy ();
+      f ())
+
+(* Counter deltas around [f]: (admitted, shed, serialised_overflow). *)
+let ledger_deltas f =
+  let a0 = Admission.admitted ()
+  and s0 = Admission.shed ()
+  and o0 = Admission.serialised_overflow () in
+  f ();
+  ( Admission.admitted () - a0,
+    Admission.shed () - s0,
+    Admission.serialised_overflow () - o0 )
+
+let test_admission_shed_ledger () =
+  (* A burst far above the token rate: the bucket's initial [burst]
+     tokens admit the head of the burst, the rest raise Overloaded.
+     Every call lands in exactly one ledger column. *)
+  let tv = Tvar.make 0 in
+  let calls = 200 in
+  let ok = ref 0 and over = ref 0 in
+  let adm, shed, ser =
+    ledger_deltas (fun () ->
+        with_gate ~policy:Admission.Shed (fun () ->
+            Alcotest.(check bool) "gate enabled" true (Admission.enabled ());
+            for _ = 1 to calls do
+              match
+                Admission.run (fun () -> Tvar.set tv (Tvar.get tv + 1))
+              with
+              | () -> incr ok
+              | exception Stm.Overloaded -> incr over
+            done))
+  in
+  Alcotest.(check int) "every call accounted" calls (!ok + !over);
+  Alcotest.(check int) "admitted ledger matches returns" !ok adm;
+  Alcotest.(check int) "shed ledger matches Overloaded raises" !over shed;
+  Alcotest.(check int) "no serialised overflow under Shed" 0 ser;
+  Alcotest.(check bool) "burst admitted" true (!ok >= 5);
+  Alcotest.(check bool) "excess shed" true (!over > 0);
+  Alcotest.(check int) "only admitted bodies committed" !ok (Tvar.get tv)
+
+let test_admission_serialise_ledger () =
+  (* Same burst under Serialise: nothing is rejected — overflow routes
+     through the serialised fallback, so every body commits. *)
+  let tv = Tvar.make 0 in
+  let calls = 200 in
+  let adm, shed, ser =
+    ledger_deltas (fun () ->
+        with_gate ~policy:Admission.Serialise (fun () ->
+            for _ = 1 to calls do
+              Admission.run (fun () -> Tvar.set tv (Tvar.get tv + 1))
+            done))
+  in
+  Alcotest.(check int) "every call admitted or serialised" calls (adm + ser);
+  Alcotest.(check int) "nothing shed under Serialise" 0 shed;
+  Alcotest.(check bool) "overflow went serialised" true (ser > 0);
+  Alcotest.(check int) "every body committed exactly once" calls
+    (Tvar.get tv)
+
+let test_admission_stats_surface () =
+  (* The module accessors and the [global_stats] fields are the same
+     shard sums; [disable] restores plain (unledgered) atomic. *)
+  let st = Stm.global_stats () in
+  Alcotest.(check int) "admitted" (Admission.admitted ()) st.Stm.admitted;
+  Alcotest.(check int) "shed" (Admission.shed ()) st.Stm.shed;
+  Alcotest.(check int) "serialised_overflow"
+    (Admission.serialised_overflow ())
+    st.Stm.serialised_overflow;
+  Alcotest.(check bool) "no gate outside with_gate" false
+    (Admission.enabled ());
+  let tv = Tvar.make 0 in
+  let adm, shed, ser =
+    ledger_deltas (fun () ->
+        for _ = 1 to 50 do
+          Admission.run (fun () -> Tvar.set tv (Tvar.get tv + 1))
+        done)
+  in
+  Alcotest.(check (list int)) "ungated runs leave the ledger untouched"
+    [ 0; 0; 0 ] [ adm; shed; ser ];
+  Alcotest.(check int) "but still commit" 50 (Tvar.get tv)
+
+let test_admission_nested_not_gated () =
+  (* A transaction already in flight was admitted at its top level:
+     nested Admission.run calls must not consume tokens or raise. *)
+  let tv = Tvar.make 0 in
+  with_gate ~policy:Admission.Shed ~rate:1e-3 ~burst:1 (fun () ->
+      Stm.atomic (fun () ->
+          for _ = 1 to 20 do
+            Admission.run (fun () -> Tvar.set tv (Tvar.get tv + 1))
+          done));
+  Alcotest.(check int) "all nested bodies ran" 20 (Tvar.get tv)
+
+(* ---------------- open-loop generator ---------------- *)
+
+let test_openloop_accounting () =
+  (* Every scheduled arrival ends up in exactly one of completed / shed /
+     dropped, and a healthy low-rate run completes its schedule. *)
+  let hits = Atomic.make 0 in
+  let worker ~domain:_ () = Atomic.incr hits in
+  let r = OL.run_at ~domains:1 ~rate:2000. ~duration:0.25 worker in
+  Alcotest.(check bool) "scheduled some" true (r.OL.scheduled > 0);
+  Alcotest.(check int) "conservation" r.OL.scheduled
+    (r.OL.completed + r.OL.shed + r.OL.dropped);
+  Alcotest.(check int) "worker ran per completion" r.OL.completed
+    (Atomic.get hits);
+  Alcotest.(check bool) "healthy run completes >= 95%" true
+    (float_of_int r.OL.completed
+    >= 0.95 *. float_of_int r.OL.scheduled);
+  Alcotest.(check bool) "percentiles ordered" true
+    (r.OL.p50_us <= r.OL.p99_us && r.OL.p99_us <= r.OL.p999_us)
+
+let test_openloop_shed_counted () =
+  (* Stm.Overloaded out of the worker is shed, not completed and not a
+     crash; everything else still conserves. *)
+  let worker ~domain:_ =
+    let i = ref 0 in
+    fun () ->
+      incr i;
+      if !i mod 3 = 0 then raise Stm.Overloaded
+  in
+  let r = OL.run_at ~domains:1 ~rate:2000. ~duration:0.25 worker in
+  Alcotest.(check bool) "some shed" true (r.OL.shed > 0);
+  Alcotest.(check bool) "some completed" true (r.OL.completed > 0);
+  Alcotest.(check int) "conservation with shedding" r.OL.scheduled
+    (r.OL.completed + r.OL.shed + r.OL.dropped)
+
+let test_rate_search_finds_knee () =
+  (* A trivial service at a tiny rate cap: the search must return a
+     sustainable knee with probes recorded in execution order. *)
+  let worker ~domain:_ () = () in
+  let s =
+    OL.rate_search ~domains:1 ~start_rate:200. ~max_rate:800. ~refine:1
+      ~duration:0.1 worker
+  in
+  Alcotest.(check bool) "knee found" true (s.OL.sustainable_rate > 0.);
+  Alcotest.(check bool) "knee result present" true (s.OL.knee <> None);
+  Alcotest.(check bool) "probes recorded" true (List.length s.OL.probes >= 2);
+  let knee = Option.get s.OL.knee in
+  Alcotest.(check bool) "knee is sustainable" true
+    (knee.OL.dropped = 0 && knee.OL.shed = 0)
+
+(* ---------------- adaptive minimum window ---------------- *)
+
+let test_adaptive_min_window () =
+  (* With a tiny epoch, write-heavy traffic that stops short of
+     [min_window_commits] must not move the policy: every tick sees an
+     under-sampled window and skips it without advancing the baselines.
+     Continuing the same traffic past two full windows then switches. *)
+  Fun.protect
+    ~finally:(fun () ->
+      Stm.Policy.disable_adaptive ();
+      Stm.Policy.set_global Stm.Policy.lazy_rv_wb)
+  @@ fun () ->
+  let min_w = Stm.Policy.min_window_commits in
+  Alcotest.(check bool) "min window is real" true (min_w >= 8);
+  let tvs = Array.init 64 (fun _ -> Tvar.make 0) in
+  let write_heavy i =
+    Stm.atomic (fun () ->
+        for j = 0 to 7 do
+          let t = tvs.((i + (j * 9)) land 63) in
+          Tvar.set t (Tvar.get t + 1)
+        done)
+  in
+  let sw0 = Stm.Policy.switches () in
+  Stm.Policy.enable_adaptive ~epoch:8 ();
+  (* Phase 1: fewer commits than one evaluable window.  Ticks fire every
+     8 commits but each window is under-sampled -> skipped. *)
+  for i = 1 to min_w - 8 do
+    write_heavy i
+  done;
+  Alcotest.(check int) "under-sampled windows never switch" sw0
+    (Stm.Policy.switches ());
+  Alcotest.(check string) "policy unmoved" "lazy_rv_wb"
+    (Stm.Policy.name (Stm.Policy.global ()));
+  (* Phase 2: same traffic, enough commits for two evaluated windows
+     (hysteresis) — the skipped commits above roll into the first one. *)
+  for i = 1 to (3 * min_w) + 16 do
+    write_heavy i
+  done;
+  Alcotest.(check bool) "full windows switch" true
+    (Stm.Policy.switches () > sw0);
+  Alcotest.(check string) "converged to the undo-logging policy"
+    "eager_rl_ul"
+    (Stm.Policy.name (Stm.Policy.global ()))
+
+let suites =
+  [
+    ( "harness.hdr",
+      [
+        Alcotest.test_case "exact below 64" `Quick test_hdr_exact_below_64;
+        Alcotest.test_case "accuracy vs exact sort" `Quick test_hdr_accuracy;
+        Alcotest.test_case "merge equivalence" `Quick test_hdr_merge;
+        Alcotest.test_case "p99_us legacy parity" `Quick
+          test_hdr_p99_exact_parity;
+      ] );
+    ( "stm.admission",
+      [
+        Alcotest.test_case "shed ledger" `Quick test_admission_shed_ledger;
+        Alcotest.test_case "serialise ledger" `Quick
+          test_admission_serialise_ledger;
+        Alcotest.test_case "stats surface" `Quick test_admission_stats_surface;
+        Alcotest.test_case "nested calls not gated" `Quick
+          test_admission_nested_not_gated;
+      ] );
+    ( "harness.openloop",
+      [
+        Alcotest.test_case "request accounting" `Quick
+          test_openloop_accounting;
+        Alcotest.test_case "overloaded counts as shed" `Quick
+          test_openloop_shed_counted;
+        Alcotest.test_case "rate search finds a knee" `Slow
+          test_rate_search_finds_knee;
+        Alcotest.test_case "adaptive min window" `Quick
+          test_adaptive_min_window;
+      ] );
+  ]
