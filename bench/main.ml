@@ -270,6 +270,22 @@ let chaos () =
       if not r.sn_ok then failed := true;
       Fmt.pf ppf "  seed %d: %a@." seed Harness.Chaos.pp_snapshot_report r)
     (snapshot_soak_matrix ~ops_per_domain:800);
+  Fmt.pf ppf
+    "@.Derived-collection soak (spec-derived set+bag+pq+counter, seeded \
+     injection)@.";
+  List.iter
+    (fun seed ->
+      let r =
+        Harness.Chaos.run_derived_soak
+          (Harness.Chaos.default_soak ?tm_policy:chaos_tm_policy ~domains:2
+             ~ops_per_domain:800 ~seed 0.05)
+      in
+      if not r.ok then failed := true;
+      let c, ra, hf, d = r.injections in
+      Fmt.pf ppf "  seed %d: ok %b committed %d injections %d/%d/%d/%d@." seed
+        r.ok r.committed c ra hf d;
+      List.iter (fun e -> Fmt.pf ppf "        FAILED: %s@." e) r.errors)
+    chaos_seeds;
   if !failed then begin
     Fmt.pf ppf "  CHAOS SOAK FAILED@.";
     exit 1
@@ -1557,6 +1573,182 @@ let openloop () =
   close_out oc;
   Fmt.pf ppf "  wrote BENCH_openloop.json@."
 
+(* ------------------------------------------------------------------ *)
+(* Derived-collection section (BENCH_derived.json).  Two CI gates:
+   (a) the spec-derived TransactionalSet stays within 15% of the
+       hand-written map wrapper it replaced, on the disjoint stmscale
+       workload (private instance per domain, write + read-previous per
+       transaction);
+   (b) the TransactionalCounter's commutative increments commit with
+       zero aborts of any kind and zero commit-region waits across 4
+       domains — the "never conflicting with each other" guarantee as a
+       recorded number, not just a unit test. *)
+
+module DSet = Txcoll.Host.Set (Txcoll.Host.Int_hashed)
+module DCounter = Txcoll.Host.Counter
+
+let derived_set_gate = 0.85
+let derived_reps = 3
+
+let derived_set_run ~impl ~domains ~txns_per_domain =
+  let t0 = Stm.Monoclock.now () in
+  let ds =
+    List.init domains (fun _ ->
+        Domain.spawn (fun () ->
+            match impl with
+            | `Handwritten ->
+                let m : unit IM.t = IM.create () in
+                for i = 1 to txns_per_domain do
+                  Stm.atomic (fun () ->
+                      ignore (IM.put m i ());
+                      if i > 1 then ignore (IM.find m (i - 1)))
+                done
+            | `Derived ->
+                let s = DSet.create () in
+                for i = 1 to txns_per_domain do
+                  Stm.atomic (fun () ->
+                      ignore (DSet.add s i);
+                      if i > 1 then ignore (DSet.mem s (i - 1)))
+                done))
+  in
+  List.iter Domain.join ds;
+  let elapsed = Stm.Monoclock.now () -. t0 in
+  float_of_int (domains * txns_per_domain) /. elapsed
+
+let derived_set_best ~impl ~domains ~txns_per_domain =
+  let best = ref 0. in
+  for _ = 1 to derived_reps do
+    let c = derived_set_run ~impl ~domains ~txns_per_domain in
+    if c > !best then best := c
+  done;
+  !best
+
+let derived_counter_run ~domains ~incrs_per_domain =
+  let c = DCounter.create () in
+  let stats0 = Stm.global_stats () in
+  let waits0 = Stm.commit_region_waits () in
+  let t0 = Stm.Monoclock.now () in
+  let ds =
+    List.init domains (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to incrs_per_domain do
+              Stm.atomic (fun () -> DCounter.incr c)
+            done))
+  in
+  List.iter Domain.join ds;
+  let elapsed = Stm.Monoclock.now () -. t0 in
+  let stats1 = Stm.global_stats () in
+  ( float_of_int (domains * incrs_per_domain) /. elapsed,
+    stat_aborts stats1 - stat_aborts stats0,
+    Stm.commit_region_waits () - waits0,
+    DCounter.get c )
+
+let derived_json ~set_rows ~ratio
+    ~counter:(cd, ci, cps, aborts, waits, sum_exact) =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"note\": \"Collections derived from commutativity specs \
+        (Txcoll.Derive). set_disjoint: commits/s on the disjoint stmscale \
+        workload, best of %d reps; ratio = derived TransactionalSet / \
+        hand-written map wrapper at 4 domains, gated >= %.2f. counter: 4 \
+        domains of commutative increments must record zero aborts and \
+        zero commit-region waits.\",\n"
+       derived_reps derived_set_gate);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"gate\": {\"set_min_fraction_of_handwritten\": %.2f, \
+        \"counter_max_aborts\": 0, \"counter_max_region_waits\": 0},\n"
+       derived_set_gate);
+  Buffer.add_string b "  \"set_disjoint\": [\n";
+  List.iteri
+    (fun i (impl, domains, cps) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"impl\": \"%s\", \"domains\": %d, \"commits_per_s\": %s}%s\n"
+           impl domains (jf ~dp:1 cps)
+           (if i = List.length set_rows - 1 then "" else ",")))
+    set_rows;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"set_ratio_4dom\": %s,\n" (jf ~dp:3 ratio));
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"counter\": {\"domains\": %d, \"increments_per_domain\": %d, \
+        \"commits_per_s\": %s, \"aborts\": %d, \"region_waits\": %d, \
+        \"sum_exact\": %b}\n"
+       cd ci (jf ~dp:1 cps) aborts waits sum_exact);
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let derived () =
+  let txns = 20_000 in
+  Fmt.pf ppf "@.Derived collections (minted from commutativity specs)@.";
+  Fmt.pf ppf "  %-18s %7s %12s@." "impl" "domains" "commits/s";
+  let set_rows =
+    List.concat_map
+      (fun domains ->
+        List.map
+          (fun (impl, name) ->
+            let cps =
+              derived_set_best ~impl ~domains ~txns_per_domain:txns
+            in
+            Fmt.pf ppf "  %-18s %7d %12.0f@." name domains cps;
+            (name, domains, cps))
+          [ (`Handwritten, "handwritten_map"); (`Derived, "derived_set") ])
+      [ 1; 4 ]
+  in
+  let find name domains =
+    let _, _, cps =
+      List.find (fun (n, d, _) -> n = name && d = domains) set_rows
+    in
+    cps
+  in
+  let ratio = find "derived_set" 4 /. find "handwritten_map" 4 in
+  Fmt.pf ppf "  derived/hand-written ratio at 4 domains: %.2f (gate >= %.2f)@."
+    ratio derived_set_gate;
+  let domains = 4 and incrs = 25_000 in
+  let cps, aborts, waits, total =
+    derived_counter_run ~domains ~incrs_per_domain:incrs
+  in
+  let sum_exact = total = domains * incrs in
+  Fmt.pf ppf
+    "  counter: %d domains x %d incrs -> %.0f/s, aborts %d, region waits \
+     %d, sum %s@."
+    domains incrs cps aborts waits
+    (if sum_exact then "exact" else "WRONG");
+  let json =
+    derived_json ~set_rows ~ratio
+      ~counter:(domains, incrs, cps, aborts, waits, sum_exact)
+  in
+  let oc = open_out "BENCH_derived.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pf ppf "  wrote BENCH_derived.json@.";
+  let failures = ref [] in
+  if ratio < derived_set_gate then
+    failures :=
+      Printf.sprintf "derived set at %.2f of hand-written (gate %.2f)" ratio
+        derived_set_gate
+      :: !failures;
+  if aborts <> 0 then
+    failures :=
+      Printf.sprintf "counter recorded %d aborts (gate 0)" aborts :: !failures;
+  if waits <> 0 then
+    failures :=
+      Printf.sprintf "counter recorded %d region waits (gate 0)" waits
+      :: !failures;
+  if not sum_exact then
+    failures :=
+      Printf.sprintf "counter sum %d, expected %d" total (domains * incrs)
+      :: !failures;
+  if !failures <> [] then begin
+    List.iter (fun m -> Fmt.pf ppf "  DERIVED GATE FAILED: %s@." m) !failures;
+    exit 1
+  end
+  else Fmt.pf ppf "  derived gates passed@."
+
 let targets : (string * (unit -> unit)) list =
   [
     ("table1", table1);
@@ -1578,6 +1770,7 @@ let targets : (string * (unit -> unit)) list =
     ("queue", queue);
     ("micro", micro);
     ("stmscale", stmscale);
+    ("derived", derived);
     ("openloop", openloop);
     ("chaos", chaos);
     ("failover", failover);

@@ -696,6 +696,251 @@ let run_striped_soak ?(stripes = 16) sc =
     fingerprint;
   }
 
+(* ---------------- derived-collection soak ---------------- *)
+
+module Dset = Txcoll.Host.Set (Txcoll.Host.Int_hashed)
+module Dbag = Txcoll.Host.Bag (Txcoll.Host.Int_hashed)
+module Dpq = Txcoll.Host.Priority_queue (Txcoll.Host.Int_ordered)
+module Dcounter = Txcoll.Host.Counter
+
+(* Per-worker oracle for the spec-derived classes.  Set and bag keys are
+   partitioned per worker (union of models = linearizable outcome);
+   priority-queue tokens are globally unique, so the drain is checked as
+   a multiset equation; the counter is order-insensitive, so the sum of
+   per-worker committed deltas is exact. *)
+type derived_model = {
+  dm_set : (int, unit) Hashtbl.t;
+  dm_bag : (int, int) Hashtbl.t;
+  mutable dm_pq : int list;
+  mutable dm_count : int;
+  mutable dm_committed : int;
+  mutable dm_errors : string list;
+}
+
+(* Soak the {!Txcoll.Derive}-generated classes (Set, Bag, PriorityQueue,
+   Counter) under the same fault injection and oracle discipline as
+   [run_soak]: every worker records the effects of each transaction iff
+   it committed, and the final committed state must equal the union of
+   the models. *)
+let run_derived_soak sc =
+  with_tm_policy sc @@ fun () ->
+  install sc.chaos;
+  let set = Dset.create () in
+  let bag = Dbag.create () in
+  let pq = Dpq.create () in
+  let counter = Dcounter.create () in
+  let worker index =
+    register_worker sc.chaos ~index;
+    let rng = stream_of_seed (sc.chaos.seed lxor 0xde51) (index + 1) in
+    let md =
+      {
+        dm_set = Hashtbl.create 64;
+        dm_bag = Hashtbl.create 64;
+        dm_pq = [];
+        dm_count = 0;
+        dm_committed = 0;
+        dm_errors = [];
+      }
+    in
+    let ctx () = fail_context sc.chaos ~section:"derived.worker" in
+    let run_txn body apply_model =
+      match Stm.atomic ~policy:sc.policy body with
+      | () ->
+          md.dm_committed <- md.dm_committed + 1;
+          apply_model ()
+      | exception Stm.Handler_failure { committed; failures } ->
+          List.iter
+            (fun e ->
+              match e with
+              | Chaos_fault _ -> ()
+              | e ->
+                  md.dm_errors <-
+                    (ctx () ^ "unexpected handler failure: "
+                    ^ Printexc.to_string e)
+                    :: md.dm_errors)
+            failures;
+          if committed then begin
+            md.dm_committed <- md.dm_committed + 1;
+            apply_model ()
+          end
+      | exception e ->
+          md.dm_errors <-
+            (ctx () ^ "transaction raised: " ^ Printexc.to_string e)
+            :: md.dm_errors
+    in
+    let base = index * sc.key_space in
+    let seq = ref 0 in
+    for _i = 1 to sc.ops_per_domain do
+      let k = base + rand_int rng sc.key_space in
+      let dice = rand_int rng 100 in
+      if dice < 20 then
+        run_txn
+          (fun () -> ignore (Dset.add set k))
+          (fun () -> Hashtbl.replace md.dm_set k ())
+      else if dice < 32 then
+        run_txn
+          (fun () -> ignore (Dset.remove set k))
+          (fun () -> Hashtbl.remove md.dm_set k)
+      else if dice < 47 then
+        run_txn
+          (fun () -> Dbag.add bag k)
+          (fun () ->
+            Hashtbl.replace md.dm_bag k
+              (Option.value (Hashtbl.find_opt md.dm_bag k) ~default:0 + 1))
+      else if dice < 57 then begin
+        (* [remove_one]'s outcome is decided inside the transaction (the
+           count read holds the key lock), so capture the committed
+           attempt's answer through a ref the retry loop overwrites. *)
+        let removed = ref false in
+        run_txn
+          (fun () -> removed := Dbag.remove_one bag k)
+          (fun () ->
+            if !removed then
+              match Hashtbl.find_opt md.dm_bag k with
+              | Some 1 | None -> Hashtbl.remove md.dm_bag k
+              | Some m -> Hashtbl.replace md.dm_bag k (m - 1))
+      end
+      else if dice < 65 then begin
+        incr seq;
+        let token = (index * 1_000_000) + !seq in
+        run_txn
+          (fun () -> Dpq.insert pq token)
+          (fun () -> md.dm_pq <- token :: md.dm_pq)
+      end
+      else if dice < 80 then
+        (* Cross-partition reads: key-lock traffic into foreign stripes
+           of both keyed tables. *)
+        run_txn
+          (fun () ->
+            let probe = rand_int rng (sc.domains * sc.key_space) in
+            ignore (Dset.mem set probe);
+            ignore (Dbag.count bag probe))
+          (fun () -> ())
+      else if dice < 90 then begin
+        let d = 1 + rand_int rng 3 in
+        run_txn
+          (fun () -> Dcounter.add counter d)
+          (fun () -> md.dm_count <- md.dm_count + d)
+      end
+      else
+        (* Abstract-state reads: serialise on the structure regions. *)
+        run_txn
+          (fun () ->
+            if rand_int rng 2 = 0 then ignore (Dset.size set)
+            else begin
+              ignore (Dset.is_empty set);
+              ignore (Dbag.size bag)
+            end)
+          (fun () -> ())
+    done;
+    md
+  in
+  let doms =
+    List.init sc.domains (fun index -> Domain.spawn (fun () -> worker index))
+  in
+  let models = List.map Domain.join doms in
+  uninstall ();
+  let errors = ref [] in
+  let check name cond errors =
+    check (fail_context sc.chaos ~section:"derived.final" ^ name) cond errors
+  in
+  List.iter
+    (fun md -> List.iter (fun e -> errors := e :: !errors) md.dm_errors)
+    models;
+  (* Set: union of the disjoint per-worker presence models. *)
+  let expect_set = Hashtbl.create 256 in
+  List.iter
+    (fun md -> Hashtbl.iter (fun k () -> Hashtbl.replace expect_set k ()) md.dm_set)
+    models;
+  let actual_set = List.sort compare (Dset.to_list set) in
+  check "derived set size vs model"
+    (List.length actual_set = Hashtbl.length expect_set)
+    errors;
+  List.iter
+    (fun k ->
+      check
+        (Printf.sprintf "derived set member %d agrees with model" k)
+        (Hashtbl.mem expect_set k) errors)
+    actual_set;
+  (* Bag: union of the disjoint per-worker multiplicity models. *)
+  let expect_bag = Hashtbl.create 256 in
+  List.iter
+    (fun md -> Hashtbl.iter (fun k m -> Hashtbl.replace expect_bag k m) md.dm_bag)
+    models;
+  let actual_bag = List.sort compare (Dbag.to_list bag) in
+  check "derived bag distinct size vs model"
+    (List.length actual_bag = Hashtbl.length expect_bag)
+    errors;
+  List.iter
+    (fun (k, m) ->
+      check
+        (Printf.sprintf "derived bag multiplicity of %d agrees with model" k)
+        (Hashtbl.find_opt expect_bag k = Some m)
+        errors)
+    actual_bag;
+  (* Counter: order-insensitive sum of committed deltas. *)
+  let expect_count = List.fold_left (fun a md -> a + md.dm_count) 0 models in
+  check "derived counter equals committed deltas"
+    (Dcounter.get counter = expect_count)
+    errors;
+  (* Priority queue: draining yields every committed token in ascending
+     order (tokens are globally unique, so sorted lists compare as
+     multisets). *)
+  let drained = ref [] in
+  let rec drain () =
+    match Dpq.poll_min pq with
+    | None -> ()
+    | Some p ->
+        drained := p :: !drained;
+        drain ()
+  in
+  drain ();
+  let drained = List.rev !drained in
+  let expect_pq =
+    List.sort compare (List.concat_map (fun md -> md.dm_pq) models)
+  in
+  check "derived pq drains every committed insert in order"
+    (drained = expect_pq) errors;
+  check "derived pq empty after drain" (Dpq.is_empty pq) errors;
+  (* Leak probes. *)
+  check "no leaked derived-set locks" (Dset.outstanding_locks set = 0) errors;
+  check "no leaked derived-bag locks" (Dbag.outstanding_locks bag = 0) errors;
+  check "no leaked derived-pq locks" (Dpq.outstanding_locks pq = 0) errors;
+  check "no leaked derived-counter locks"
+    (Dcounter.outstanding_locks counter = 0)
+    errors;
+  check "no held commit regions" (Stm.regions_held () = 0) errors;
+  let committed = List.fold_left (fun a md -> a + md.dm_committed) 0 models in
+  let injections =
+    ( Atomic.get injected_conflicts,
+      Atomic.get injected_remote_aborts,
+      Atomic.get injected_handler_faults,
+      Atomic.get injected_delays )
+  in
+  let fingerprint =
+    let buf = Buffer.create 1024 in
+    List.iter (fun k -> Buffer.add_string buf (Printf.sprintf "s%d;" k)) actual_set;
+    List.iter
+      (fun (k, m) -> Buffer.add_string buf (Printf.sprintf "b%d=%d;" k m))
+      actual_bag;
+    List.iter (fun p -> Buffer.add_string buf (Printf.sprintf "q%d;" p)) drained;
+    let c, r, h, d = injections in
+    Buffer.add_string buf
+      (Printf.sprintf "counter=%d;inj=%d,%d,%d,%d" expect_count c r h d);
+    Digest.to_hex (Digest.string (Buffer.contents buf))
+  in
+  if !errors <> [] then errors := repro_hint ~target:"chaos" sc.chaos :: !errors;
+  {
+    ok = !errors = [];
+    errors = List.rev !errors;
+    committed;
+    injections;
+    map_size = List.length actual_set;
+    sorted_size = List.length actual_bag;
+    queue_remaining = 0;
+    fingerprint;
+  }
+
 (* ---------------- snapshot-reader soak ---------------- *)
 
 (* Prefix-consistency soak for the multi-version snapshot mode: writer

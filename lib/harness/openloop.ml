@@ -74,7 +74,7 @@ let run_at ?(domains = 2) ?(seed = 1) ?(slo_us = 1000.) ?(lag_bail = 1.0)
     and within = ref 0
     and shed = ref 0
     and dropped = ref 0 in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Stm.Monoclock.now () in
     let t_end = t0 +. duration in
     let next = ref t0 in
     let bailed = ref false in
@@ -87,14 +87,14 @@ let run_at ?(domains = 2) ?(seed = 1) ?(slo_us = 1000.) ?(lag_bail = 1.0)
       incr scheduled;
       if !bailed then incr dropped
       else begin
-        let now = Unix.gettimeofday () in
+        let now = Stm.Monoclock.now () in
         let delay = !next -. now in
         if delay > 0. then begin
           (* Sleep to just short of the arrival, spin the remainder —
              sleepf alone overshoots by a scheduler quantum, and a long
              spin would starve sibling domains on small hosts. *)
           if delay > 1.5e-4 then Unix.sleepf (delay -. 1e-4);
-          while Unix.gettimeofday () < !next do
+          while Stm.Monoclock.now () < !next do
             Domain.cpu_relax ()
           done
         end
@@ -103,7 +103,7 @@ let run_at ?(domains = 2) ?(seed = 1) ?(slo_us = 1000.) ?(lag_bail = 1.0)
         else begin
           match req () with
           | () ->
-              let lat = Unix.gettimeofday () -. !next in
+              let lat = Stm.Monoclock.now () -. !next in
               Hdr.record_s h lat;
               incr completed;
               if lat <= slo_s then incr within

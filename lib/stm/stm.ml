@@ -29,6 +29,31 @@ type handle = txn
 let context = context
 
 (* ------------------------------------------------------------------ *)
+(* Monotonic-ish wall clock *)
+
+(* This OCaml's [Unix] has no [clock_gettime], so true CLOCK_MONOTONIC is
+   out of reach without a new dependency.  Instead every elapsed-time
+   computation in the runtime (token-bucket refill, budget timing,
+   open-loop pacing/latency) goes through a process-wide clamp: [now]
+   never goes backwards, so a backward NTP step freezes the clock until
+   real time catches up instead of producing negative intervals — no
+   negative bucket refills, no negative latencies, no budget starvation
+   from a clock that jumped back under a running transaction.  (A forward
+   step still dilates intervals; that is the best available without an OS
+   monotonic source.)  The clamp is a single CAS loop on an atomic float:
+   wait-free on the fast path and safe across domains. *)
+module Monoclock = struct
+  let last = Atomic.make 0.
+
+  let rec now () =
+    let t = Unix.gettimeofday () in
+    let l = Atomic.get last in
+    if t >= l then
+      if Atomic.compare_and_set last l t then t else now ()
+    else l
+end
+
+(* ------------------------------------------------------------------ *)
 (* Contention management *)
 
 module Contention = struct
@@ -702,7 +727,7 @@ let run_top ?(defer_handlers = false) ?cm ?pol ?budget f =
   let prio = fresh_prio () in
   let t0 =
     match budget with
-    | Some { max_seconds = Some _; _ } -> Unix.gettimeofday ()
+    | Some { max_seconds = Some _; _ } -> Monoclock.now ()
     | _ -> 0.
   in
   (* [n] is the index of the attempt that would run next; called after
@@ -713,7 +738,7 @@ let run_top ?(defer_handlers = false) ?cm ?pol ?budget f =
     | Some b ->
         let elapsed =
           match b.max_seconds with
-          | Some _ -> Unix.gettimeofday () -. t0
+          | Some _ -> Monoclock.now () -. t0
           | None -> 0.
         in
         let over_retries =
@@ -936,7 +961,7 @@ module Admission = struct
            g_budget = budget;
            g_lock = Mutex.create ();
            g_tokens = float_of_int (max 1 burst);
-           g_last = Unix.gettimeofday ();
+           g_last = Monoclock.now ();
          })
 
   let disable () = Atomic.set gate None
@@ -950,10 +975,14 @@ module Admission = struct
      is a handful of float operations. *)
   let try_admit g =
     Mutex.protect g.g_lock (fun () ->
-        let now = Unix.gettimeofday () in
+        let now = Monoclock.now () in
+        (* The clock is clamped monotone, but the refill keeps its own
+           guard: a gate configured on one domain and refilled on another
+           orders [g_last] through the gate mutex, not the clock CAS, so
+           never let a stale reading drain the bucket. *)
         let tokens =
           Float.min g.g_burst
-            (g.g_tokens +. ((now -. g.g_last) *. g.g_rate))
+            (g.g_tokens +. (Float.max 0. (now -. g.g_last) *. g.g_rate))
         in
         g.g_last <- now;
         if tokens >= 1.0 then begin
@@ -993,6 +1022,14 @@ module Admission = struct
               s.s_admitted <- s.s_admitted + 1;
               r
           | exception Starved _ -> overflow g f
+          | exception e ->
+              (* A user exception escaping an admitted transaction still
+                 consumed the admission: count it before re-raising, so
+                 exactly one ledger column is incremented per call even on
+                 the failure path. *)
+              let s = my_stats () in
+              s.s_admitted <- s.s_admitted + 1;
+              raise e
         end
         else overflow g f
 

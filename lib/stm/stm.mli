@@ -47,6 +47,17 @@ exception Overloaded
     policy is [Shed]: the request is rejected without running.  Counted in
     {!global_stats} as a [shed].  Never raised by plain {!atomic}. *)
 
+module Monoclock : sig
+  val now : unit -> float
+  (** Wall-clock seconds clamped to be non-decreasing process-wide.  The
+      runtime's elapsed-time computations (admission token-bucket refill,
+      budget [max_seconds] timing, the open-loop harness's pacing and
+      latency measurements) use this instead of [Unix.gettimeofday]
+      directly: a backward NTP step freezes the clock until real time
+      catches up, so intervals are never negative.  Exposed for the
+      harness and for tests. *)
+end
+
 exception Handler_failure of { committed : bool; failures : exn list }
 (** One or more commit/abort handlers raised.  Every handler still ran —
     a raising handler cannot skip the rest, so semantic locks and buffers
@@ -325,7 +336,9 @@ module Admission : sig
       configured, or nested inside a transaction, it is exactly
       {!atomic}.  Otherwise it takes a token (admitting) or invokes the
       overload policy; an admitted run that raises {!Starved} is handed
-      to the overload policy as well. *)
+      to the overload policy as well.  Any other exception escaping an
+      admitted run still counts the admission before propagating, so the
+      one-column-per-call ledger property holds on every path. *)
 
   val admitted : unit -> int
   val shed : unit -> int

@@ -1,0 +1,420 @@
+(* The operation-commutativity / lock spec language of the transactional
+   collection classes, promoted out of the harness so it is the *input* of
+   {!Derive} (the Proust-style semantic functor) rather than only a test
+   oracle.
+
+   Two layers live here:
+
+   1. The generic facet language ['k facet]: the abstract-state atoms a
+      collection operation reads (operation-time locks) or invalidates
+      (commit-time conflict sets).  {!Derive.Make} consumes a spec phrased
+      in these facets and generates the full transactional wrapper.
+
+   2. The paper's concrete int-keyed map/queue model (Tables 1/2, 4/5,
+      7/8), brute-force-checked for exactness and lock soundness.  Its
+      [lock] type is the facet language specialised to [int] keys plus the
+      sorted-map range atom.
+
+   Executable reproduction of the paper's semantic operational analysis:
+
+   - Tables 1 and 4: under which conditions do Map / SortedMap operations
+     conflict (fail to commute)?
+   - Tables 2 and 5: which semantic locks do read operations take, and which
+     lock conflicts do writes check at commit?
+   - Tables 7 and 8: the same for the Channel (queue) interface.
+
+   For every ordered pair (read-ish op, write op) and every small map state
+   we check commutativity by brute force — equal final states and equal
+   return values in both execution orders — and verify that
+   (a) our transcription of the paper's conflict condition matches exactly,
+   (b) the lock discipline is sound: whenever two operations fail to
+       commute, the reader's lock set intersects the writer's commit-time
+       conflict set, so optimistic semantic concurrency control aborts the
+       reader.
+
+   Where brute force refines Table 1 (the paper's [get]-vs-[put] condition
+   omits overwriting an existing key with a different value), we encode the
+   refined condition; the locks of Table 2 cover it, so the implementation
+   is unaffected.  EXPERIMENTS.md records the discrepancy. *)
+
+(* ------------------------------------------------------------------ *)
+(* Generic facet language                                              *)
+
+(* One atom of a collection's abstract state (Tables 2 and 5 as a
+   datatype): the presence/value at a key, the cardinality, emptiness,
+   and the least/greatest key of an ordered collection.  A read operation
+   *locks* the facets it observed; a write's commit-time *conflict set*
+   is the facets it invalidates.  Optimistic semantic concurrency control
+   is sound iff every non-commuting pair overlaps on a facet — which is
+   exactly what {!check_all} brute-forces for the paper's map model and
+   what [test/test_derive.ml] re-checks through the real STM for the
+   derived classes. *)
+type 'k facet = FKey of 'k | FSize | FIsEmpty | FFirst | FLast
+
+let facet_overlap equal a b =
+  match (a, b) with
+  | FKey x, FKey y -> equal x y
+  | FSize, FSize | FIsEmpty, FIsEmpty | FFirst, FFirst | FLast, FLast -> true
+  | _ -> false
+
+module IntMap = Map.Make (Int)
+
+type state = int IntMap.t
+
+(* ------------------------------------------------------------------ *)
+(* Map operations                                                      *)
+
+type op =
+  | Get of int
+  | ContainsKey of int
+  | Size
+  | IsEmpty
+  | Iterate (* full entrySet enumeration *)
+  | FirstKey
+  | LastKey
+  | SubMapIter of int * int (* lo <= k < hi *)
+  | Put of int * int
+  | Remove of int
+
+type result =
+  | RInt of int
+  | RBool of bool
+  | ROpt of int option
+  | RList of (int * int) list
+
+let is_write = function Put _ | Remove _ -> true | _ -> false
+
+let name = function
+  | Get k -> Printf.sprintf "get(%d)" k
+  | ContainsKey k -> Printf.sprintf "containsKey(%d)" k
+  | Size -> "size"
+  | IsEmpty -> "isEmpty"
+  | Iterate -> "entrySet.iterator"
+  | FirstKey -> "firstKey"
+  | LastKey -> "lastKey"
+  | SubMapIter (lo, hi) -> Printf.sprintf "subMap(%d,%d).iterator" lo hi
+  | Put (k, v) -> Printf.sprintf "put(%d,%d)" k v
+  | Remove k -> Printf.sprintf "remove(%d)" k
+
+let apply (s : state) (o : op) : state * result =
+  match o with
+  | Get k -> (s, ROpt (IntMap.find_opt k s))
+  | ContainsKey k -> (s, RBool (IntMap.mem k s))
+  | Size -> (s, RInt (IntMap.cardinal s))
+  | IsEmpty -> (s, RBool (IntMap.is_empty s))
+  | Iterate -> (s, RList (IntMap.bindings s))
+  | FirstKey -> (s, ROpt (Option.map fst (IntMap.min_binding_opt s)))
+  | LastKey -> (s, ROpt (Option.map fst (IntMap.max_binding_opt s)))
+  | SubMapIter (lo, hi) ->
+      (s, RList (IntMap.bindings (IntMap.filter (fun k _ -> k >= lo && k < hi) s)))
+  | Put (k, v) -> (IntMap.add k v s, ROpt (IntMap.find_opt k s))
+  | Remove k -> (IntMap.remove k s, ROpt (IntMap.find_opt k s))
+
+(* Two operations commute on [s] iff both execution orders produce the same
+   final state and the same per-operation results. *)
+let commutes s a b =
+  let s1, ra1 = apply s a in
+  let s1, rb1 = apply s1 b in
+  let s2, rb2 = apply s b in
+  let s2, ra2 = apply s2 a in
+  IntMap.equal Int.equal s1 s2 && ra1 = ra2 && rb1 = rb2
+
+(* ------------------------------------------------------------------ *)
+(* The paper's conflict conditions (Tables 1 and 4), with the refinements
+   brute force demands.                                                *)
+
+let endpoint_changes s = function
+  | Put (k, v) ->
+      let adds = not (IntMap.mem k s) in
+      let overwrites_diff =
+        match IntMap.find_opt k s with Some v' -> v' <> v | None -> false
+      in
+      let first =
+        adds
+        && (match IntMap.min_binding_opt s with
+           | None -> true
+           | Some (mn, _) -> k < mn)
+      in
+      let last =
+        adds
+        && (match IntMap.max_binding_opt s with
+           | None -> true
+           | Some (mx, _) -> k > mx)
+      in
+      (first, last, adds, overwrites_diff)
+  | Remove k ->
+      let removes = IntMap.mem k s in
+      let first =
+        removes
+        && match IntMap.min_binding_opt s with Some (mn, _) -> k = mn | None -> false
+      in
+      let last =
+        removes
+        && match IntMap.max_binding_opt s with Some (mx, _) -> k = mx | None -> false
+      in
+      (first, last, false, false)
+  | _ -> (false, false, false, false)
+
+let size_changes s = function
+  | Put (k, _) -> not (IntMap.mem k s)
+  | Remove k -> IntMap.mem k s
+  | _ -> false
+
+let key_of_write = function Put (k, _) -> Some k | Remove k -> Some k | _ -> None
+
+(* [expected_conflict s r w]: the transcribed Table 1/4 condition for row
+   operation [r] against write operation [w] on state [s].  Write rows have
+   their own conditions (Table 1's lower half), since value-returning writes
+   read their key and physically update the state. *)
+let expected_conflict s r w =
+  let wk = Option.get (key_of_write w) in
+  let sizes = size_changes s w in
+  let first_chg, last_chg, _, _ = endpoint_changes s w in
+  let observable_change () =
+    (* The write observably changes the map. *)
+    match w with
+    | Put (k, v) -> IntMap.find_opt k s <> Some v
+    | Remove k -> IntMap.mem k s
+    | _ -> false
+  in
+  match r with
+  | ContainsKey k -> wk = k && sizes (* presence flips iff size changes *)
+  | Get k -> wk = k && observable_change ()
+  | Size -> sizes
+  | IsEmpty ->
+      let s', _ = apply s w in
+      IntMap.is_empty s <> IntMap.is_empty s'
+  | Iterate -> observable_change ()
+  | FirstKey -> first_chg
+  | LastKey -> last_chg
+  | SubMapIter (lo, hi) -> wk >= lo && wk < hi && observable_change ()
+  | Put (k, v1) -> (
+      k = wk
+      &&
+      match w with
+      | Put (_, v2) -> not (v1 = v2 && IntMap.find_opt k s = Some v1)
+      | Remove _ -> true
+      | _ -> false)
+  | Remove k -> (
+      k = wk
+      &&
+      match w with
+      | Put _ -> true
+      | Remove _ -> IntMap.mem k s
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* The lock discipline (Tables 2 and 5)                                *)
+
+type lock =
+  | LKey of int
+  | LSize
+  | LIsEmpty
+  | LFirst
+  | LLast
+  | LRange of int * int (* lo <= k < hi; min_int/max_int = unbounded *)
+
+(* Read locks taken when an operation executes (Tables 2 and 5). *)
+let locks_taken (_s : state) = function
+  | Get k | ContainsKey k -> [ LKey k ]
+  | Size -> [ LSize ]
+  | IsEmpty -> [ LIsEmpty ]
+  | Iterate -> [ LSize; LRange (min_int, max_int); LFirst; LLast ]
+  | FirstKey -> [ LFirst ]
+  | LastKey -> [ LLast ]
+  | SubMapIter (lo, hi) -> [ LRange (lo, hi) ]
+  | Put (k, _) | Remove k -> [ LKey k ]
+
+(* Commit-time conflict set of a write (Tables 2 and 5): the abstract state
+   it invalidates. *)
+let conflict_set (s : state) w =
+  match key_of_write w with
+  | None -> []
+  | Some k ->
+      let base = [ LKey k; LRange (k, k + 1) ] in
+      let base = if size_changes s w then LSize :: base else base in
+      let base =
+        let s', _ = apply s w in
+        if IntMap.is_empty s <> IntMap.is_empty s' then LIsEmpty :: base else base
+      in
+      let first_chg, last_chg, _, _ = endpoint_changes s w in
+      let base = if first_chg then LFirst :: base else base in
+      if last_chg then LLast :: base else base
+
+let locks_overlap a b =
+  match (a, b) with
+  | LKey x, LKey y -> x = y
+  | LRange (lo, hi), LRange (lo', hi') -> max lo lo' < min hi hi'
+  | LRange (lo, hi), LKey k | LKey k, LRange (lo, hi) -> k >= lo && k < hi
+  | LSize, LSize | LIsEmpty, LIsEmpty | LFirst, LFirst | LLast, LLast -> true
+  | _ -> false
+
+let locks_detect s r w =
+  let rl = locks_taken s r in
+  let ws = conflict_set s w in
+  List.exists (fun l -> List.exists (locks_overlap l) ws) rl
+
+(* ------------------------------------------------------------------ *)
+(* Enumeration                                                         *)
+
+let keys = [ 0; 1; 2 ]
+let values = [ 10; 20 ]
+
+let all_states =
+  let choices = None :: List.map Option.some values in
+  List.concat_map
+    (fun v0 ->
+      List.concat_map
+        (fun v1 ->
+          List.map
+            (fun v2 ->
+              List.fold_left2
+                (fun m k v ->
+                  match v with None -> m | Some v -> IntMap.add k v m)
+                IntMap.empty keys [ v0; v1; v2 ])
+            choices)
+        choices)
+    choices
+
+let read_ops =
+  List.concat
+    [
+      List.map (fun k -> Get k) keys;
+      List.map (fun k -> ContainsKey k) keys;
+      [ Size; IsEmpty; Iterate; FirstKey; LastKey ];
+      [ SubMapIter (0, 2); SubMapIter (1, 3); SubMapIter (0, 3) ];
+    ]
+
+(* Rows of Table 1's lower half: writes also appear as rows, since
+   value-returning writes read their key. *)
+let row_ops =
+  read_ops
+  @ List.concat
+      [
+        List.concat_map (fun k -> List.map (fun v -> Put (k, v)) values) keys;
+        List.map (fun k -> Remove k) keys;
+      ]
+
+let write_ops =
+  List.concat
+    [
+      List.concat_map (fun k -> List.map (fun v -> Put (k, v)) values) keys;
+      List.map (fun k -> Remove k) keys;
+    ]
+
+type verdict = {
+  pair : string;
+  cases : int;
+  conflicts : int;
+  condition_exact : bool; (* expected_conflict == not commutes, everywhere *)
+  locks_sound : bool; (* conflict ==> lock overlap, everywhere *)
+  locks_precise : int; (* lock overlaps without semantic conflict *)
+}
+
+let check_pair r w =
+  let cases = ref 0 and conflicts = ref 0 and exact = ref true in
+  let sound = ref true and imprecise = ref 0 in
+  List.iter
+    (fun s ->
+      incr cases;
+      let c = not (commutes s r w) in
+      if c then incr conflicts;
+      if expected_conflict s r w <> c then exact := false;
+      let detected = locks_detect s r w in
+      if c && not detected then sound := false;
+      if detected && not c then incr imprecise)
+    all_states;
+  {
+    pair = Printf.sprintf "%s vs %s" (name r) (name w);
+    cases = !cases;
+    conflicts = !conflicts;
+    condition_exact = !exact;
+    locks_sound = !sound;
+    locks_precise = !imprecise;
+  }
+
+let check_all () =
+  List.concat_map (fun r -> List.map (fun w -> check_pair r w) write_ops) row_ops
+
+(* Read-only operations always commute (paper: read ops are omitted from the
+   columns of Table 1). *)
+let reads_commute () =
+  List.for_all
+    (fun a ->
+      List.for_all
+        (fun b -> List.for_all (fun s -> commutes s a b) all_states)
+        read_ops)
+    (List.filter (fun o -> not (is_write o)) read_ops)
+
+(* ------------------------------------------------------------------ *)
+(* Channel (queue) operations: Tables 7 and 8                          *)
+
+type qop = QPut of int | QPoll | QPeek
+
+let qname = function
+  | QPut v -> Printf.sprintf "put(%d)" v
+  | QPoll -> "poll"
+  | QPeek -> "peek"
+
+(* The paper's queue drops strict FIFO ordering from the abstract semantics
+   (§3.3), so the state is a multiset and element identity is not
+   observable: we compare outcomes by final multiset and by the null-ness
+   pattern of results.  Takes establish their ordering physically (reduced
+   isolation removes the element immediately), so take-vs-take needs no
+   semantic conflict; the one remaining conflict is observed emptiness
+   invalidated by a committing put (Tables 7/8). *)
+let qapply q = function
+  | QPut v -> (List.sort Int.compare (v :: q), `NonNull)
+  | QPoll -> (
+      match q with [] -> ([], `Null) | _ :: rest -> (rest, `NonNull))
+  | QPeek -> (q, if q = [] then `Null else `NonNull)
+
+let qcommutes q a b =
+  let q1, ra1 = qapply q a in
+  let q1, rb1 = qapply q1 b in
+  let q2, rb2 = qapply q b in
+  let q2, ra2 = qapply q2 a in
+  List.length q1 = List.length q2 && ra1 = ra2 && rb1 = rb2
+
+(* Table 7: peek/poll conflict with put iff they observed emptiness; put
+   never conflicts with put. *)
+let q_expected q a b =
+  match (a, b) with QPeek, QPut _ | QPoll, QPut _ -> q = [] | _ -> false
+
+let qstates = [ []; [ 1 ]; [ 1; 2 ] ]
+
+let qcheck_all () =
+  List.concat_map
+    (fun a ->
+      List.map
+        (fun b ->
+          let ok =
+            List.for_all
+              (fun q -> qcommutes q a b = not (q_expected q a b))
+              qstates
+          in
+          (Printf.sprintf "%s vs %s" (qname a) (qname b), ok))
+        [ QPut 3 ])
+    [ QPeek; QPoll; QPut 9 ]
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+
+let render_map_table ppf () =
+  let rows = check_all () in
+  Fmt.pf ppf "Tables 1/2 and 4/5 — conflict conditions and lock coverage@.";
+  Fmt.pf ppf "(%d states x %d read ops x %d write ops)@." (List.length all_states)
+    (List.length read_ops) (List.length write_ops);
+  Fmt.pf ppf "%-44s %8s %10s %6s %6s@." "pair" "cases" "conflicts" "exact"
+    "sound";
+  List.iter
+    (fun v ->
+      Fmt.pf ppf "%-44s %8d %10d %6s %6s@." v.pair v.cases v.conflicts
+        (if v.condition_exact then "yes" else "NO")
+        (if v.locks_sound then "yes" else "NO"))
+    rows;
+  let all_exact = List.for_all (fun v -> v.condition_exact) rows in
+  let all_sound = List.for_all (fun v -> v.locks_sound) rows in
+  Fmt.pf ppf
+    "summary: conditions exact everywhere: %b; lock discipline sound: %b@."
+    all_exact all_sound

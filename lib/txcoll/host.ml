@@ -24,6 +24,16 @@ module Sorted_set (K : Underlying.ORDERED) =
 
 module Queue = Transactional_queue.Make (Tm) (Underlying.Deque_ops)
 
+(* Collections minted directly from their commutativity specs through
+   {!Derive}. *)
+
+module Counter = Transactional_counter.Make (Tm)
+
+module Priority_queue (P : Underlying.ORDERED) =
+  Transactional_priority_queue.Make (Tm) (P)
+
+module Bag (K : Underlying.HASHED) = Transactional_bag.Make (Tm) (K)
+
 (* Alternative underlying implementations: the wrapper code is identical;
    only the wrapped structure changes (paper: "they can serve as drop-in
    replacements", with no knowledge of data structure internals). *)

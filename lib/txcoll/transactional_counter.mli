@@ -1,0 +1,33 @@
+(** TransactionalCounter: a shared counter whose increments commute and
+    therefore never conflict with each other, derived through {!Derive}.
+
+    Deltas are blind buffered writes committing under per-domain shard
+    regions (identity hash, one stripe per shard), so concurrent
+    incrementing domains see zero aborts and zero region waits.  Only
+    {!val:get} — a keyed read of every shard — conflicts with concurrent
+    deltas. *)
+
+module Make (TM : Tm_intf.TM_OPS) : sig
+  type t
+
+  val policy_support : Tm_intf.policy_support
+
+  val create : ?shards:int -> ?tm_policy:string -> unit -> t
+  (** [shards] (default 16, clamped to the lock table's stripe maximum)
+      is the number of independent sub-counters increments spread over. *)
+
+  val add : t -> int -> unit
+  (** Blind delta; [add t 0] is a no-op (touches nothing). *)
+
+  val incr : t -> unit
+  val decr : t -> unit
+
+  val get : t -> int
+  (** Sum of all shards.  In a transaction this reads every shard key
+      under its semantic lock (serialisable, but conflicts with every
+      concurrent delta); outside it reads committed state consistently. *)
+
+  val pinned_policy : t -> string option
+  val outstanding_locks : t -> int
+  val shard_count : t -> int
+end

@@ -183,6 +183,33 @@ let test_admission_stats_surface () =
     [ 0; 0; 0 ] [ adm; shed; ser ];
   Alcotest.(check int) "but still commit" 50 (Tvar.get tv)
 
+exception User_boom
+
+let test_admission_exception_counted () =
+  (* Regression: a user exception escaping an admitted body used to leave
+     the ledger with no column incremented for that call (only [Starved]
+     was caught).  The admission was consumed, so it must be counted
+     before the exception propagates: exactly one column per call on
+     every path. *)
+  let raised = ref 0 and ok = ref 0 in
+  let adm, shed, ser =
+    ledger_deltas (fun () ->
+        with_gate ~policy:Admission.Shed ~rate:1e6 ~burst:50 (fun () ->
+            for i = 1 to 40 do
+              match
+                Admission.run (fun () ->
+                    if i mod 2 = 0 then raise User_boom)
+              with
+              | () -> incr ok
+              | exception User_boom -> incr raised
+            done))
+  in
+  Alcotest.(check int) "exceptions propagated" 20 !raised;
+  Alcotest.(check int) "clean bodies returned" 20 !ok;
+  Alcotest.(check int) "every call admitted exactly once" 40 adm;
+  Alcotest.(check int) "nothing shed" 0 shed;
+  Alcotest.(check int) "nothing serialised" 0 ser
+
 let test_admission_nested_not_gated () =
   (* A transaction already in flight was admitted at its top level:
      nested Admission.run calls must not consume tokens or raise. *)
@@ -193,6 +220,25 @@ let test_admission_nested_not_gated () =
             Admission.run (fun () -> Tvar.set tv (Tvar.get tv + 1))
           done));
   Alcotest.(check int) "all nested bodies ran" 20 (Tvar.get tv)
+
+(* ---------------- monotonic clock ---------------- *)
+
+let test_monoclock_never_backwards () =
+  (* Regression: budget timing, admission refill and open-loop pacing now
+     read [Stm.Monoclock], which clamps [gettimeofday] so a backward NTP
+     step can never drain the token bucket or record negative
+     latencies. *)
+  let prev = ref (Stm.Monoclock.now ()) in
+  for _ = 1 to 10_000 do
+    let t = Stm.Monoclock.now () in
+    if t < !prev then Alcotest.failf "clock went backwards: %.9f < %.9f" t !prev;
+    prev := t
+  done;
+  (* The clamp is process-global: a sample taken after joining a domain
+     is never older than the domain's last sample. *)
+  let other = Domain.join (Domain.spawn (fun () -> Stm.Monoclock.now ())) in
+  Alcotest.(check bool) "cross-domain monotone" true
+    (Stm.Monoclock.now () >= other)
 
 (* ---------------- open-loop generator ---------------- *)
 
@@ -303,11 +349,15 @@ let suites =
         Alcotest.test_case "serialise ledger" `Quick
           test_admission_serialise_ledger;
         Alcotest.test_case "stats surface" `Quick test_admission_stats_surface;
+        Alcotest.test_case "user exception still counted" `Quick
+          test_admission_exception_counted;
         Alcotest.test_case "nested calls not gated" `Quick
           test_admission_nested_not_gated;
       ] );
     ( "harness.openloop",
       [
+        Alcotest.test_case "monotonic clock" `Quick
+          test_monoclock_never_backwards;
         Alcotest.test_case "request accounting" `Quick
           test_openloop_accounting;
         Alcotest.test_case "overloaded counts as shed" `Quick
